@@ -1,0 +1,61 @@
+"""Ablation: analytic throughput model vs cycle-level simulator.
+
+The experiments default to the closed-form model; this bench quantifies
+how far its operating points sit from cycle-sim measurements across the
+priority sweep, and how much simulation wall-clock the closed form buys.
+"""
+
+import time
+
+from repro.smt.analytic import AnalyticThroughputModel
+from repro.smt.instructions import BASE_PROFILES
+from repro.smt.throughput import ThroughputTable
+from repro.util.tables import TextTable
+
+PAIRS = {0: (4, 4), 1: (5, 4), 2: (6, 4), 3: (6, 3), 4: (6, 2)}
+
+
+def compare():
+    analytic = AnalyticThroughputModel()
+    cycle = ThroughputTable(warmup_cycles=5_000, measure_cycles=30_000)
+    hpc = BASE_PROFILES["hpc"]
+    rows = []
+    t0 = time.perf_counter()
+    for diff, (pa, pb) in sorted(PAIRS.items()):
+        a = analytic.core_ipc(hpc, hpc, pa, pb)
+        rows.append((diff, a))
+    t_analytic = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    measured = []
+    for diff, (pa, pb) in sorted(PAIRS.items()):
+        m = cycle.core_ipc(hpc, hpc, pa, pb)
+        measured.append((diff, m))
+    t_cycle = time.perf_counter() - t0
+    return rows, measured, t_analytic, t_cycle
+
+
+def test_model_ablation(benchmark, save_artifact):
+    rows, measured, t_analytic, t_cycle = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    table = TextTable(
+        ["diff", "analytic fav", "cycle fav", "analytic victim", "cycle victim"],
+        title=(
+            "Ablation: analytic vs cycle model "
+            f"(query time {t_analytic * 1e3:.1f} ms vs {t_cycle * 1e3:.0f} ms)"
+        ),
+    )
+    for (diff, (fa_f, fa_v)), (_, (cy_f, cy_v)) in zip(rows, measured):
+        # Thread A is the favoured one in these pairs (pa >= pb).
+        table.add_row(
+            [diff, f"{fa_f:.3f}", f"{cy_f:.3f}", f"{fa_v:.3f}", f"{cy_v:.3f}"]
+        )
+    save_artifact("ablation_model", table.render())
+
+    # Same qualitative curve: victims decay monotonically in both.
+    analytic_victims = [v for _, (_, v) in rows][1:]
+    cycle_victims = [v for _, (_, v) in measured][1:]
+    assert analytic_victims == sorted(analytic_victims, reverse=True)
+    assert cycle_victims == sorted(cycle_victims, reverse=True)
+    # The closed form is at least an order of magnitude faster to query.
+    assert t_analytic * 10 < t_cycle

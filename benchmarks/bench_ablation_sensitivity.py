@@ -1,0 +1,33 @@
+"""Ablation: robustness of the conclusions to model calibration knobs.
+
+The simulator's contention model has three free constants (memory
+congestion strength, L1 sharing tax, the leftover-decode fraction). This
+bench sweeps each across a 2-4x range around its default and re-runs the
+MetBench key cases: if case C stopped beating case A, or case D stopped
+losing, anywhere in the range, the reproduction would be tuning artefact
+rather than mechanism — the asserts make that a failing benchmark.
+"""
+
+from repro.experiments.sensitivity import (
+    conclusions_hold,
+    sensitivity_table,
+    sweep_model_knob,
+)
+
+SWEEPS = {
+    "congestion_cycles": [50.0, 150.0, 450.0],
+    "l1_sharing_tax": [0.2, 0.5, 0.9],
+    "leftover_fraction": [1 / 64, 1 / 32, 1 / 16],
+}
+
+
+def run_all():
+    return {knob: sweep_model_knob(knob, values) for knob, values in SWEEPS.items()}
+
+
+def test_sensitivity(benchmark, save_artifact):
+    sweeps = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    parts = [sensitivity_table(outcomes).render() for outcomes in sweeps.values()]
+    save_artifact("ablation_sensitivity", "\n\n".join(parts))
+    for knob, outcomes in sweeps.items():
+        assert conclusions_hold(outcomes), f"conclusions flipped under {knob}"

@@ -1,0 +1,60 @@
+"""Raw simulator performance (classic pytest-benchmark targets).
+
+Not a paper table — these track the speed of the substrate itself so
+regressions in the hot paths (cycle pipeline stepping, fluid-runtime
+event processing, analytic solves) are visible across commits.
+"""
+
+import numpy as np
+
+from repro.machine.mapping import ProcessMapping
+from repro.machine.system import System, SystemConfig
+from repro.smt.analytic import AnalyticModelConfig, AnalyticThroughputModel
+from repro.smt.instructions import BASE_PROFILES
+from repro.smt.pipeline import CorePipeline
+from repro.workloads.generators import barrier_loop_programs
+
+HPC = BASE_PROFILES["hpc"]
+
+
+def test_cycle_pipeline_throughput(benchmark):
+    """Cycles simulated per second of the detailed core model."""
+
+    def run():
+        rng = np.random.Generator(np.random.PCG64(0))
+        pipe = CorePipeline((HPC, HPC), (4, 6), rng)
+        pipe.run(20_000)
+        return pipe.counters[0].completed
+
+    completed = benchmark(run)
+    assert completed > 0
+
+
+def test_analytic_solve_speed(benchmark):
+    """Uncached closed-form solves (the runtime's rate queries)."""
+
+    def run():
+        model = AnalyticThroughputModel(AnalyticModelConfig())
+        total = 0.0
+        for pa in (2, 3, 4, 5, 6):
+            for pb in (2, 3, 4, 5, 6):
+                total += model.core_ipc(HPC, HPC, pa, pb)[0]
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_fluid_runtime_event_rate(benchmark):
+    """End-to-end DES: a 4-rank, 20-barrier application per round."""
+    system = System(SystemConfig())
+    works = [1e9, 2e9, 3e9, 4e9]
+
+    def run():
+        return system.run(
+            barrier_loop_programs(works, iterations=20),
+            ProcessMapping.identity(4),
+        ).events_processed
+
+    events = benchmark(run)
+    assert events > 20

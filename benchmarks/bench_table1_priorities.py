@@ -1,0 +1,30 @@
+"""Paper Table I: hardware thread priorities, privilege and encodings."""
+
+from repro.smt.priorities import PRIORITY_TABLE
+from repro.util.tables import TextTable
+
+
+def render_table1() -> str:
+    table = TextTable(
+        ["Priority", "Priority level", "Privilege level", "or-nop inst."],
+        title="Table I: hardware thread priorities in the IBM POWER5",
+    )
+    for prio in range(8):
+        info = PRIORITY_TABLE[prio]
+        table.add_row(
+            [
+                prio,
+                info.label,
+                info.privilege.label,
+                info.or_nop_mnemonic or "-",
+            ]
+        )
+    return table.render()
+
+
+def test_table1(benchmark, save_artifact):
+    rendered = benchmark.pedantic(render_table1, rounds=3, iterations=1)
+    save_artifact("table1_priorities", rendered)
+    assert "Thread shut off" in rendered
+    assert "or 31,31,31" in rendered
+    assert "Hypervisor" in rendered and "User" in rendered

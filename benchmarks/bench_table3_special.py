@@ -1,0 +1,14 @@
+"""Paper Table III: arbitration when either priority is 0 or 1."""
+
+from repro.experiments.table3 import special_cases_table
+
+
+def test_table3(benchmark, save_artifact):
+    rendered = benchmark.pedantic(
+        lambda: special_cases_table().render(), rounds=3, iterations=1
+    )
+    save_artifact("table3_special_cases", rendered)
+    assert "power_save" in rendered
+    assert "0.0156" in rendered  # 1 of 64
+    assert "0.0312" in rendered  # 1 of 32
+    assert "stopped" in rendered

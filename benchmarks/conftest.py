@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures. The
+rendered artefact is printed and also written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
+outputs. ``benchmark.pedantic`` with one round keeps wall-clock sane —
+each experiment is itself a full simulated application run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.machine.system import System, SystemConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def system() -> System:
+    """One shared system: the throughput memo cache warms across benches."""
+    return System(SystemConfig())
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Writer for rendered tables/figures."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, content: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(content + "\n")
+        print(f"\n{content}\n[saved to {path}]")
+
+    return write

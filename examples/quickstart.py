@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: balance an imbalanced MPI application with SMT priorities.
+
+Builds the paper's core scenario in ~30 lines: a 4-rank barrier-
+synchronised application where two ranks carry 4x the work of their core
+siblings, run on the simulated POWER5 machine — first with default
+priorities, then with the heavy ranks favoured by a priority gap of 2
+through the patched kernel's /proc interface.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ProcessMapping, System, SystemConfig, render_gantt
+from repro.workloads import barrier_loop_programs
+
+# One simulated IBM OpenPower 710: POWER5 chip + patched Linux kernel.
+system = System(SystemConfig(kernel="patched"))
+
+# Two light ranks (cpu0, cpu2) and two heavy ones (cpu1, cpu3): each core
+# hosts one of each — the classic intrinsic-imbalance layout.
+works = [1e9, 4e9, 1e9, 4e9]
+mapping = ProcessMapping.identity(4)
+
+baseline = system.run(
+    barrier_loop_programs(works, iterations=5),
+    mapping=mapping,
+    label="baseline: all priorities MEDIUM",
+)
+print(f"baseline:  {baseline.total_time:6.2f}s  "
+      f"imbalance {baseline.imbalance_percent:5.1f}%")
+
+# The paper's fix: give the bottleneck ranks more decode slots
+# (echo 6 > /proc/<pid>/hmt_priority for ranks 1 and 3).
+balanced = system.run(
+    barrier_loop_programs(works, iterations=5),
+    mapping=mapping,
+    priorities={0: 4, 1: 6, 2: 4, 3: 6},
+    label="balanced: heavy ranks at priority 6",
+)
+print(f"balanced:  {balanced.total_time:6.2f}s  "
+      f"imbalance {balanced.imbalance_percent:5.1f}%")
+
+gain = (baseline.total_time - balanced.total_time) / baseline.total_time * 100
+print(f"improvement: {gain:.1f}%\n")
+
+print(render_gantt(baseline.trace, width=80))
+print()
+print(render_gantt(balanced.trace, width=80))

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""SIESTA-style drifting imbalance: static limits, dynamic balancing.
+
+SIESTA's bottleneck migrates between iterations, which is why the paper's
+static assignment gains only 8.1% there — and why its conclusion proposes
+a dynamic OS-level balancer. This example runs the SIESTA model under:
+
+* no balancing,
+* the paper's static case C and the over-boosted case D,
+* the dynamic controller (this library's implementation of the paper's
+  future work).
+
+Run:  python examples/siesta_dynamic.py
+"""
+
+from repro.core import DynamicBalancer, DynamicBalancerConfig
+from repro.experiments import siesta_suite
+from repro.experiments.runner import run_case
+from repro.machine.system import System, SystemConfig
+from repro.util.tables import TextTable
+
+system = System(SystemConfig())
+suite = siesta_suite(n_iterations=30, time_scale=0.25)
+
+rows = []
+for name in ("A", "C", "D"):
+    case = suite.case(name)
+    result = run_case(system, suite, case)
+    rows.append((f"static case {name} ({case.description})",
+                 result.run.total_time, result.run.imbalance_percent))
+
+# The dynamic balancer on the same workload (case A mapping, no static
+# priorities). A long interval and gap cap of 1 keep it from chasing the
+# per-iteration jitter — for this memory-bound (dft) load a gap of 1 is
+# nearly free for the victim, so the controller can only win, never
+# reproduce the case-D disaster.
+dyn = DynamicBalancer(
+    DynamicBalancerConfig(interval=10.0, threshold=0.10, max_gap=1)
+)
+case_a = suite.case("A")
+controlled = system.run(
+    suite.programs(case_a),
+    mapping=case_a.mapping,
+    controllers=[dyn],
+    label="dynamic",
+)
+rows.append((f"dynamic controller ({len(dyn.adjustments)} adjustments)",
+             controlled.total_time, controlled.imbalance_percent))
+
+table = TextTable(["policy", "exec time", "imbalance %", "vs unbalanced"],
+                  title="SIESTA-style drifting workload")
+ref = rows[0][1]
+for name, t, imb in rows:
+    table.add_row([name, f"{t:.2f}s", f"{imb:.1f}", f"{(t - ref) / ref * 100:+.1f}%"])
+print(table.render())
+
+if dyn.adjustments:
+    print("\nfirst dynamic adjustments (time, rank, old -> new priority):")
+    for t, rank, old, new in dyn.adjustments[:8]:
+        print(f"  t={t:7.2f}s  P{rank + 1}: {old} -> {new}")
+
+print(
+    "\nNote the honest result: on this memory-bound (dft) workload a "
+    "priority gap of 1\nbarely throttles the victim, so both static case C "
+    "and the dynamic controller gain\nonly a few percent — consistent with "
+    "the paper's modest 8.1% for SIESTA — while\nover-boosting (case D) "
+    "still loses double digits."
+)

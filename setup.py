@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) on
+environments whose setuptools lacks the PEP 660 editable-wheel path
+(no `wheel` package available offline). All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

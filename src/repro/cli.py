@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
+
+Commands
+--------
+``report [--fast]``
+    The full paper-vs-measured report (all tables and figures).
+``tables``
+    The architectural Tables I-III, instantly.
+``case <suite> <name> [--iterations N] [--width W] [--prv FILE]``
+    Run one paper case (suite: metbench|btmz|siesta), print the
+    characterisation table and the ASCII trace; optionally export a
+    PARAVER ``.prv``.
+``profiles``
+    The bundled load profiles and their model operating points.
+``sweep [--profile P]``
+    Victim/favoured throughput across priority gaps 0-4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.cases import btmz_suite, metbench_suite, siesta_suite
+from repro.experiments.report import full_report
+from repro.experiments.runner import run_case
+from repro.experiments.table2 import decode_cycles_table
+from repro.experiments.table3 import special_cases_table
+from repro.machine.system import System, SystemConfig
+from repro.smt.analytic import AnalyticThroughputModel
+from repro.smt.instructions import BASE_PROFILES
+from repro.smt.priorities import PRIORITY_TABLE
+from repro.trace.paraver import render_gantt, render_legend
+from repro.trace.prv import render_pcf, render_prv
+from repro.util.tables import TextTable
+
+__all__ = ["main", "build_parser"]
+
+_SUITES = {
+    "metbench": lambda it: metbench_suite(iterations=it or 10),
+    "btmz": lambda it: btmz_suite(iterations=it or 50),
+    "siesta": lambda it: siesta_suite(n_iterations=it or 40),
+}
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(full_report(fast=args.fast))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    del args
+    t1 = TextTable(
+        ["Priority", "Level", "Privilege", "or-nop"],
+        title="Table I: hardware thread priorities",
+    )
+    for prio in range(8):
+        info = PRIORITY_TABLE[prio]
+        t1.add_row([prio, info.label, info.privilege.label, info.or_nop_mnemonic or "-"])
+    print(t1.render())
+    print()
+    print(decode_cycles_table().render())
+    print()
+    print(special_cases_table().render())
+    return 0
+
+
+def _cmd_case(args: argparse.Namespace) -> int:
+    suite_factory = _SUITES.get(args.suite)
+    if suite_factory is None:
+        print(f"unknown suite {args.suite!r}; choose from {sorted(_SUITES)}",
+              file=sys.stderr)
+        return 2
+    suite = suite_factory(args.iterations)
+    try:
+        case = suite.case(args.name.upper())
+    except Exception:
+        names = [c.name for c in suite.cases]
+        print(f"unknown case {args.name!r}; suite {args.suite} has {names}",
+              file=sys.stderr)
+        return 2
+    system = System(SystemConfig())
+    result = run_case(system, suite, case)
+    prios = case.priorities or {r: 4 for r in range(case.n_ranks)}
+    cores = {r: case.mapping.core_of(r) + 1 for r in range(case.n_ranks)}
+    print(result.run.stats.as_table(prios, cores,
+                                    label=f"{args.suite} case {case.name}").render())
+    print()
+    print(f"paper: {case.paper_exec_seconds:.2f}s / "
+          f"{case.paper_imbalance_percent:.2f}%   "
+          f"simulated: {result.measured_exec:.2f}s / "
+          f"{result.measured_imbalance:.2f}%")
+    print()
+    print(render_gantt(result.run.trace, width=args.width))
+    print(render_legend())
+    if args.prv:
+        with open(args.prv, "w") as fh:
+            fh.write(render_prv(result.run.trace,
+                                rank_to_cpu=case.mapping.as_dict()))
+        pcf_path = args.prv.rsplit(".", 1)[0] + ".pcf"
+        with open(pcf_path, "w") as fh:
+            fh.write(render_pcf())
+        print(f"\nwrote {args.prv} and {pcf_path}")
+    return 0
+
+
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    del args
+    model = AnalyticThroughputModel()
+    table = TextTable(
+        ["profile", "mem%", "FPU%", "ILP", "solo IPC", "pair IPC", "pair tax"],
+        title="Bundled load profiles (model operating points)",
+    )
+    for name in sorted(BASE_PROFILES):
+        p = BASE_PROFILES[name]
+        solo = model.core_ipc(p, None, 7, 0)[0]
+        pair = model.core_ipc(p, p, 4, 4)[0]
+        tax = (1 - pair / solo) * 100 if solo else 0.0
+        table.add_row(
+            [
+                name,
+                f"{p.memory_fraction * 100:.0f}",
+                f"{p.fpu_fraction * 100:.0f}",
+                f"{p.ilp:.1f}",
+                f"{solo:.2f}",
+                f"{pair:.2f}",
+                f"{tax:.0f}%",
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    profile = BASE_PROFILES.get(args.profile)
+    if profile is None:
+        print(f"unknown profile {args.profile!r}; see `repro profiles`",
+              file=sys.stderr)
+        return 2
+    model = AnalyticThroughputModel()
+    table = TextTable(
+        ["gap", "priorities", "victim IPC", "favoured IPC", "victim slowdown"],
+        title=f"Priority-gap sweep for profile {args.profile!r}",
+    )
+    eq = model.core_ipc(profile, profile, 4, 4)[0]
+    for gap, (lo, hi) in {0: (4, 4), 1: (4, 5), 2: (4, 6), 3: (3, 6), 4: (2, 6)}.items():
+        v, f = model.core_ipc(profile, profile, lo, hi)
+        table.add_row(
+            [gap, f"{lo} vs {hi}", f"{v:.3f}", f"{f:.3f}",
+             f"{eq / v:.2f}x" if v else "inf"]
+        )
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Balancing HPC Applications Through "
+        "Smart Allocation of Resources in MT Processors' (IPDPS 2008).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="full paper-vs-measured report")
+    p_report.add_argument("--fast", action="store_true",
+                          help="reduced iteration counts")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_tables = sub.add_parser("tables", help="architectural Tables I-III")
+    p_tables.set_defaults(func=_cmd_tables)
+
+    p_case = sub.add_parser("case", help="run one paper case")
+    p_case.add_argument("suite", choices=sorted(_SUITES))
+    p_case.add_argument("name", help="case name: ST, A, B, C or D")
+    p_case.add_argument("--iterations", type=int, default=None)
+    p_case.add_argument("--width", type=int, default=90, help="trace width")
+    p_case.add_argument("--prv", default=None,
+                        help="export a PARAVER .prv to this path")
+    p_case.set_defaults(func=_cmd_case)
+
+    p_prof = sub.add_parser("profiles", help="bundled load profiles")
+    p_prof.set_defaults(func=_cmd_profiles)
+
+    p_sweep = sub.add_parser("sweep", help="priority-gap operating points")
+    p_sweep.add_argument("--profile", default="hpc")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    raise SystemExit(main())

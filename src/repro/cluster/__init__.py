@@ -1,0 +1,31 @@
+"""Multi-node machines: several POWER5 chips behind a network model.
+
+The paper runs on one OpenPower 710 but motivates everything with
+MareNostrum (10 240 CPUs): imbalance wastes a *cluster*. This subpackage
+scales the simulation to many nodes:
+
+* :mod:`repro.cluster.topology` — network models (uniform, two-level
+  switch tree), providing per-node-pair latency/bandwidth. Distant
+  neighbours are one of the paper's extrinsic imbalance causes.
+* :mod:`repro.cluster.machine` — :class:`ClusterMachine`, a multi-chip
+  machine exposing the single-chip interface on global CPU ids (the MPI
+  runtime and kernel layers work unchanged), with per-chip core groups so
+  shared-cache coupling stays within a chip.
+* :mod:`repro.cluster.system` — :class:`ClusterSystem`, the multi-node
+  counterpart of :class:`repro.machine.system.System`: intra-node
+  messages use shared-memory costs, inter-node messages the topology's.
+"""
+
+from repro.cluster.topology import NetworkModel, UniformNetwork, TwoLevelTree
+from repro.cluster.machine import ClusterMachine, ClusterConfig
+from repro.cluster.system import ClusterSystem, ClusterSystemConfig
+
+__all__ = [
+    "NetworkModel",
+    "UniformNetwork",
+    "TwoLevelTree",
+    "ClusterMachine",
+    "ClusterConfig",
+    "ClusterSystem",
+    "ClusterSystemConfig",
+]

@@ -1,0 +1,141 @@
+"""ClusterSystem: the multi-node counterpart of :class:`repro.machine.system.System`.
+
+Builds a :class:`~repro.cluster.machine.ClusterMachine`, one kernel image
+spanning all nodes (each node runs the same patched/standard kernel; the
+scheduler pins by global CPU), and derives per-rank-pair communication
+costs from the node placement and the network model: intra-node pairs use
+shared-memory parameters, inter-node pairs the topology's latency and
+bandwidth (and a network-appropriate rendezvous threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.cluster.machine import ClusterConfig, ClusterMachine
+from repro.cluster.topology import NetworkModel, UniformNetwork
+from repro.errors import ConfigurationError
+from repro.kernel.hmt import HmtController
+from repro.kernel.kernel import make_kernel
+from repro.kernel.scheduler import PinnedScheduler
+from repro.machine.mapping import ProcessMapping
+from repro.mpi.p2p import CommCosts
+from repro.mpi.process import RankProgram
+from repro.mpi.runtime import MpiRuntime, RunResult, RuntimeConfig
+from repro.smt.analytic import AnalyticModelConfig, AnalyticThroughputModel
+from repro.smt.instructions import LoadProfile
+
+__all__ = ["ClusterSystemConfig", "ClusterSystem"]
+
+
+@dataclass(frozen=True)
+class ClusterSystemConfig:
+    """Everything configurable about the simulated cluster."""
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    network: NetworkModel = field(default_factory=UniformNetwork)
+    kernel: str = "patched"
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    analytic: AnalyticModelConfig = field(default_factory=AnalyticModelConfig)
+    #: Eager/rendezvous switch for inter-node messages (network transports
+    #: buffer less than shared memory).
+    network_eager_threshold: int = 16384
+
+    def __post_init__(self) -> None:
+        if self.kernel not in ("standard", "patched"):
+            raise ConfigurationError(
+                f"kernel must be standard|patched, got {self.kernel!r}"
+            )
+        if self.network_eager_threshold < 0:
+            raise ConfigurationError("network_eager_threshold must be >= 0")
+
+
+class ClusterSystem:
+    """Factory/runner for multi-node machines."""
+
+    def __init__(self, config: Optional[ClusterSystemConfig] = None) -> None:
+        self.config = config or ClusterSystemConfig()
+        self.model = AnalyticThroughputModel(self.config.analytic)
+
+    def build_machine(self):
+        machine = ClusterMachine(self.config.cluster)
+        hmt = HmtController(machine)
+        scheduler = PinnedScheduler(machine.config.n_cpus)
+        kernel = make_kernel(self.config.kernel, hmt, scheduler)
+        return machine, hmt, scheduler, kernel
+
+    def _pair_costs(self, machine: ClusterMachine, mapping: ProcessMapping):
+        """Resolve rank-pair transfer parameters from node placement."""
+        base = self.config.runtime.comm_costs
+        network = self.config.network
+        rank_node = {
+            rank: machine.node_of_cpu(cpu) for rank, cpu in mapping.as_dict().items()
+        }
+
+        def costs(src: int, dst: int) -> CommCosts:
+            a, b = rank_node[src], rank_node[dst]
+            if a == b:
+                return base
+            return CommCosts(
+                latency=base.latency + network.latency(a, b),
+                bandwidth=min(base.bandwidth, network.bandwidth(a, b)),
+                eager_threshold=self.config.network_eager_threshold,
+                call_overhead=base.call_overhead,
+            )
+
+        return costs
+
+    def run(
+        self,
+        programs: Sequence[RankProgram],
+        mapping: Optional[ProcessMapping] = None,
+        priorities: Optional[Mapping[int, int]] = None,
+        profiles: Optional[Mapping[str, LoadProfile]] = None,
+        label: str = "",
+        controllers: Optional[Sequence] = None,
+    ) -> RunResult:
+        """Run one experiment on the cluster.
+
+        ``mapping`` maps ranks to *global* CPUs (node k owns CPUs
+        ``4k..4k+3`` for default chips); defaults to packing ranks onto
+        nodes in order.
+        """
+        mapping = mapping or ProcessMapping.identity(len(programs))
+        if mapping.n_ranks != len(programs):
+            raise ConfigurationError(
+                f"mapping covers {mapping.n_ranks} ranks but "
+                f"{len(programs)} programs given"
+            )
+        machine, hmt, scheduler, kernel = self.build_machine()
+
+        on_start = None
+        if priorities:
+            wanted = dict(priorities)
+
+            def on_start(runtime: MpiRuntime) -> None:
+                for pid, prio in sorted(wanted.items()):
+                    if kernel.has_hmt_procfs:
+                        kernel.procfs.set_priority_of_pid(pid, prio, time=0.0)
+                    else:
+                        from repro.kernel.hmt import Actor
+
+                        hmt.try_set_priority(
+                            scheduler.cpu_of(pid), prio, Actor.USER, time=0.0
+                        )
+
+        runtime = MpiRuntime(
+            chip=machine,
+            kernel=kernel,
+            hmt=hmt,
+            model=self.model,
+            programs=programs,
+            mapping=mapping.as_dict(),
+            profiles=profiles,
+            config=self.config.runtime,
+            label=label,
+            on_start=on_start,
+            controllers=controllers,
+            pair_costs=self._pair_costs(machine, mapping),
+        )
+        return runtime.run()

@@ -1,0 +1,104 @@
+"""Cluster network models.
+
+Section II-B (extrinsic imbalance, "network topology"): *"if the job
+scheduler has placed processes that need to communicate 'far away', their
+communication latency could increase so much that the whole application
+will be affected."* These models supply per-node-pair latency and
+bandwidth; rank-pair communication costs are derived from them by
+:class:`~repro.cluster.system.ClusterSystem`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["NetworkModel", "UniformNetwork", "TwoLevelTree"]
+
+
+class NetworkModel(ABC):
+    """Per-node-pair transfer parameters."""
+
+    @abstractmethod
+    def latency(self, node_a: int, node_b: int) -> float:
+        """One-way latency in seconds between two nodes (0 for a == b)."""
+
+    @abstractmethod
+    def bandwidth(self, node_a: int, node_b: int) -> float:
+        """Link bandwidth in bytes/second between two nodes."""
+
+    def check_node(self, node: int) -> None:
+        if node < 0:
+            raise ConfigurationError(f"node index must be >= 0, got {node}")
+
+
+@dataclass(frozen=True)
+class UniformNetwork(NetworkModel):
+    """Every node pair has the same parameters (a flat switch).
+
+    Myrinet-class defaults, roughly MareNostrum's interconnect era.
+    """
+
+    inter_latency: float = 6.0e-6
+    inter_bandwidth: float = 250e6
+
+    def __post_init__(self) -> None:
+        check_non_negative("inter_latency", self.inter_latency)
+        check_positive("inter_bandwidth", self.inter_bandwidth)
+
+    def latency(self, node_a: int, node_b: int) -> float:
+        self.check_node(node_a)
+        self.check_node(node_b)
+        return 0.0 if node_a == node_b else self.inter_latency
+
+    def bandwidth(self, node_a: int, node_b: int) -> float:
+        self.check_node(node_a)
+        self.check_node(node_b)
+        return float("inf") if node_a == node_b else self.inter_bandwidth
+
+
+@dataclass(frozen=True)
+class TwoLevelTree(NetworkModel):
+    """Nodes grouped under leaf switches; crossing the spine costs more.
+
+    Nodes ``k*nodes_per_switch .. (k+1)*nodes_per_switch - 1`` share leaf
+    switch ``k``. Same-switch pairs pay ``near_latency``; pairs in
+    different sub-trees pay ``far_latency`` and the (lower) spine
+    bandwidth — the "far away in the network" scenario.
+    """
+
+    nodes_per_switch: int = 4
+    near_latency: float = 6.0e-6
+    far_latency: float = 18.0e-6
+    near_bandwidth: float = 250e6
+    far_bandwidth: float = 120e6
+
+    def __post_init__(self) -> None:
+        check_positive("nodes_per_switch", self.nodes_per_switch)
+        check_non_negative("near_latency", self.near_latency)
+        check_non_negative("far_latency", self.far_latency)
+        check_positive("near_bandwidth", self.near_bandwidth)
+        check_positive("far_bandwidth", self.far_bandwidth)
+        if self.far_latency < self.near_latency:
+            raise ConfigurationError("far_latency must be >= near_latency")
+
+    def switch_of(self, node: int) -> int:
+        self.check_node(node)
+        return node // self.nodes_per_switch
+
+    def latency(self, node_a: int, node_b: int) -> float:
+        if node_a == node_b:
+            return 0.0
+        if self.switch_of(node_a) == self.switch_of(node_b):
+            return self.near_latency
+        return self.far_latency
+
+    def bandwidth(self, node_a: int, node_b: int) -> float:
+        if node_a == node_b:
+            return float("inf")
+        if self.switch_of(node_a) == self.switch_of(node_b):
+            return self.near_bandwidth
+        return self.far_bandwidth

@@ -1,0 +1,40 @@
+"""The paper's contribution: priority-based load balancing.
+
+* :mod:`repro.core.balancer` — assignment data model and balancer base.
+* :mod:`repro.core.static` — the paper's mechanism: a static priority
+  assignment derived from each rank's observed compute share.
+* :mod:`repro.core.dynamic` — the paper's *future work*: an OS-level
+  controller that re-assigns priorities during the run from observed
+  waiting times.
+* :mod:`repro.core.search` — exhaustive/greedy search over mappings and
+  priorities (automating the paper's manual case A->B->C->D iteration).
+* :mod:`repro.core.advisor` — profile -> plan -> verify pipeline.
+"""
+
+from repro.core.balancer import PriorityAssignment, Balancer, DEFAULT_PRIORITIES
+from repro.core.static import StaticPriorityBalancer, plan_from_compute_shares
+from repro.core.dynamic import DynamicBalancer, DynamicBalancerConfig
+from repro.core.search import (
+    SearchResult,
+    exhaustive_priority_search,
+    greedy_priority_search,
+    candidate_assignments,
+)
+from repro.core.advisor import Advisor, AdvisorReport, PolicyRecommendation
+
+__all__ = [
+    "PriorityAssignment",
+    "Balancer",
+    "DEFAULT_PRIORITIES",
+    "StaticPriorityBalancer",
+    "plan_from_compute_shares",
+    "DynamicBalancer",
+    "DynamicBalancerConfig",
+    "SearchResult",
+    "exhaustive_priority_search",
+    "greedy_priority_search",
+    "candidate_assignments",
+    "Advisor",
+    "AdvisorReport",
+    "PolicyRecommendation",
+]

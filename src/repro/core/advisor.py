@@ -1,0 +1,188 @@
+"""Advisor: the full profile -> plan -> verify pipeline.
+
+Reproduces, as one call, what the paper's authors did per application:
+
+1. run the application once unbalanced and read the PARAVER trace
+   (here: the simulated trace) for per-rank compute times;
+2. derive a mapping + priority plan (the static balancer heuristic);
+3. verify the plan with a balanced run and report both, plus the
+   paper-style characterisation tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.balancer import PriorityAssignment
+from repro.core.dynamic import DynamicBalancer, DynamicBalancerConfig
+from repro.core.static import StaticPriorityBalancer
+from repro.errors import ConfigurationError
+from repro.machine.mapping import ProcessMapping
+from repro.machine.system import System
+from repro.mpi.process import RankProgram
+from repro.mpi.runtime import RunResult
+from repro.trace.analysis import drift_score
+from repro.util.tables import TextTable
+
+__all__ = ["AdvisorReport", "Advisor", "PolicyRecommendation"]
+
+
+@dataclass(frozen=True)
+class AdvisorReport:
+    """Outcome of one advisory cycle."""
+
+    baseline: RunResult
+    balanced: RunResult
+    assignment: PriorityAssignment
+
+    @property
+    def improvement_percent(self) -> float:
+        """Positive = the balanced run is faster (the paper's headline)."""
+        return (
+            (self.baseline.total_time - self.balanced.total_time)
+            / self.baseline.total_time
+            * 100.0
+        )
+
+    @property
+    def imbalance_reduction(self) -> float:
+        """Drop in the paper's imbalance metric, percentage points."""
+        return self.baseline.imbalance_percent - self.balanced.imbalance_percent
+
+    def summary_table(self) -> TextTable:
+        table = TextTable(
+            ["Run", "Exec. time", "Imbalance %"], title="Advisor summary"
+        )
+        table.add_row(
+            ["baseline", f"{self.baseline.total_time:.2f}s",
+             f"{self.baseline.imbalance_percent:.2f}"]
+        )
+        table.add_row(
+            ["balanced", f"{self.balanced.total_time:.2f}s",
+             f"{self.balanced.imbalance_percent:.2f}"]
+        )
+        table.add_row(["improvement", f"{self.improvement_percent:.2f}%", ""])
+        return table
+
+
+class Advisor:
+    """Profile-then-balance driver."""
+
+    def __init__(
+        self,
+        system: System,
+        balancer: Optional[StaticPriorityBalancer] = None,
+    ) -> None:
+        self.system = system
+        self.balancer = balancer or StaticPriorityBalancer()
+
+    def advise(
+        self,
+        program_factory: Callable[[], Sequence[RankProgram]],
+        mapping: Optional[ProcessMapping] = None,
+        label: str = "advisor",
+    ) -> AdvisorReport:
+        """Run baseline, plan, run balanced, report.
+
+        ``program_factory`` must yield fresh programs per call (each run
+        consumes its generators).
+        """
+        programs = list(program_factory())
+        if not programs:
+            raise ConfigurationError("program_factory produced no programs")
+        mapping = mapping or ProcessMapping.identity(len(programs))
+
+        baseline = self.system.run(
+            programs, mapping=mapping, label=f"{label}:baseline"
+        )
+        compute_seconds = [
+            r.compute_fraction * baseline.total_time for r in baseline.stats.ranks
+        ]
+        assignment = self.balancer.plan(compute_seconds, mapping)
+        balanced = self.system.run(
+            list(program_factory()),
+            mapping=assignment.mapping,
+            priorities=assignment.priority_dict,
+            label=f"{label}:balanced",
+        )
+        return AdvisorReport(baseline=baseline, balanced=balanced, assignment=assignment)
+
+    def recommend(
+        self,
+        program_factory: Callable[[], Sequence[RankProgram]],
+        mapping: Optional[ProcessMapping] = None,
+        drift_threshold: float = 0.4,
+        drift_windows: int = 8,
+        label: str = "advisor",
+    ) -> "PolicyRecommendation":
+        """Choose between static and dynamic balancing from one profile run.
+
+        The decisive property (paper section VII-C): does the bottleneck
+        stay put? A profiling run's :func:`~repro.trace.analysis.drift_score`
+        decides — stable bottlenecks get the static plan (the paper's
+        mechanism), drifting ones get the dynamic controller (the paper's
+        proposed future work). The recommendation carries verified runs
+        for both the baseline and the chosen policy.
+        """
+        programs = list(program_factory())
+        if not programs:
+            raise ConfigurationError("program_factory produced no programs")
+        mapping = mapping or ProcessMapping.identity(len(programs))
+
+        baseline = self.system.run(programs, mapping=mapping, label=f"{label}:baseline")
+        drift = drift_score(baseline.trace, drift_windows)
+        compute_seconds = [
+            r.compute_fraction * baseline.total_time for r in baseline.stats.ranks
+        ]
+        assignment = self.balancer.plan(compute_seconds, mapping)
+
+        if drift <= drift_threshold:
+            policy = "static"
+            chosen = self.system.run(
+                list(program_factory()),
+                mapping=assignment.mapping,
+                priorities=assignment.priority_dict,
+                label=f"{label}:static",
+            )
+            controller = None
+        else:
+            policy = "dynamic"
+            # Gap 1 is the safe authority for an online controller: it can
+            # always back out within one interval.
+            controller = DynamicBalancer(DynamicBalancerConfig(max_gap=1))
+            chosen = self.system.run(
+                list(program_factory()),
+                mapping=mapping,
+                controllers=[controller],
+                label=f"{label}:dynamic",
+            )
+        return PolicyRecommendation(
+            policy=policy,
+            drift=drift,
+            baseline=baseline,
+            chosen=chosen,
+            assignment=assignment,
+            controller=controller,
+        )
+
+
+@dataclass(frozen=True)
+class PolicyRecommendation:
+    """Outcome of :meth:`Advisor.recommend`."""
+
+    policy: str  # "static" | "dynamic"
+    drift: float
+    baseline: RunResult
+    chosen: RunResult
+    #: The static plan (computed either way, applied only when static).
+    assignment: PriorityAssignment
+    controller: Optional[DynamicBalancer]
+
+    @property
+    def improvement_percent(self) -> float:
+        return (
+            (self.baseline.total_time - self.chosen.total_time)
+            / self.baseline.total_time
+            * 100.0
+        )

@@ -1,0 +1,180 @@
+"""Search over priority assignments — automating the paper's case studies.
+
+The paper finds good configurations by manually trying cases A-D per
+application. These helpers enumerate (or greedily walk) the assignment
+space and run each candidate through a :class:`~repro.machine.system.System`,
+returning a ranking by total execution time. On the 4-rank machine the
+exhaustive per-core space is small (priorities 3-6 per rank = 256
+combinations, fewer after symmetry pruning), so exhaustive search is
+practical with the analytic model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.balancer import PriorityAssignment
+from repro.errors import ConfigurationError
+from repro.machine.mapping import ProcessMapping
+from repro.machine.system import System
+from repro.mpi.process import RankProgram
+
+__all__ = [
+    "SearchResult",
+    "candidate_assignments",
+    "exhaustive_priority_search",
+    "greedy_priority_search",
+]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Ranking of evaluated assignments."""
+
+    entries: Tuple[Tuple[PriorityAssignment, float, float], ...]
+    """(assignment, total_time, imbalance_percent), best first."""
+
+    @property
+    def best(self) -> PriorityAssignment:
+        return self.entries[0][0]
+
+    @property
+    def best_time(self) -> float:
+        return self.entries[0][1]
+
+    @property
+    def evaluated(self) -> int:
+        return len(self.entries)
+
+    def improvement_over(self, reference_time: float) -> float:
+        """Percent improvement of the best over a reference time."""
+        if reference_time <= 0:
+            raise ConfigurationError(f"reference_time must be > 0, got {reference_time}")
+        return (reference_time - self.best_time) / reference_time * 100.0
+
+
+def candidate_assignments(
+    mapping: ProcessMapping,
+    levels: Sequence[int] = (3, 4, 5, 6),
+    max_gap: int = 2,
+) -> List[PriorityAssignment]:
+    """All per-core priority combinations within ``levels`` and ``max_gap``.
+
+    Per-core symmetry is pruned by fixing the *lower-numbered rank of a
+    pair* to never exceed its sibling unless the combination is distinct —
+    i.e. plain product filtered by gap; combinations equal after swapping
+    identical levels are naturally unique. Priority pairs that only shift
+    both levels (e.g. (3,3) vs (4,4)) are kept: absolute level matters at
+    the boundaries (1 and 6) and for later dynamic adjustment headroom.
+    """
+    for lv in levels:
+        if not 1 <= lv <= 6:
+            raise ConfigurationError(f"levels must be OS-settable (1-6), got {lv}")
+    pairs = mapping.core_pairs()
+    per_core_choices: List[List[Dict[int, int]]] = []
+    for pair in pairs:
+        choices: List[Dict[int, int]] = []
+        if len(pair) == 1:
+            for lv in levels:
+                choices.append({pair[0]: lv})
+        else:
+            a, b = pair
+            for la, lb in itertools.product(levels, repeat=2):
+                if abs(la - lb) <= max_gap:
+                    choices.append({a: la, b: lb})
+        per_core_choices.append(choices)
+    out: List[PriorityAssignment] = []
+    for combo in itertools.product(*per_core_choices):
+        prios: Dict[int, int] = {}
+        for d in combo:
+            prios.update(d)
+        out.append(PriorityAssignment.build(mapping, prios, label="search"))
+    return out
+
+
+def exhaustive_priority_search(
+    system: System,
+    program_factory: Callable[[], Sequence[RankProgram]],
+    mapping: ProcessMapping,
+    levels: Sequence[int] = (3, 4, 5, 6),
+    max_gap: int = 2,
+    keep_top: int = 0,
+) -> SearchResult:
+    """Evaluate every candidate assignment; return them ranked.
+
+    ``program_factory`` must build *fresh* generator programs per run
+    (generators are single-use).
+    """
+    entries: List[Tuple[PriorityAssignment, float, float]] = []
+    for assignment in candidate_assignments(mapping, levels, max_gap):
+        result = system.run(
+            list(program_factory()),
+            mapping=assignment.mapping,
+            priorities=assignment.priority_dict,
+            label=assignment.describe(),
+        )
+        entries.append((assignment, result.total_time, result.imbalance_percent))
+    entries.sort(key=lambda e: e[1])
+    if keep_top > 0:
+        entries = entries[:keep_top]
+    if not entries:
+        raise ConfigurationError("search evaluated no candidates")
+    return SearchResult(tuple(entries))
+
+
+def greedy_priority_search(
+    system: System,
+    program_factory: Callable[[], Sequence[RankProgram]],
+    mapping: ProcessMapping,
+    start: Optional[PriorityAssignment] = None,
+    levels: Sequence[int] = (3, 4, 5, 6),
+    max_gap: int = 2,
+    max_steps: int = 20,
+) -> SearchResult:
+    """Hill-climb: try single-rank priority moves until no improvement.
+
+    Far fewer runs than exhaustive search (the paper's manual procedure
+    is essentially this loop); may stop in a local optimum.
+    """
+    if start is None:
+        start = PriorityAssignment.build(
+            mapping, {r: 4 for r in range(mapping.n_ranks)}, label="start"
+        )
+
+    def evaluate(assignment: PriorityAssignment) -> Tuple[float, float]:
+        result = system.run(
+            list(program_factory()),
+            mapping=assignment.mapping,
+            priorities=assignment.priority_dict,
+            label=assignment.describe(),
+        )
+        return result.total_time, result.imbalance_percent
+
+    current = start
+    current_time, current_imb = evaluate(current)
+    history: List[Tuple[PriorityAssignment, float, float]] = [
+        (current, current_time, current_imb)
+    ]
+    for _ in range(max_steps):
+        best_move: Optional[Tuple[PriorityAssignment, float, float]] = None
+        prios = current.priority_dict
+        for rank in range(mapping.n_ranks):
+            for lv in levels:
+                if lv == prios[rank]:
+                    continue
+                trial_prios = dict(prios)
+                trial_prios[rank] = lv
+                trial = PriorityAssignment.build(mapping, trial_prios, label="greedy")
+                if trial.max_gap > max_gap:
+                    continue
+                t, imb = evaluate(trial)
+                history.append((trial, t, imb))
+                if best_move is None or t < best_move[1]:
+                    best_move = (trial, t, imb)
+        if best_move is None or best_move[1] >= current_time:
+            break
+        current, current_time, current_imb = best_move
+    history.sort(key=lambda e: e[1])
+    return SearchResult(tuple(history))

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration problems from simulation-time faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation/system configuration is inconsistent or out of range."""
+
+
+class PrivilegeError(ReproError):
+    """An actor attempted to set a hardware priority above its privilege.
+
+    Mirrors the POWER5 rules (paper Table I): user software may set
+    priorities 2-4, the OS 1-6, and only the hypervisor may use 0 and 7.
+    """
+
+    def __init__(self, actor: str, priority: int, allowed: str) -> None:
+        self.actor = actor
+        self.priority = priority
+        super().__init__(
+            f"{actor} may not set hardware priority {priority}; allowed: {allowed}"
+        )
+
+
+class InvalidPriorityError(ReproError):
+    """A hardware thread priority outside the architectural range 0-7."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+        super().__init__(f"hardware thread priority must be an integer in 0..7, got {value!r}")
+
+
+class MpiError(ReproError):
+    """Base class for errors raised by the simulated MPI runtime."""
+
+
+class RankError(MpiError):
+    """A rank index outside the communicator's size."""
+
+
+class RequestError(MpiError):
+    """Misuse of a nonblocking request (double wait, wait on freed, ...)."""
+
+
+class DeadlockError(MpiError):
+    """The discrete-event runtime detected that no process can make progress."""
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(f"simulated MPI deadlock: {detail}")
+
+
+class MappingError(ReproError):
+    """A process-to-hardware-context mapping is invalid (overlap, bad cpu id)."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or queried inconsistently."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is invalid (negative work, bad rank count, ...)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent internal state."""

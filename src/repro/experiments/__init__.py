@@ -1,0 +1,40 @@
+"""Experiment definitions and runners — one per paper table/figure.
+
+Each suite encodes the paper's cases (mapping + priorities), calibrates
+its workload so the *reference case A matches the paper's compute-share
+profile by construction*, runs all cases, and reports measured vs. paper
+values. The benchmarks under ``benchmarks/`` are thin wrappers around
+these runners.
+"""
+
+from repro.experiments.cases import (
+    ExperimentCase,
+    Suite,
+    metbench_suite,
+    btmz_suite,
+    siesta_suite,
+)
+from repro.experiments.runner import CaseResult, run_case, run_suite, comparison_table
+from repro.experiments.table2 import decode_cycles_table, measured_decode_shares
+from repro.experiments.table3 import special_cases_table
+from repro.experiments.figures import figure1_traces, case_trace
+from repro.experiments.report import suite_report, full_report
+
+__all__ = [
+    "ExperimentCase",
+    "Suite",
+    "metbench_suite",
+    "btmz_suite",
+    "siesta_suite",
+    "CaseResult",
+    "run_case",
+    "run_suite",
+    "comparison_table",
+    "decode_cycles_table",
+    "measured_decode_shares",
+    "special_cases_table",
+    "figure1_traces",
+    "case_trace",
+    "suite_report",
+    "full_report",
+]

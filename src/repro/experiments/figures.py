@@ -1,0 +1,74 @@
+"""Figure reproductions: ASCII traces in place of PARAVER screenshots.
+
+* Figure 1 — the synthetic expected-effect pair: an imbalanced 4-rank
+  application before and after giving the bottleneck more resources.
+* Figures 2-4 — per-case traces of MetBench / BT-MZ / SIESTA; use
+  :func:`case_trace` with the corresponding suite and case name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.experiments.cases import ExperimentCase, Suite
+from repro.experiments.runner import run_case
+from repro.machine.mapping import ProcessMapping
+from repro.machine.system import System, SystemConfig
+from repro.mpi.runtime import RunResult
+from repro.trace.paraver import render_gantt, render_legend
+from repro.workloads.generators import barrier_loop_programs, one_heavy_works
+
+__all__ = ["figure1_traces", "case_trace"]
+
+
+def figure1_traces(
+    system: Optional[System] = None,
+    width: int = 90,
+    iterations: int = 3,
+    heavy_factor: float = 3.0,
+) -> Tuple[str, str, RunResult, RunResult]:
+    """The paper's Figure 1: (a) imbalanced vs (b) rebalanced.
+
+    Rank 0 (P1) carries ``heavy_factor`` times the work of the others; in
+    (b) it is favoured by a priority gap of 1 over its core sibling P2 —
+    enough to speed P1 up without making the penalised P2 the new
+    bottleneck (a gap of 2 would overshoot at this work ratio, the
+    paper's MetBench case-D lesson).
+    Returns the two rendered charts plus the underlying results.
+    """
+    system = system or System(SystemConfig())
+    works = one_heavy_works(4, base=2e9, heavy_factor=heavy_factor, heavy_rank=0)
+    mapping = ProcessMapping.identity(4)
+
+    before = system.run(
+        barrier_loop_programs(works, iterations=iterations),
+        mapping=mapping,
+        label="figure1a: imbalanced",
+    )
+    after = system.run(
+        barrier_loop_programs(works, iterations=iterations),
+        mapping=mapping,
+        priorities={0: 5, 1: 4, 2: 4, 3: 4},
+        label="figure1b: P1 given more hardware resources",
+    )
+    chart_a = render_gantt(before.trace, width=width) + "\n" + render_legend()
+    chart_b = render_gantt(after.trace, width=width) + "\n" + render_legend()
+    return chart_a, chart_b, before, after
+
+
+def case_trace(
+    suite: Suite,
+    case_name: str,
+    system: Optional[System] = None,
+    width: int = 90,
+) -> Tuple[str, RunResult]:
+    """One panel of Figures 2/3/4: the trace of a named case."""
+    system = system or System(SystemConfig())
+    case = suite.case(case_name)
+    result = run_case(system, suite, case)
+    chart = (
+        render_gantt(result.run.trace, width=width)
+        + "\n"
+        + render_legend()
+    )
+    return chart, result.run

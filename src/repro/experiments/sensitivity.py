@@ -1,0 +1,124 @@
+"""Sensitivity analysis: do the conclusions survive the model knobs?
+
+A simulation-based reproduction is only as good as its robustness: if the
+paper's qualitative results (case C beats A, case D loses, the gap cliff)
+held only at one magic value of a calibration constant, they would be an
+artefact of tuning, not of the mechanism. This harness re-runs a suite's
+key cases across a sweep of one :class:`~repro.smt.analytic.
+AnalyticModelConfig` field and reports how the outcomes move.
+
+Used by ``benchmarks/bench_ablation_sensitivity.py`` and directly::
+
+    from repro.experiments.sensitivity import sweep_model_knob
+    rows = sweep_model_knob("congestion_cycles", [75, 150, 300])
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.cases import Suite, metbench_suite
+from repro.experiments.runner import run_suite
+from repro.machine.system import System, SystemConfig
+from repro.smt.analytic import AnalyticModelConfig
+from repro.util.tables import TextTable
+
+__all__ = ["KnobOutcome", "sweep_model_knob", "sensitivity_table", "conclusions_hold"]
+
+
+@dataclass(frozen=True)
+class KnobOutcome:
+    """Suite outcomes at one knob value."""
+
+    knob: str
+    value: float
+    exec_seconds: Tuple[Tuple[str, float], ...]  # (case name, time)
+
+    @property
+    def times(self) -> Dict[str, float]:
+        return dict(self.exec_seconds)
+
+    def improvement(self, case: str, reference: str = "A") -> float:
+        """Percent improvement of ``case`` over ``reference`` (positive
+        = faster)."""
+        t = self.times
+        return (t[reference] - t[case]) / t[reference] * 100.0
+
+
+def sweep_model_knob(
+    knob: str,
+    values: Sequence[float],
+    suite_factory: Optional[Callable[[], Suite]] = None,
+    cases: Sequence[str] = ("A", "C", "D"),
+) -> List[KnobOutcome]:
+    """Run the suite's ``cases`` at each value of one analytic-model knob.
+
+    The workload is **re-calibrated per knob value** (the suite factory
+    sees the modified model through the default model construction), so
+    the comparison isolates the knob's effect on the *predictions* for
+    cases B-D, exactly as the calibration contract intends.
+    """
+    if not values:
+        raise ConfigurationError("sweep needs at least one knob value")
+    if knob not in {f.name for f in dataclasses.fields(AnalyticModelConfig)}:
+        raise ConfigurationError(
+            f"unknown AnalyticModelConfig field {knob!r}"
+        )
+    outcomes: List[KnobOutcome] = []
+    for value in values:
+        analytic = dataclasses.replace(AnalyticModelConfig(), **{knob: value})
+        system = System(SystemConfig(analytic=analytic))
+        if suite_factory is None:
+            suite = metbench_suite(iterations=4, model=system.model)
+        else:
+            suite = suite_factory()
+        results = run_suite(suite, system, cases=list(cases))
+        outcomes.append(
+            KnobOutcome(
+                knob=knob,
+                value=float(value),
+                exec_seconds=tuple(
+                    (r.case.name, r.measured_exec) for r in results
+                ),
+            )
+        )
+    return outcomes
+
+
+def sensitivity_table(outcomes: Sequence[KnobOutcome]) -> TextTable:
+    """Render a sweep as a paper-style table."""
+    if not outcomes:
+        raise ConfigurationError("no outcomes to tabulate")
+    case_names = [name for name, _ in outcomes[0].exec_seconds]
+    headers = [outcomes[0].knob] + [f"{c} exec" for c in case_names]
+    if "C" in case_names and "A" in case_names:
+        headers.append("C vs A")
+    if "D" in case_names and "A" in case_names:
+        headers.append("D vs A")
+    table = TextTable(headers, title=f"Sensitivity: {outcomes[0].knob}")
+    for o in outcomes:
+        row = [f"{o.value:g}"] + [f"{t:.2f}s" for _, t in o.exec_seconds]
+        if "C" in o.times and "A" in o.times:
+            row.append(f"{-o.improvement('C'):+.1f}%")
+        if "D" in o.times and "A" in o.times:
+            row.append(f"{-o.improvement('D'):+.1f}%")
+        table.add_row(row)
+    return table
+
+
+def conclusions_hold(outcomes: Sequence[KnobOutcome]) -> bool:
+    """The paper's qualitative claims at every knob value.
+
+    * the balanced case C is at least as fast as the reference A, and
+    * the over-boosted case D is slower than A.
+    """
+    for o in outcomes:
+        t = o.times
+        if "C" in t and "A" in t and t["C"] > t["A"] * 1.005:
+            return False
+        if "D" in t and "A" in t and t["D"] <= t["A"]:
+            return False
+    return True

@@ -1,0 +1,48 @@
+"""Table III reproduction: the special-case arbitration regimes."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.smt.decode import ArbitrationMode, decode_allocation
+from repro.util.tables import TextTable
+
+__all__ = ["special_cases_table", "SPECIAL_CASES"]
+
+#: (prio_a, prio_b) pairs covering every row of paper Table III, with the
+#: expected qualitative regime.
+SPECIAL_CASES: List[Tuple[int, int, ArbitrationMode, str]] = [
+    (4, 4, ArbitrationMode.NORMAL,
+     "decode cycles given per thread priorities (Table II)"),
+    (1, 4, ArbitrationMode.LEFTOVER,
+     "ThreadB gets all execution resources; ThreadA takes what is left over"),
+    (1, 1, ArbitrationMode.POWER_SAVE,
+     "power save mode; both threads receive 1 of 64 decode cycles"),
+    (0, 4, ArbitrationMode.SINGLE_THREAD,
+     "processor in ST mode; ThreadB receives all the resources"),
+    (0, 1, ArbitrationMode.SINGLE_THREAD_SLOW,
+     "1 of 32 cycles are given to ThreadB"),
+    (0, 0, ArbitrationMode.STOPPED, "processor is stopped"),
+]
+
+
+def special_cases_table() -> TextTable:
+    """Render Table III from the arbitration law (verified in tests)."""
+    table = TextTable(
+        ["Thr.A", "Thr.B", "Mode", "Share A", "Share B", "Action"],
+        title="Table III: resource allocation when priorities are 0 or 1",
+    )
+    for pa, pb, expected_mode, action in SPECIAL_CASES:
+        alloc = decode_allocation(pa, pb)
+        assert alloc.mode is expected_mode, (pa, pb, alloc.mode)
+        table.add_row(
+            [
+                pa,
+                pb,
+                alloc.mode.value,
+                f"{alloc.share_a:.4f}",
+                f"{alloc.share_b:.4f}",
+                action,
+            ]
+        )
+    return table

@@ -1,0 +1,37 @@
+"""Simulated Linux kernel layer for the POWER5 priority mechanism.
+
+The paper modifies Linux 2.6.19.2 in two ways (section VI):
+
+1. interrupt/exception/syscall handlers no longer reset the hardware
+   thread priority to MEDIUM, and
+2. a ``/proc/<PID>/hmt_priority`` file lets userspace set any OS-level
+   priority (1-6) for a process.
+
+This subpackage models both the *standard* kernel (whose resets defeat
+any static priority assignment) and the *patched* kernel, plus the
+privilege rules of the hardware interface, interrupt and OS-noise event
+sources, and the pinning scheduler that places MPI ranks on logical CPUs.
+"""
+
+from repro.kernel.hmt import HmtController, Actor
+from repro.kernel.procfs import ProcFs
+from repro.kernel.scheduler import PinnedScheduler
+from repro.kernel.interrupts import InterruptSource, TimerTickSource, KernelEvent
+from repro.kernel.noise import NoiseSource, NoiseConfig, make_noise_sources
+from repro.kernel.kernel import KernelModel, StandardLinux, PatchedLinux
+
+__all__ = [
+    "HmtController",
+    "Actor",
+    "ProcFs",
+    "PinnedScheduler",
+    "InterruptSource",
+    "TimerTickSource",
+    "KernelEvent",
+    "NoiseSource",
+    "NoiseConfig",
+    "make_noise_sources",
+    "KernelModel",
+    "StandardLinux",
+    "PatchedLinux",
+]

@@ -1,0 +1,146 @@
+"""Hardware-thread-priority control with POWER5 privilege enforcement.
+
+The chip itself (:class:`repro.smt.chip.Power5Chip`) will store any
+priority 0-7; *who* may request which value is a software contract
+(paper Table I): user code 2-4, the OS additionally 1, 5, 6, the
+hypervisor 0 and 7. :class:`HmtController` is the single gate through
+which every priority write in the simulation flows, so experiments can
+also audit the history of writes.
+
+Both hardware interfaces are modelled: the ``or Rx,Rx,Rx`` nop encoding
+and the ``mtspr`` write to the Thread Status Register.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import PrivilegeError
+from repro.smt.chip import Power5Chip
+from repro.smt.priorities import (
+    HardwarePriority,
+    PrivilegeLevel,
+    can_set_priority,
+    priority_for_or_nop,
+    validate_priority,
+)
+
+__all__ = ["Actor", "PriorityWrite", "HmtController"]
+
+
+class Actor(enum.Enum):
+    """Software actors, each with a fixed privilege level."""
+
+    USER = "user"
+    OS = "os"
+    HYPERVISOR = "hypervisor"
+
+    @property
+    def privilege(self) -> PrivilegeLevel:
+        return {
+            Actor.USER: PrivilegeLevel.USER,
+            Actor.OS: PrivilegeLevel.SUPERVISOR,
+            Actor.HYPERVISOR: PrivilegeLevel.HYPERVISOR,
+        }[self]
+
+
+@dataclass(frozen=True)
+class PriorityWrite:
+    """Audit record of one successful priority write."""
+
+    time: float
+    cpu: int
+    priority: int
+    actor: Actor
+    via: str  # "or-nop" | "mtspr" | "kernel"
+
+
+class HmtController:
+    """Privilege-checked access to the chip's hardware thread priorities."""
+
+    def __init__(self, chip: Power5Chip) -> None:
+        self.chip = chip
+        self.history: List[PriorityWrite] = []
+
+    def set_priority(
+        self,
+        cpu: int,
+        priority: int,
+        actor: Actor,
+        time: float = 0.0,
+        via: str = "mtspr",
+    ) -> None:
+        """Set the priority of logical CPU ``cpu``, enforcing privilege.
+
+        Raises
+        ------
+        PrivilegeError
+            If ``actor`` lacks the privilege for ``priority``; the write
+            does not happen (the real hardware treats the or-nop as a
+            plain nop in that case — callers who want silent-nop
+            semantics use :meth:`try_set_priority`).
+        """
+        prio = validate_priority(priority)
+        if not can_set_priority(actor.privilege, int(prio)):
+            raise PrivilegeError(actor.value, int(prio), _allowed_str(actor))
+        self.chip.set_priority(cpu, int(prio))
+        self.history.append(PriorityWrite(time, cpu, int(prio), actor, via))
+
+    def try_set_priority(
+        self,
+        cpu: int,
+        priority: int,
+        actor: Actor,
+        time: float = 0.0,
+        via: str = "or-nop",
+    ) -> bool:
+        """Like :meth:`set_priority` but a privilege violation is a no-op
+        (the hardware behaviour of an unprivileged priority nop)."""
+        try:
+            self.set_priority(cpu, priority, actor, time, via)
+            return True
+        except PrivilegeError:
+            return False
+
+    def or_nop(self, cpu: int, register: int, actor: Actor, time: float = 0.0) -> bool:
+        """Execute ``or register,register,register`` on ``cpu``.
+
+        Returns True if the priority changed (False for an unprivileged
+        attempt, which the hardware executes as a plain nop).
+        """
+        prio = priority_for_or_nop(register)
+        return self.try_set_priority(cpu, int(prio), actor, time, via="or-nop")
+
+    def or_nop_priority(self, cpu: int, priority: int, time: float = 0.0) -> bool:
+        """Set ``priority`` from *user* code via its nop encoding.
+
+        The convenience entry point for in-program priority changes: user
+        privilege, silent no-op when the level is supervisor/hypervisor
+        only — the hardware's behaviour for an unprivileged priority nop.
+        """
+        return self.try_set_priority(cpu, priority, Actor.USER, time, via="or-nop")
+
+    def read_tsr(self, cpu: int) -> HardwarePriority:
+        """Read the thread's current priority (the ``mfspr`` TSR path)."""
+        return self.chip.priority(cpu)
+
+    def priorities(self) -> Tuple[HardwarePriority, ...]:
+        """All logical CPUs' current priorities, by cpu id."""
+        return tuple(self.chip.priority(cpu) for cpu in self.chip.cpus)
+
+    def last_write(self, cpu: Optional[int] = None) -> Optional[PriorityWrite]:
+        """Most recent write (optionally restricted to one cpu)."""
+        for w in reversed(self.history):
+            if cpu is None or w.cpu == cpu:
+                return w
+        return None
+
+
+def _allowed_str(actor: Actor) -> str:
+    return {
+        Actor.USER: "2-4",
+        Actor.OS: "1-6",
+        Actor.HYPERVISOR: "0-7",
+    }[actor]

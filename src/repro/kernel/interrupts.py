@@ -1,0 +1,134 @@
+"""Interrupt event sources.
+
+Interrupts matter to the paper for one specific reason: the *standard*
+Linux kernel resets the hardware thread priority to MEDIUM on every
+interrupt/exception/syscall entry (section VI-A), so any priority a
+balancer sets survives only until the next timer tick — at HZ=250 that
+is at most 4 ms. The patched kernel removes the reset. Both behaviours
+live in :mod:`repro.kernel.kernel`; this module only generates the event
+streams.
+
+Two sources are provided: the periodic timer tick, and a Poisson stream
+of external/device interrupts which (like the Intel "interrupt
+annoyance problem" the paper cites) can be routed entirely to CPU0.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["KernelEvent", "InterruptSource", "TimerTickSource", "merge_sources"]
+
+
+@dataclass(frozen=True, order=True)
+class KernelEvent:
+    """One kernel-level event hitting a CPU.
+
+    ``duration`` is the handler's execution time, during which the
+    application process on that CPU makes no progress.
+    """
+
+    time: float
+    cpu: int
+    duration: float
+    kind: str = "interrupt"
+
+    def __post_init__(self) -> None:
+        check_non_negative("event.time", self.time)
+        check_non_negative("event.duration", self.duration)
+
+
+class TimerTickSource:
+    """The periodic scheduler tick on every CPU.
+
+    Parameters
+    ----------
+    hz:
+        Tick frequency (Linux 2.6.19 defaults to 250 on ppc64).
+    handler_seconds:
+        Cost of one tick handler (a few microseconds).
+    cpus:
+        CPUs receiving ticks.
+    """
+
+    def __init__(
+        self,
+        cpus: Sequence[int],
+        hz: float = 250.0,
+        handler_seconds: float = 3e-6,
+        phase_stagger: bool = True,
+    ) -> None:
+        check_positive("hz", hz)
+        check_non_negative("handler_seconds", handler_seconds)
+        if not cpus:
+            raise ConfigurationError("TimerTickSource needs at least one cpu")
+        self.cpus = list(cpus)
+        self.hz = float(hz)
+        self.handler_seconds = float(handler_seconds)
+        self.phase_stagger = phase_stagger
+
+    def events(self, t_end: float, t_start: float = 0.0) -> Iterator[KernelEvent]:
+        """Ticks in ``[t_start, t_end)``, time-ordered."""
+        period = 1.0 / self.hz
+        events: List[KernelEvent] = []
+        for i, cpu in enumerate(self.cpus):
+            offset = (i / len(self.cpus)) * period if self.phase_stagger else 0.0
+            k = max(0, int(np.ceil((t_start - offset) / period)))
+            t = offset + k * period
+            while t < t_end:
+                events.append(KernelEvent(t, cpu, self.handler_seconds, "tick"))
+                t += period
+        events.sort()
+        return iter(events)
+
+
+class InterruptSource:
+    """Poisson device-interrupt stream, optionally routed to one CPU.
+
+    Models the paper's "interrupt annoyance problem": external interrupts
+    all routed to CPU0 make the OS noise on CPU0 higher than elsewhere.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        rate_hz: float,
+        handler_seconds: float = 20e-6,
+        cpu: int = 0,
+    ) -> None:
+        check_non_negative("rate_hz", rate_hz)
+        check_non_negative("handler_seconds", handler_seconds)
+        if cpu < 0:
+            raise ConfigurationError(f"cpu must be >= 0, got {cpu}")
+        self.rng = rng
+        self.rate_hz = float(rate_hz)
+        self.handler_seconds = float(handler_seconds)
+        self.cpu = cpu
+
+    def events(self, t_end: float, t_start: float = 0.0) -> Iterator[KernelEvent]:
+        """Arrivals in ``[t_start, t_end)``, time-ordered."""
+        if self.rate_hz == 0.0:
+            return iter(())
+        events: List[KernelEvent] = []
+        t = t_start
+        while True:
+            t += float(self.rng.exponential(1.0 / self.rate_hz))
+            if t >= t_end:
+                break
+            events.append(KernelEvent(t, self.cpu, self.handler_seconds, "irq"))
+        return iter(events)
+
+
+def merge_sources(
+    sources: Sequence[object], t_end: float, t_start: float = 0.0
+) -> Iterator[KernelEvent]:
+    """Time-ordered merge of several sources' event streams."""
+    iterators = [src.events(t_end, t_start) for src in sources]
+    return iter(heapq.merge(*iterators))

@@ -1,0 +1,12 @@
+"""Machine assembly: chip + kernel + runtime wired into one system."""
+
+from repro.machine.mapping import ProcessMapping, paper_mapping, paired_mapping
+from repro.machine.system import System, SystemConfig
+
+__all__ = [
+    "ProcessMapping",
+    "paper_mapping",
+    "paired_mapping",
+    "System",
+    "SystemConfig",
+]

@@ -1,0 +1,117 @@
+"""Rank-to-CPU mappings, including the paper's layouts.
+
+Which ranks share a core is half of the paper's tuning story (the other
+half being the priorities): for BT-MZ the authors moved the heaviest rank
+(P4) onto the same core as the lightest (P1) so P4 could be boosted at
+P1's expense without creating a new bottleneck.
+
+Logical CPU numbering follows the chip: CPUs (0, 1) are core 0's two
+contexts, (2, 3) core 1's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import MappingError
+
+__all__ = ["ProcessMapping", "paper_mapping", "paired_mapping"]
+
+
+@dataclass(frozen=True)
+class ProcessMapping:
+    """Injective rank -> logical CPU assignment."""
+
+    rank_to_cpu: Tuple[Tuple[int, int], ...]
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[int, int]) -> "ProcessMapping":
+        return cls(tuple(sorted(mapping.items())))
+
+    @classmethod
+    def identity(cls, n_ranks: int) -> "ProcessMapping":
+        """The paper's reference layout: ``Pi`` on ``CPUi``."""
+        if n_ranks <= 0:
+            raise MappingError(f"n_ranks must be > 0, got {n_ranks}")
+        return cls(tuple((r, r) for r in range(n_ranks)))
+
+    def __post_init__(self) -> None:
+        ranks = [r for r, _ in self.rank_to_cpu]
+        cpus = [c for _, c in self.rank_to_cpu]
+        if ranks != list(range(len(ranks))):
+            raise MappingError(f"ranks must be 0..n-1, got {ranks}")
+        if len(set(cpus)) != len(cpus):
+            raise MappingError(f"duplicate cpus in mapping: {cpus}")
+        if any(c < 0 for c in cpus):
+            raise MappingError(f"negative cpu in mapping: {cpus}")
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.rank_to_cpu)
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self.rank_to_cpu)
+
+    def cpu_of(self, rank: int) -> int:
+        try:
+            return dict(self.rank_to_cpu)[rank]
+        except KeyError:
+            raise MappingError(f"no rank {rank} in mapping") from None
+
+    def core_of(self, rank: int) -> int:
+        """Core index (2 contexts per core)."""
+        return self.cpu_of(rank) // 2
+
+    def core_pairs(self) -> List[Tuple[int, ...]]:
+        """Ranks grouped by the core they share, ordered by core id."""
+        by_core: Dict[int, List[int]] = {}
+        for rank, cpu in self.rank_to_cpu:
+            by_core.setdefault(cpu // 2, []).append(rank)
+        return [tuple(sorted(by_core[c])) for c in sorted(by_core)]
+
+    def sibling_of(self, rank: int) -> int:
+        """The rank sharing a core with ``rank`` (-1 if alone)."""
+        core = self.core_of(rank)
+        for other, cpu in self.rank_to_cpu:
+            if other != rank and cpu // 2 == core:
+                return other
+        return -1
+
+
+def paper_mapping(case: str) -> ProcessMapping:
+    """The 4-rank mappings used in the paper's experiments.
+
+    ``"identity"``
+        Pi on CPUi — reference cases (MetBench all cases; BT-MZ/SIESTA
+        case A). Core 0 hosts P1, P2; core 1 hosts P3, P4.
+    ``"btmz"``
+        BT-MZ cases B-D: P1 with P4 on one core (lightest with heaviest),
+        P2 with P3 on the other.
+    ``"siesta"``
+        SIESTA cases B-D: P2 with P3 on core 0, P1 with P4 on core 1.
+    """
+    if case == "identity":
+        return ProcessMapping.identity(4)
+    if case == "btmz":
+        # P1 core0, P2 core1, P3 core1, P4 core0 (paper Table V, cases B-D).
+        return ProcessMapping.from_dict({0: 0, 1: 2, 2: 3, 3: 1})
+    if case == "siesta":
+        # P1 core1, P2 core0, P3 core0, P4 core1 (paper Table VI, cases B-D).
+        return ProcessMapping.from_dict({0: 2, 1: 0, 2: 1, 3: 3})
+    raise MappingError(f"unknown paper mapping {case!r}")
+
+
+def paired_mapping(pairs: Sequence[Tuple[int, int]]) -> ProcessMapping:
+    """Build a mapping from explicit core-sharing pairs.
+
+    ``pairs[i]`` gives the two ranks placed on core ``i`` (first rank on
+    the even context).
+    """
+    mapping: Dict[int, int] = {}
+    for core, (a, b) in enumerate(pairs):
+        if a == b:
+            raise MappingError(f"core {core} pairs rank {a} with itself")
+        mapping[a] = 2 * core
+        mapping[b] = 2 * core + 1
+    return ProcessMapping.from_dict(mapping)

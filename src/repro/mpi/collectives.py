@@ -1,0 +1,154 @@
+"""Collective operations: barrier, bcast, reduce, allreduce, gather, ...
+
+Collectives are modelled at the operation level, not decomposed into
+point-to-point messages: each participating rank *arrives*, spins
+(``SYNC``) until every member of the communicator has arrived, and is
+released after the collective's completion cost. The cost model uses the
+standard logarithmic-tree estimate ``ceil(log2(size)) * (latency +
+bytes/bandwidth)`` — adequate for a 4-rank shared-memory machine, and
+the paper's applications spend well under 1 % of their time inside the
+transfers themselves (the *waiting* is what matters, and that is exact).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import MpiError
+from repro.mpi.communicator import Communicator
+from repro.mpi.p2p import CommCosts
+
+__all__ = ["CollectiveKind", "CollectiveManager"]
+
+
+#: Collectives that move per-rank payloads proportional to size.
+_ALL_TO_ONE = ("reduce", "gather")
+_ONE_TO_ALL = ("bcast", "scatter")
+_ALL_TO_ALL = ("allreduce", "allgather", "alltoall")
+CollectiveKind = str
+_VALID_KINDS: Tuple[str, ...] = ("barrier",) + _ALL_TO_ONE + _ONE_TO_ALL + _ALL_TO_ALL
+
+
+@dataclass
+class _PendingCollective:
+    comm: Communicator
+    kind: str
+    nbytes: int
+    arrived: Dict[int, float] = field(default_factory=dict)  # world rank -> time
+
+
+class CollectiveManager:
+    """Tracks in-flight collectives per (communicator, sequence number).
+
+    Each rank's n-th collective on a communicator pairs with everyone
+    else's n-th — MPI's ordering rule. Mismatched kinds on the same slot
+    are programming errors and raise.
+    """
+
+    def __init__(self, costs: Optional[CommCosts] = None, pair_costs=None) -> None:
+        self.costs = costs or CommCosts()
+        #: Optional per-rank-pair cost resolver (multi-node machines): a
+        #: collective's steps run at the *worst* pair's parameters.
+        self._pair_costs = pair_costs
+        self._worst_cache: Dict[int, CommCosts] = {}
+        self._seq: Dict[Tuple[int, int], int] = {}  # (comm id, world rank) -> count
+        self._pending: Dict[Tuple[int, int], _PendingCollective] = {}
+        self.completed = 0
+
+    def _worst_costs(self, comm: Communicator) -> CommCosts:
+        if self._pair_costs is None:
+            return self.costs
+        cached = self._worst_cache.get(comm.id)
+        if cached is not None:
+            return cached
+        ranks = comm.world_ranks
+        latency = self.costs.latency
+        bandwidth = self.costs.bandwidth
+        for i, a in enumerate(ranks):
+            for b in ranks[i + 1 :]:
+                c = self._pair_costs(a, b)
+                latency = max(latency, c.latency)
+                bandwidth = min(bandwidth, c.bandwidth)
+        worst = CommCosts(
+            latency=latency,
+            bandwidth=bandwidth,
+            eager_threshold=self.costs.eager_threshold,
+            call_overhead=self.costs.call_overhead,
+        )
+        self._worst_cache[comm.id] = worst
+        return worst
+
+    def completion_cost(self, comm: Communicator, kind: str, nbytes: int) -> float:
+        """Time from last arrival to release."""
+        costs = self._worst_costs(comm)
+        steps = max(1, math.ceil(math.log2(max(2, comm.size))))
+        if kind == "barrier":
+            return steps * costs.latency
+        per_step = costs.latency + nbytes / costs.bandwidth
+        if kind in _ALL_TO_ALL:
+            return 2 * steps * per_step
+        return steps * per_step
+
+    def arrive(
+        self,
+        comm: Communicator,
+        world_rank: int,
+        kind: str,
+        nbytes: int,
+        time: float,
+    ) -> Optional[Tuple[float, List[int]]]:
+        """Rank ``world_rank`` enters its next collective on ``comm``.
+
+        Returns ``None`` while the collective is incomplete; when the
+        last rank arrives, returns ``(release_time, world_ranks)`` for
+        the runtime to schedule.
+        """
+        if kind not in _VALID_KINDS:
+            raise MpiError(f"unknown collective kind {kind!r}")
+        if world_rank not in comm:
+            raise MpiError(f"rank {world_rank} not in {comm.name}")
+        seq_key = (comm.id, world_rank)
+        seq = self._seq.get(seq_key, 0)
+        self._seq[seq_key] = seq + 1
+
+        slot = (comm.id, seq)
+        pending = self._pending.get(slot)
+        if pending is None:
+            pending = _PendingCollective(comm, kind, nbytes)
+            self._pending[slot] = pending
+        else:
+            if pending.kind != kind:
+                raise MpiError(
+                    f"collective mismatch on {comm.name} slot {seq}: "
+                    f"{pending.kind} vs {kind}"
+                )
+        if world_rank in pending.arrived:
+            raise MpiError(
+                f"rank {world_rank} arrived twice at {comm.name} slot {seq}"
+            )
+        pending.arrived[world_rank] = time
+        pending.nbytes = max(pending.nbytes, nbytes)
+        if len(pending.arrived) < comm.size:
+            return None
+        del self._pending[slot]
+        self.completed += 1
+        release = max(pending.arrived.values()) + self.completion_cost(
+            comm, kind, pending.nbytes
+        )
+        return release, comm.world_ranks
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    def pending_summary(self) -> str:
+        """Human-readable dump for deadlock reports."""
+        parts = []
+        for (comm_id, seq), p in self._pending.items():
+            waiting = sorted(set(p.comm.world_ranks) - set(p.arrived))
+            parts.append(
+                f"{p.kind} on {p.comm.name} (slot {seq}): waiting for ranks {waiting}"
+            )
+        return "; ".join(parts) if parts else "none"

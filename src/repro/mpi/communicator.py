@@ -1,0 +1,87 @@
+"""Communicators: rank groups for point-to-point and collective ops."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import RankError
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """A group of ranks with its own rank numbering.
+
+    Ranks are identified by their *world* rank internally; a communicator
+    maps its local ranks 0..size-1 onto world ranks, like a communicator
+    produced by ``MPI_Comm_split``.
+    """
+
+    _ids = iter(range(1, 1 << 30))
+
+    def __init__(self, world_ranks: Sequence[int], name: str = "comm") -> None:
+        if not world_ranks:
+            raise RankError("a communicator needs at least one rank")
+        if len(set(world_ranks)) != len(world_ranks):
+            raise RankError(f"duplicate ranks in communicator: {list(world_ranks)}")
+        if any(r < 0 for r in world_ranks):
+            raise RankError(f"negative world rank in {list(world_ranks)}")
+        self.id = next(self._ids)
+        self.name = name
+        self._world_ranks: List[int] = list(world_ranks)
+        self._local_of = {w: i for i, w in enumerate(self._world_ranks)}
+
+    @classmethod
+    def world(cls, n_ranks: int) -> "Communicator":
+        """``MPI_COMM_WORLD`` over ranks 0..n_ranks-1."""
+        return cls(list(range(n_ranks)), name="MPI_COMM_WORLD")
+
+    @property
+    def size(self) -> int:
+        return len(self._world_ranks)
+
+    @property
+    def world_ranks(self) -> List[int]:
+        return list(self._world_ranks)
+
+    def world_rank(self, local_rank: int) -> int:
+        """World rank of ``local_rank`` in this communicator."""
+        try:
+            return self._world_ranks[local_rank]
+        except IndexError:
+            raise RankError(
+                f"local rank {local_rank} out of range 0..{self.size - 1} in {self.name}"
+            ) from None
+
+    def local_rank(self, world_rank: int) -> int:
+        """This communicator's rank number for ``world_rank``."""
+        try:
+            return self._local_of[world_rank]
+        except KeyError:
+            raise RankError(f"world rank {world_rank} not in {self.name}") from None
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._local_of
+
+    def split(self, colors: Sequence[int]) -> List["Communicator"]:
+        """``MPI_Comm_split``: one communicator per distinct color.
+
+        ``colors[i]`` is the color of this communicator's local rank i;
+        negative colors (``MPI_UNDEFINED``) join no new communicator.
+        """
+        if len(colors) != self.size:
+            raise RankError(
+                f"need one color per rank: got {len(colors)} for size {self.size}"
+            )
+        groups: dict = {}
+        for local, color in enumerate(colors):
+            if color < 0:
+                continue
+            groups.setdefault(color, []).append(self._world_ranks[local])
+        return [
+            Communicator(ranks, name=f"{self.name}.split({color})")
+            for color, ranks in sorted(groups.items())
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Communicator({self.name!r}, size={self.size})"

@@ -1,0 +1,37 @@
+"""MPI-like datatype tags and message sizing."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import MpiError
+
+__all__ = ["Datatype", "ANY_SOURCE", "ANY_TAG", "message_bytes"]
+
+#: Wildcard source for receives (matches any sender).
+ANY_SOURCE: int = -1
+#: Wildcard tag for receives (matches any tag).
+ANY_TAG: int = -1
+
+
+class Datatype(enum.Enum):
+    """Element types with their wire sizes in bytes."""
+
+    BYTE = 1
+    INT = 4
+    FLOAT = 4
+    DOUBLE = 8
+    COMPLEX = 16
+
+    @property
+    def size(self) -> int:
+        return self.value
+
+
+def message_bytes(count: int, datatype: Datatype = Datatype.DOUBLE) -> int:
+    """Wire size of ``count`` elements of ``datatype``."""
+    if count < 0:
+        raise MpiError(f"negative element count: {count}")
+    if not isinstance(datatype, Datatype):
+        raise MpiError(f"not a Datatype: {datatype!r}")
+    return count * datatype.size

@@ -1,0 +1,67 @@
+"""Nonblocking-operation requests (``MPI_Request`` equivalents)."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from repro.errors import RequestError
+from repro.mpi.status import Status
+
+__all__ = ["RequestKind", "Request"]
+
+_request_ids = itertools.count(1)
+
+
+class RequestKind(enum.Enum):
+    SEND = "send"
+    RECV = "recv"
+
+
+class Request:
+    """Handle for an in-flight nonblocking operation.
+
+    Created by the runtime when a rank posts ``isend``/``irecv``;
+    completed by the message engine when the (matched) transfer finishes.
+    Rank programs hold these and pass them to ``wait``/``waitall``.
+    """
+
+    def __init__(self, kind: RequestKind, owner_rank: int) -> None:
+        self.id: int = next(_request_ids)
+        self.kind = kind
+        self.owner_rank = owner_rank
+        self._done = False
+        self._status: Optional[Status] = None
+        self._freed = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def status(self) -> Optional[Status]:
+        """The receive status (None for sends or while pending)."""
+        return self._status
+
+    def complete(self, status: Optional[Status] = None) -> None:
+        """Mark complete (runtime-internal)."""
+        if self._freed:
+            raise RequestError(f"request {self.id} completed after free")
+        if self._done:
+            raise RequestError(f"request {self.id} completed twice")
+        self._done = True
+        self._status = status
+
+    def free(self) -> None:
+        """Release the handle; waiting on it afterwards is an error."""
+        self._freed = True
+
+    def check_waitable(self) -> None:
+        """Raise if this request may not be waited on."""
+        if self._freed:
+            raise RequestError(f"cannot wait on freed request {self.id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "pending"
+        return f"Request(id={self.id}, {self.kind.value}, rank={self.owner_rank}, {state})"

@@ -1,0 +1,22 @@
+"""Receive status objects, mirroring ``MPI_Status``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status"]
+
+
+@dataclass(frozen=True)
+class Status:
+    """What a completed receive learned about its message."""
+
+    source: int
+    tag: int
+    nbytes: int
+    #: Simulation time at which the message was fully received.
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size: {self.nbytes}")

@@ -1,0 +1,142 @@
+"""The POWER5 chip: two SMT cores behind a shared L2/L3.
+
+Hardware contexts are addressed two ways:
+
+* ``(core, thread)`` pairs inside the SMT layer, and
+* flat *logical CPU* ids 0..3, matching how Linux enumerates them and how
+  the paper labels processes (``P1`` on ``CPU0`` = core 0 thread 0, ...).
+
+:class:`Power5Chip` owns the cores and the translation between the two
+addressings; the kernel scheduler and the MPI runtime talk logical CPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.smt.core import CoreSnapshot, SmtCore
+from repro.smt.instructions import LoadProfile
+from repro.smt.priorities import HardwarePriority
+from repro.util.units import POWER5_FREQ_HZ
+from repro.util.validation import check_positive
+
+__all__ = ["HardwareContextId", "ChipConfig", "Power5Chip"]
+
+
+@dataclass(frozen=True, order=True)
+class HardwareContextId:
+    """Address of one hardware context: ``(core, thread)``."""
+
+    core: int
+    thread: int
+
+    def __post_init__(self) -> None:
+        if self.core < 0 or self.thread < 0:
+            raise ConfigurationError(f"invalid hardware context {self}")
+
+    @property
+    def sibling(self) -> "HardwareContextId":
+        """The other context on the same core."""
+        return HardwareContextId(self.core, 1 - self.thread)
+
+    def __str__(self) -> str:
+        return f"core{self.core}.t{self.thread}"
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Static chip parameters (the paper's machine is the default)."""
+
+    n_cores: int = 2
+    threads_per_core: int = 2
+    freq_hz: float = POWER5_FREQ_HZ
+
+    def __post_init__(self) -> None:
+        check_positive("n_cores", self.n_cores)
+        if self.threads_per_core != 2:
+            raise ConfigurationError(
+                "the POWER5 model supports exactly 2 threads per core"
+            )
+        check_positive("freq_hz", self.freq_hz)
+
+    @property
+    def n_cpus(self) -> int:
+        """Number of logical CPUs the OS sees."""
+        return self.n_cores * self.threads_per_core
+
+
+class Power5Chip:
+    """A chip of :class:`~repro.smt.core.SmtCore` instances.
+
+    Examples
+    --------
+    >>> chip = Power5Chip()
+    >>> chip.context_of_cpu(3)
+    HardwareContextId(core=1, thread=1)
+    >>> chip.cpu_of_context(HardwareContextId(1, 1))
+    3
+    """
+
+    def __init__(self, config: Optional[ChipConfig] = None) -> None:
+        self.config = config or ChipConfig()
+        self.cores: List[SmtCore] = [SmtCore(i) for i in range(self.config.n_cores)]
+
+    # -- addressing -----------------------------------------------------------
+
+    def context_of_cpu(self, cpu: int) -> HardwareContextId:
+        """Translate a logical CPU id to ``(core, thread)``."""
+        if not 0 <= cpu < self.config.n_cpus:
+            raise ConfigurationError(
+                f"cpu must be in 0..{self.config.n_cpus - 1}, got {cpu}"
+            )
+        return HardwareContextId(cpu // 2, cpu % 2)
+
+    def cpu_of_context(self, ctx: HardwareContextId) -> int:
+        """Translate ``(core, thread)`` to a logical CPU id."""
+        if not 0 <= ctx.core < self.config.n_cores or ctx.thread not in (0, 1):
+            raise ConfigurationError(f"invalid context {ctx} for this chip")
+        return ctx.core * 2 + ctx.thread
+
+    def core_of_cpu(self, cpu: int) -> SmtCore:
+        """The :class:`SmtCore` hosting logical CPU ``cpu``."""
+        return self.cores[self.context_of_cpu(cpu).core]
+
+    @property
+    def cpus(self) -> List[int]:
+        return list(range(self.config.n_cpus))
+
+    # -- state access by logical CPU -------------------------------------------
+
+    def priority(self, cpu: int) -> HardwarePriority:
+        ctx = self.context_of_cpu(cpu)
+        return self.cores[ctx.core].priority(ctx.thread)
+
+    def set_priority(self, cpu: int, priority: int) -> None:
+        ctx = self.context_of_cpu(cpu)
+        self.cores[ctx.core].set_priority(ctx.thread, priority)
+
+    def load(self, cpu: int) -> Optional[LoadProfile]:
+        ctx = self.context_of_cpu(cpu)
+        return self.cores[ctx.core].load(ctx.thread)
+
+    def set_load(self, cpu: int, profile: Optional[LoadProfile]) -> None:
+        ctx = self.context_of_cpu(cpu)
+        self.cores[ctx.core].set_load(ctx.thread, profile)
+
+    # -- snapshots --------------------------------------------------------------
+
+    def snapshot(self) -> Tuple[CoreSnapshot, ...]:
+        """Per-core snapshots, the machine-level throughput key."""
+        return tuple(core.snapshot() for core in self.cores)
+
+    def reset(self) -> None:
+        """Back to power-on defaults: MEDIUM priorities, no loads."""
+        for core in self.cores:
+            for t in (0, 1):
+                core.set_priority(t, 4)
+                core.set_load(t, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Power5Chip(cores={self.cores!r})"

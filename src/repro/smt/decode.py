@@ -1,0 +1,209 @@
+"""Decode-slot arbitration between the two SMT contexts (Tables II & III).
+
+The POWER5 implements thread priorities in the decode stage: decode time
+is divided into slices of ``R`` cycles where
+
+.. math:: R = 2^{|X - Y| + 1}
+
+for thread priorities ``X`` and ``Y``. The lower-priority thread receives
+1 of those ``R`` cycles and the higher-priority thread the other ``R-1``
+(paper Table II). When either priority is 0 or 1 the behaviour changes
+qualitatively (paper Table III):
+
+====== ====== =======================================================
+ A      B      Action
+====== ====== =======================================================
+ >1     >1     normal slicing per priorities (Table II)
+ 1      >1     B gets all decode cycles; A only takes leftovers
+ 1      1      power-save: each thread gets 1 of 64 decode cycles
+ 0      >1     ST mode: B receives all resources
+ 0      1      B receives 1 of 32 cycles
+ 0      0      the core is stopped
+====== ====== =======================================================
+
+This module is pure arbitration law — it maps a priority pair to a
+:class:`DecodeAllocation` (mode + per-thread decode-cycle shares) and to a
+concrete cyclic decode *pattern* used by the cycle-level pipeline model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.smt.priorities import validate_priority
+
+__all__ = [
+    "ArbitrationMode",
+    "DecodeAllocation",
+    "slice_length",
+    "decode_allocation",
+    "decode_share",
+    "decode_pattern",
+    "POWER_SAVE_SLICE",
+    "OFF_VERY_LOW_SLICE",
+]
+
+#: In power-save mode (both priorities 1) each thread decodes 1 of 64 cycles.
+POWER_SAVE_SLICE: int = 64
+#: With one thread off and the other at VERY LOW, the live thread decodes
+#: 1 of 32 cycles.
+OFF_VERY_LOW_SLICE: int = 32
+
+
+class ArbitrationMode(enum.Enum):
+    """Qualitative decode-arbitration regimes of paper Table III."""
+
+    #: Both priorities > 1: Table II slicing applies.
+    NORMAL = "normal"
+    #: One thread at priority 1: the other gets every decode cycle, the
+    #: VERY LOW thread only decodes on cycles its sibling cannot use.
+    LEFTOVER = "leftover"
+    #: Both threads at priority 1: 1-of-64 decode cycles each.
+    POWER_SAVE = "power_save"
+    #: One thread off: the core runs in single-thread mode.
+    SINGLE_THREAD = "single_thread"
+    #: One thread off, the other at priority 1: 1-of-32 decode cycles.
+    SINGLE_THREAD_SLOW = "single_thread_slow"
+    #: Both threads off: the core is stopped.
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class DecodeAllocation:
+    """Resolved arbitration for a priority pair ``(prio_a, prio_b)``.
+
+    Attributes
+    ----------
+    mode:
+        The qualitative regime (see :class:`ArbitrationMode`).
+    slice_cycles:
+        Length of the repeating decode slice in cycles (0 when stopped;
+        1 in single-thread mode).
+    cycles_a, cycles_b:
+        Decode cycles granted to each thread within one slice. In
+        :attr:`ArbitrationMode.LEFTOVER` the VERY LOW thread's grant is 0
+        here — it may still *opportunistically* decode on cycles the
+        favoured thread cannot use, which only the pipeline model can
+        decide; :func:`decode_share` exposes a configurable estimate.
+    """
+
+    mode: ArbitrationMode
+    slice_cycles: int
+    cycles_a: int
+    cycles_b: int
+
+    @property
+    def share_a(self) -> float:
+        """Guaranteed fraction of decode cycles for thread A."""
+        return self.cycles_a / self.slice_cycles if self.slice_cycles else 0.0
+
+    @property
+    def share_b(self) -> float:
+        """Guaranteed fraction of decode cycles for thread B."""
+        return self.cycles_b / self.slice_cycles if self.slice_cycles else 0.0
+
+
+def slice_length(prio_a: int, prio_b: int) -> int:
+    """Table II slice length ``R = 2**(|X-Y|+1)`` for two normal priorities.
+
+    Only meaningful when both priorities are > 1; raises ``ValueError``
+    otherwise (those pairs are governed by Table III, not Table II).
+    """
+    a = validate_priority(prio_a)
+    b = validate_priority(prio_b)
+    if a <= 1 or b <= 1:
+        raise ValueError(
+            f"slice_length is defined for priorities > 1 (Table II); got ({a}, {b})"
+        )
+    return 2 ** (abs(int(a) - int(b)) + 1)
+
+
+def decode_allocation(prio_a: int, prio_b: int) -> DecodeAllocation:
+    """Resolve the full Table II + Table III arbitration for a priority pair."""
+    a = int(validate_priority(prio_a))
+    b = int(validate_priority(prio_b))
+
+    if a == 0 and b == 0:
+        return DecodeAllocation(ArbitrationMode.STOPPED, 0, 0, 0)
+    if a == 0 or b == 0:
+        live = b if a == 0 else a
+        if live == 1:
+            # One thread off, survivor at VERY LOW: 1 of 32 cycles.
+            ca, cb = (0, 1) if a == 0 else (1, 0)
+            return DecodeAllocation(
+                ArbitrationMode.SINGLE_THREAD_SLOW, OFF_VERY_LOW_SLICE, ca, cb
+            )
+        ca, cb = (0, 1) if a == 0 else (1, 0)
+        return DecodeAllocation(ArbitrationMode.SINGLE_THREAD, 1, ca, cb)
+    if a == 1 and b == 1:
+        return DecodeAllocation(ArbitrationMode.POWER_SAVE, POWER_SAVE_SLICE, 1, 1)
+    if a == 1 or b == 1:
+        # Favoured thread receives every decode cycle; the VERY LOW thread
+        # has no guaranteed cycles (leftover-only).
+        ca, cb = (0, 1) if a == 1 else (1, 0)
+        return DecodeAllocation(ArbitrationMode.LEFTOVER, 1, ca, cb)
+
+    r = slice_length(a, b)
+    if a == b:
+        # R == 2: perfectly alternating, one cycle each.
+        return DecodeAllocation(ArbitrationMode.NORMAL, r, 1, 1)
+    if a > b:
+        return DecodeAllocation(ArbitrationMode.NORMAL, r, r - 1, 1)
+    return DecodeAllocation(ArbitrationMode.NORMAL, r, 1, r - 1)
+
+
+def decode_share(
+    prio_a: int, prio_b: int, leftover_fraction: float = 1.0 / 32.0
+) -> Tuple[float, float]:
+    """Fraction of decode cycles each thread receives, as a pair.
+
+    For :attr:`ArbitrationMode.LEFTOVER` pairs, the VERY LOW thread's
+    share depends on how often the favoured thread stalls; callers that
+    have no pipeline model can pass ``leftover_fraction`` (default 1/32,
+    consistent with the priority-0/1 floor of Table III) as an estimate.
+    Shares do not necessarily sum to 1 (power-save mode idles the core
+    62 of 64 cycles).
+    """
+    alloc = decode_allocation(prio_a, prio_b)
+    if alloc.mode is ArbitrationMode.LEFTOVER:
+        if alloc.cycles_a == 0:
+            return (leftover_fraction, 1.0 - leftover_fraction)
+        return (1.0 - leftover_fraction, leftover_fraction)
+    return (alloc.share_a, alloc.share_b)
+
+
+def decode_pattern(prio_a: int, prio_b: int) -> List[Optional[int]]:
+    """The repeating per-cycle decode schedule for a priority pair.
+
+    Returns one slice as a list whose entries are ``0`` (thread A decodes),
+    ``1`` (thread B decodes) or ``None`` (no thread may decode this cycle,
+    as in power-save mode). The favoured thread's burst comes first, which
+    matches the "R-1 then 1" description. For ``LEFTOVER`` mode the
+    pattern is all-favoured; the pipeline model grants the VERY LOW thread
+    a cycle only when the favoured thread cannot decode. For ``STOPPED``
+    the pattern is empty.
+    """
+    alloc = decode_allocation(prio_a, prio_b)
+    pattern: List[Optional[int]] = []
+    if alloc.mode is ArbitrationMode.STOPPED:
+        return pattern
+    if alloc.mode is ArbitrationMode.POWER_SAVE:
+        pattern = [None] * POWER_SAVE_SLICE
+        pattern[0] = 0
+        pattern[POWER_SAVE_SLICE // 2] = 1
+        return pattern
+    if alloc.mode is ArbitrationMode.SINGLE_THREAD_SLOW:
+        live = 1 if alloc.cycles_b else 0
+        pattern = [None] * OFF_VERY_LOW_SLICE
+        pattern[0] = live
+        return pattern
+    if alloc.mode is ArbitrationMode.SINGLE_THREAD:
+        return [1 if alloc.cycles_b else 0]
+    if alloc.mode is ArbitrationMode.LEFTOVER:
+        return [1 if alloc.cycles_b else 0]
+    # NORMAL: favoured thread first for R-1 cycles, then the other for 1.
+    if alloc.cycles_a >= alloc.cycles_b:
+        return [0] * alloc.cycles_a + [1] * alloc.cycles_b
+    return [1] * alloc.cycles_b + [0] * alloc.cycles_a

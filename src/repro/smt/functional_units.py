@@ -1,0 +1,100 @@
+"""Functional units of a POWER5 core and their occupancy accounting.
+
+Each core has two fixed-point units (FXU), two floating-point units
+(FPU), two load/store units (LSU) and a branch unit (BXU), shared by both
+SMT contexts. Latencies are representative POWER5 figures; they only need
+to be *relatively* right for the reproduction (an FPU op costs several
+cycles, an L1-hitting load two, an integer op one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from repro.errors import ConfigurationError
+from repro.smt.instructions import InstrClass
+from repro.util.validation import check_positive
+
+__all__ = ["FunctionalUnitSpec", "FunctionalUnitPool", "POWER5_FU_SPECS"]
+
+
+@dataclass(frozen=True)
+class FunctionalUnitSpec:
+    """Static description of one FU class: how many units, pipe latency."""
+
+    name: str
+    count: int
+    latency: int
+    #: Issue interval: cycles before the same unit accepts another op
+    #: (1 = fully pipelined).
+    initiation_interval: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive(f"{self.name}.count", self.count)
+        check_positive(f"{self.name}.latency", self.latency)
+        check_positive(f"{self.name}.initiation_interval", self.initiation_interval)
+
+
+#: Per-instruction-class FU specs for a POWER5 core.
+POWER5_FU_SPECS: Mapping[InstrClass, FunctionalUnitSpec] = {
+    InstrClass.FXU: FunctionalUnitSpec("FXU", count=2, latency=1),
+    InstrClass.FPU: FunctionalUnitSpec("FPU", count=2, latency=6),
+    InstrClass.LOAD: FunctionalUnitSpec("LSU", count=2, latency=2),
+    InstrClass.STORE: FunctionalUnitSpec("LSU_ST", count=2, latency=1),
+    InstrClass.BRANCH: FunctionalUnitSpec("BXU", count=1, latency=1),
+}
+
+
+class FunctionalUnitPool:
+    """Occupancy tracker for the FUs of one core.
+
+    The pipeline model asks, for an instruction of class ``c`` at cycle
+    ``t``: *when is the earliest a unit of that class can start it?* The
+    pool keeps a next-free-time per unit instance and assigns greedily —
+    an adequate stand-in for issue-queue scheduling at this abstraction
+    level.
+    """
+
+    def __init__(self, specs: Mapping[InstrClass, FunctionalUnitSpec] = POWER5_FU_SPECS) -> None:
+        if not specs:
+            raise ConfigurationError("FunctionalUnitPool needs at least one FU spec")
+        self._specs = dict(specs)
+        self._next_free: Dict[InstrClass, List[int]] = {
+            cls: [0] * spec.count for cls, spec in self._specs.items()
+        }
+        self.issued: Dict[InstrClass, int] = {cls: 0 for cls in self._specs}
+
+    @property
+    def specs(self) -> Mapping[InstrClass, FunctionalUnitSpec]:
+        return self._specs
+
+    def latency(self, cls: InstrClass) -> int:
+        """Base execute latency for an instruction class."""
+        return self._specs[cls].latency
+
+    def issue(self, cls: InstrClass, cycle: int) -> int:
+        """Issue one op of class ``cls`` not earlier than ``cycle``.
+
+        Returns the cycle at which execution *starts* (>= ``cycle``); the
+        result completes at ``start + latency``. Occupies the least-loaded
+        unit instance for the spec's initiation interval.
+        """
+        spec = self._specs[cls]
+        frees = self._next_free[cls]
+        best = min(range(len(frees)), key=frees.__getitem__)
+        start = max(cycle, frees[best])
+        frees[best] = start + spec.initiation_interval
+        self.issued[cls] += 1
+        return start
+
+    def earliest_start(self, cls: InstrClass, cycle: int) -> int:
+        """When could an op of ``cls`` start, without actually issuing it?"""
+        frees = self._next_free[cls]
+        return max(cycle, min(frees))
+
+    def reset(self) -> None:
+        """Clear all occupancy (between measurement windows)."""
+        for cls, spec in self._specs.items():
+            self._next_free[cls] = [0] * spec.count
+            self.issued[cls] = 0

@@ -1,0 +1,272 @@
+"""Cycle-level model of one POWER5-like SMT core pipeline.
+
+This is the *detailed* end of the two-level simulation described in
+DESIGN.md §5. It executes synthetic instruction streams for the core's
+two hardware contexts cycle by cycle:
+
+decode — one context per cycle is allowed to decode, chosen by the
+    priority-driven pattern from :func:`repro.smt.decode.decode_pattern`
+    (Tables II/III). A context decodes up to ``decode_width`` instructions
+    provided it can acquire GCT/rename entries (shared pools).
+issue/execute — each instruction starts when its operands are ready
+    (a probabilistic dependence on its predecessor models the thread's
+    ILP) and a functional unit is free; memory ops add cache latency from
+    the hierarchy model, off-L1 misses additionally need an MSHR.
+complete/retire — instructions retire in order, releasing their shared
+    pool entries. A mispredicted branch blocks its thread's decode until
+    it resolves.
+
+The model is intentionally compact (hundreds of thousands of cycles per
+second in CPython) yet reproduces the phenomena the paper builds on:
+decode-share throttling, super-linear starvation through shared-pool
+hoarding, and spin-waiting siblings stealing real throughput.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.smt.cache import CacheHierarchy
+from repro.smt.decode import ArbitrationMode, decode_allocation, decode_pattern
+from repro.smt.functional_units import FunctionalUnitPool, POWER5_FU_SPECS
+from repro.smt.instructions import InstrClass, InstructionStream, LoadProfile
+from repro.smt.resources import POWER5_RESOURCES, ResourceSpec, SharedResourcePool
+from repro.util.validation import check_positive
+
+__all__ = ["PipelineConfig", "ThreadPerfCounters", "CorePipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tunable parameters of the core model."""
+
+    decode_width: int = 5
+    retire_width: int = 5
+    #: Redirect penalty after a mispredicted branch resolves.
+    branch_flush_penalty: int = 7
+    #: Probability that an instruction depends on its immediate
+    #: predecessor is ``1/ilp`` of its thread's profile.
+    gct_spec: ResourceSpec = POWER5_RESOURCES["gct"]
+    rename_spec: ResourceSpec = POWER5_RESOURCES["rename"]
+    #: Rename registers consumed per decoded instruction (coarse).
+    rename_per_instr: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive("decode_width", self.decode_width)
+        check_positive("retire_width", self.retire_width)
+        check_positive("rename_per_instr", self.rename_per_instr)
+        if self.branch_flush_penalty < 0:
+            raise ConfigurationError("branch_flush_penalty must be >= 0")
+
+
+@dataclass
+class ThreadPerfCounters:
+    """Per-thread performance counters over one measurement window."""
+
+    decoded: int = 0
+    completed: int = 0
+    decode_cycles_granted: int = 0
+    decode_cycles_used: int = 0
+    stall_gct: int = 0
+    stall_rename: int = 0
+    stall_branch: int = 0
+    cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Completed instructions per core cycle."""
+        return self.completed / self.cycles if self.cycles else 0.0
+
+    @property
+    def decode_share(self) -> float:
+        """Fraction of cycles this thread was granted decode."""
+        return self.decode_cycles_granted / self.cycles if self.cycles else 0.0
+
+
+class _ThreadState:
+    """Mutable per-context execution state."""
+
+    __slots__ = (
+        "stream",
+        "profile",
+        "dep_prob",
+        "last_completion",
+        "rob",
+        "blocked_until",
+        "counters",
+        "rng",
+    )
+
+    def __init__(
+        self,
+        profile: Optional[LoadProfile],
+        rng: np.random.Generator,
+    ) -> None:
+        self.profile = profile
+        self.rng = rng
+        self.stream = InstructionStream(profile, rng) if profile is not None else None
+        self.dep_prob = 1.0 / profile.ilp if profile is not None else 0.0
+        #: Completion cycle of the most recently decoded instruction — the
+        #: producer a dependent successor waits on.
+        self.last_completion = 0
+        #: In-order window of (completion_cycle, rename_entries) pending retire.
+        self.rob: Deque[Tuple[int, int]] = deque()
+        self.blocked_until = 0
+        self.counters = ThreadPerfCounters()
+
+
+class CorePipeline:
+    """Cycle simulator for one core running up to two contexts.
+
+    Parameters
+    ----------
+    profiles:
+        ``(profile_a, profile_b)``; ``None`` means the context has no work
+        (idle or shut off) and never decodes.
+    priorities:
+        Hardware thread priorities ``(prio_a, prio_b)``.
+    rng:
+        Generator for all stochastic draws of this core (instruction
+        classes, misses, dependences).
+    config, fu_pool, caches:
+        Model parameters and the shared structures; fresh defaults are
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        profiles: Tuple[Optional[LoadProfile], Optional[LoadProfile]],
+        priorities: Tuple[int, int],
+        rng: np.random.Generator,
+        config: Optional[PipelineConfig] = None,
+        fu_pool: Optional[FunctionalUnitPool] = None,
+        caches: Optional[CacheHierarchy] = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.priorities = (int(priorities[0]), int(priorities[1]))
+        self.allocation = decode_allocation(*self.priorities)
+        self.pattern = decode_pattern(*self.priorities)
+        self.fu_pool = fu_pool or FunctionalUnitPool(POWER5_FU_SPECS)
+        self.caches = caches or CacheHierarchy()
+        self.gct = SharedResourcePool(self.config.gct_spec)
+        self.rename = SharedResourcePool(self.config.rename_spec)
+        self._mshr_free: List[int] = [0] * self.caches.memory.mshrs_per_core
+        self._threads = (
+            _ThreadState(profiles[0], rng),
+            _ThreadState(profiles[1], rng),
+        )
+        self._dep_draws = rng.random(8192)
+        self._dep_pos = 0
+        self.cycle = 0
+
+    def _dep_draw(self) -> float:
+        if self._dep_pos >= len(self._dep_draws):
+            self._dep_pos = 0
+        v = self._dep_draws[self._dep_pos]
+        self._dep_pos += 1
+        return float(v)
+
+    # -- per-cycle stages ---------------------------------------------------
+
+    def _retire(self, now: int) -> None:
+        for tid in (0, 1):
+            ts = self._threads[tid]
+            retired = 0
+            rob = ts.rob
+            while rob and retired < self.config.retire_width and rob[0][0] <= now:
+                _, rename_n = rob.popleft()
+                self.gct.release(tid, 1)
+                self.rename.release(tid, rename_n)
+                ts.counters.completed += 1
+                retired += 1
+
+    def _decode_thread(self, tid: int, now: int) -> int:
+        """Attempt decode for thread ``tid`` at cycle ``now``.
+
+        Returns the number of instructions decoded (0 if blocked).
+        """
+        ts = self._threads[tid]
+        cfg = self.config
+        if ts.stream is None:
+            return 0
+        if now < ts.blocked_until:
+            ts.counters.stall_branch += 1
+            return 0
+        decoded = 0
+        while decoded < cfg.decode_width:
+            if not self.gct.can_acquire(tid, 1):
+                if decoded == 0:
+                    ts.counters.stall_gct += 1
+                break
+            if not self.rename.can_acquire(tid, cfg.rename_per_instr):
+                if decoded == 0:
+                    ts.counters.stall_rename += 1
+                break
+            cls, m1, m2, m3, mpred = ts.stream.next_instruction()
+            self.gct.try_acquire(tid, 1)
+            self.rename.try_acquire(tid, cfg.rename_per_instr)
+
+            ready = now
+            if self._dep_draw() < ts.dep_prob:
+                ready = max(ready, ts.last_completion)
+            start = self.fu_pool.issue(cls, ready)
+            latency = self.fu_pool.latency(cls)
+            if cls in (InstrClass.LOAD, InstrClass.STORE):
+                mem_lat = self.caches.access(now, m1, m2, m3)
+                if m1:  # off-L1 miss needs an MSHR
+                    slot = min(range(len(self._mshr_free)), key=self._mshr_free.__getitem__)
+                    start = max(start, self._mshr_free[slot])
+                    self._mshr_free[slot] = start + mem_lat
+                latency = max(latency, mem_lat)
+            completion = start + latency
+            ts.last_completion = completion
+            ts.rob.append((completion, cfg.rename_per_instr))
+            ts.counters.decoded += 1
+            decoded += 1
+            if cls is InstrClass.BRANCH and mpred:
+                # Redirect: no further decode until the branch resolves.
+                ts.blocked_until = completion + cfg.branch_flush_penalty
+                break
+        if decoded:
+            ts.counters.decode_cycles_used += 1
+        return decoded
+
+    def step(self) -> None:
+        """Advance the core by one cycle."""
+        now = self.cycle
+        self._retire(now)
+        if self.pattern:
+            slot = self.pattern[now % len(self.pattern)]
+            if slot is not None:
+                self._threads[slot].counters.decode_cycles_granted += 1
+                n = self._decode_thread(slot, now)
+                if n == 0 and self.allocation.mode is ArbitrationMode.LEFTOVER:
+                    other = 1 - slot
+                    self._threads[other].counters.decode_cycles_granted += 1
+                    self._decode_thread(other, now)
+        self.cycle = now + 1
+
+    def run(self, cycles: int) -> Tuple[ThreadPerfCounters, ThreadPerfCounters]:
+        """Run ``cycles`` cycles and return both threads' counters.
+
+        Counters accumulate across calls; ``cycles`` is the increment.
+        """
+        check_positive("cycles", cycles)
+        target = self.cycle + int(cycles)
+        step = self.step
+        while self.cycle < target:
+            step()
+        # Drain retirement bookkeeping for instructions already complete.
+        self._retire(self.cycle)
+        for ts in self._threads:
+            ts.counters.cycles = self.cycle
+        return (self._threads[0].counters, self._threads[1].counters)
+
+    @property
+    def counters(self) -> Tuple[ThreadPerfCounters, ThreadPerfCounters]:
+        return (self._threads[0].counters, self._threads[1].counters)

@@ -1,0 +1,118 @@
+"""Shared back-end resource pools of an SMT core.
+
+The POWER5's two contexts share the Global Completion Table (20 groups of
+up to 5 instructions), the rename registers and the issue queues. These
+pools are what makes SMT interference *super-linear*: a thread stalled on
+a long-latency miss keeps holding its GCT groups and rename registers,
+starving the sibling even when the sibling owns most decode slots. The
+paper leans on exactly this effect ("the performance of the penalized
+process can be reduced much more than linearly").
+
+We model each pool as a counted semaphore with per-thread accounting and
+optional per-thread caps (the POWER5 throttles a thread that hoards the
+GCT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.util.validation import check_positive
+
+__all__ = ["ResourceSpec", "SharedResourcePool", "POWER5_RESOURCES"]
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """Capacity description for one shared pool."""
+
+    name: str
+    capacity: int
+    #: Maximum entries a single thread may hold (hoarding throttle);
+    #: defaults to the full capacity.
+    per_thread_cap: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(f"{self.name}.capacity", self.capacity)
+        if self.per_thread_cap < 0:
+            raise ConfigurationError(f"{self.name}.per_thread_cap must be >= 0")
+
+    @property
+    def effective_thread_cap(self) -> int:
+        return self.per_thread_cap if self.per_thread_cap else self.capacity
+
+
+#: Representative POWER5 shared-resource capacities.
+#: GCT: 20 groups; rename GPR/FPR pools ~120 each of which ~88 are
+#: renameable beyond the architected set. We fold rename into a single
+#: "rename" pool; the reproduction needs the *existence* of a bounded
+#: shared window, not its exact partitioning.
+POWER5_RESOURCES: Mapping[str, ResourceSpec] = {
+    "gct": ResourceSpec("gct", capacity=20, per_thread_cap=17),
+    "rename": ResourceSpec("rename", capacity=96, per_thread_cap=80),
+}
+
+
+class SharedResourcePool:
+    """Counted, per-thread-accounted shared pool.
+
+    The pipeline acquires entries at decode and releases them at
+    completion. ``try_acquire`` is all-or-nothing for a batch, matching
+    group-based dispatch.
+    """
+
+    def __init__(self, spec: ResourceSpec, n_threads: int = 2) -> None:
+        check_positive("n_threads", n_threads)
+        self.spec = spec
+        self._held: Dict[int, int] = {t: 0 for t in range(n_threads)}
+
+    @property
+    def in_use(self) -> int:
+        return sum(self._held.values())
+
+    @property
+    def free(self) -> int:
+        return self.spec.capacity - self.in_use
+
+    def held_by(self, thread: int) -> int:
+        """Entries currently held by ``thread``."""
+        return self._held[thread]
+
+    def can_acquire(self, thread: int, n: int = 1) -> bool:
+        """Would ``try_acquire`` succeed, without side effects?"""
+        if n <= 0:
+            raise ConfigurationError(f"acquire count must be > 0, got {n}")
+        if self.free < n:
+            return False
+        return self._held[thread] + n <= self.spec.effective_thread_cap
+
+    def try_acquire(self, thread: int, n: int = 1) -> bool:
+        """Acquire ``n`` entries for ``thread`` if capacity and cap allow."""
+        if not self.can_acquire(thread, n):
+            return False
+        self._held[thread] += n
+        return True
+
+    def release(self, thread: int, n: int = 1) -> None:
+        """Release ``n`` entries held by ``thread``."""
+        if n <= 0:
+            raise ConfigurationError(f"release count must be > 0, got {n}")
+        if self._held[thread] < n:
+            raise SimulationError(
+                f"pool {self.spec.name!r}: thread {thread} releasing {n} "
+                f"but holds {self._held[thread]}"
+            )
+        self._held[thread] -= n
+
+    def reset(self) -> None:
+        """Drop all holdings (between measurement windows)."""
+        for t in self._held:
+            self._held[t] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedResourcePool({self.spec.name!r}, in_use={self.in_use}/"
+            f"{self.spec.capacity}, held={self._held})"
+        )

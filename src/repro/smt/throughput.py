@@ -1,0 +1,146 @@
+"""Measured throughput tables: the cycle simulator behind a memo cache.
+
+:class:`ThroughputTable` answers the same query as
+:class:`~repro.smt.analytic.AnalyticThroughputModel` — per-thread IPC for
+``(load_a, load_b, prio_a, prio_b)`` — but by *running* the cycle-level
+pipeline for a measurement window and caching the result. It is the
+ground truth the analytic model is validated against, and can be plugged
+into the MPI runtime for higher-fidelity (slower) experiments.
+
+Both models satisfy the informal ``ThroughputModel`` protocol used by
+:mod:`repro.mpi.runtime`: a ``core_ipc(profile_a, profile_b, prio_a,
+prio_b) -> (ipc_a, ipc_b)`` method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.smt.cache import CacheHierarchy
+from repro.smt.instructions import LoadProfile
+from repro.smt.pipeline import CorePipeline, PipelineConfig
+from repro.util.rng import RngStreams
+from repro.util.validation import check_positive
+
+__all__ = ["ThroughputResult", "ThroughputTable"]
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """One measured operating point of a core."""
+
+    ipc_a: float
+    ipc_b: float
+    decode_share_a: float
+    decode_share_b: float
+    cycles: int
+
+    @property
+    def pair(self) -> Tuple[float, float]:
+        return (self.ipc_a, self.ipc_b)
+
+
+class ThroughputTable:
+    """Memoised cycle-simulator measurements.
+
+    Parameters
+    ----------
+    warmup_cycles:
+        Cycles run (and discarded) before the measurement window, so the
+        pipeline reaches steady state (pools populated, caches warm).
+    measure_cycles:
+        Length of the measurement window. 40k cycles gives IPC stable to
+        ~2 % for the bundled profiles.
+    seed:
+        Root seed of the measurement RNG streams; measurements are
+        deterministic per (key, seed).
+    """
+
+    def __init__(
+        self,
+        warmup_cycles: int = 10_000,
+        measure_cycles: int = 40_000,
+        seed: int = 0,
+        pipeline_config: Optional[PipelineConfig] = None,
+    ) -> None:
+        check_positive("warmup_cycles", warmup_cycles)
+        check_positive("measure_cycles", measure_cycles)
+        self.warmup_cycles = int(warmup_cycles)
+        self.measure_cycles = int(measure_cycles)
+        self.pipeline_config = pipeline_config or PipelineConfig()
+        self._streams = RngStreams(seed)
+        self._cache: Dict[tuple, ThroughputResult] = {}
+
+    def _key(
+        self,
+        profile_a: Optional[LoadProfile],
+        profile_b: Optional[LoadProfile],
+        prio_a: int,
+        prio_b: int,
+    ) -> tuple:
+        return (
+            profile_a.name if profile_a else None,
+            profile_b.name if profile_b else None,
+            int(prio_a),
+            int(prio_b),
+        )
+
+    def measure(
+        self,
+        profile_a: Optional[LoadProfile],
+        profile_b: Optional[LoadProfile],
+        prio_a: int,
+        prio_b: int,
+    ) -> ThroughputResult:
+        """Measure (or fetch the cached) operating point for this key."""
+        key = self._key(profile_a, profile_b, prio_a, prio_b)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        rng = self._streams.spawn(str(key)).get("pipeline")
+        pipe = CorePipeline(
+            (profile_a, profile_b),
+            (int(prio_a), int(prio_b)),
+            rng,
+            config=self.pipeline_config,
+            caches=CacheHierarchy(),
+        )
+        pipe.run(self.warmup_cycles)
+        before = tuple(c.completed for c in pipe.counters)
+        granted_before = tuple(c.decode_cycles_granted for c in pipe.counters)
+        ca, cb = pipe.run(self.measure_cycles)
+        window = self.measure_cycles
+        result = ThroughputResult(
+            ipc_a=(ca.completed - before[0]) / window,
+            ipc_b=(cb.completed - before[1]) / window,
+            decode_share_a=(ca.decode_cycles_granted - granted_before[0]) / window,
+            decode_share_b=(cb.decode_cycles_granted - granted_before[1]) / window,
+            cycles=window,
+        )
+        self._cache[key] = result
+        return result
+
+    def core_ipc(
+        self,
+        profile_a: Optional[LoadProfile],
+        profile_b: Optional[LoadProfile],
+        prio_a: int,
+        prio_b: int,
+        external_traffic: float = 0.0,
+    ) -> Tuple[float, float]:
+        """ThroughputModel-protocol adapter (cross-core traffic ignored —
+        the cycle model is per-core; documented fidelity trade-off)."""
+        del external_traffic
+        return self.measure(profile_a, profile_b, prio_a, prio_b).pair
+
+    def chip_ipc(self, core_states) -> Tuple[Tuple[float, float], ...]:
+        """Per-core measurement without cross-core coupling."""
+        return tuple(self.core_ipc(pa, pb, xa, xb) for (pa, pb, xa, xb) in core_states)
+
+    @property
+    def cached_keys(self) -> int:
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

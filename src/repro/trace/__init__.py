@@ -1,0 +1,41 @@
+"""PARAVER-like tracing: per-rank state timelines and the paper's metrics.
+
+The paper evaluates every experiment with two numbers derived from a
+PARAVER trace: the *percentage of imbalance* (the maximum fraction of its
+lifetime any rank spends waiting at synchronisation points) and the total
+execution time. This subpackage records the same state decomposition
+(compute / sync / communication / ...) from the simulated MPI runtime and
+renders the same figures as ASCII Gantt charts.
+"""
+
+from repro.trace.events import RankState, StateInterval
+from repro.trace.trace import Trace, RankTimeline
+from repro.trace.stats import RankStats, TraceStats, compute_stats
+from repro.trace.paraver import render_gantt, render_legend, trace_to_csv
+from repro.trace.prv import render_prv, render_pcf, PRV_STATE_CODES
+from repro.trace.analysis import (
+    windowed_stats,
+    bottleneck_timeline,
+    drift_score,
+    phase_breakdown,
+)
+
+__all__ = [
+    "RankState",
+    "StateInterval",
+    "Trace",
+    "RankTimeline",
+    "RankStats",
+    "TraceStats",
+    "compute_stats",
+    "render_gantt",
+    "render_legend",
+    "trace_to_csv",
+    "render_prv",
+    "render_pcf",
+    "PRV_STATE_CODES",
+    "windowed_stats",
+    "bottleneck_timeline",
+    "drift_score",
+    "phase_breakdown",
+]

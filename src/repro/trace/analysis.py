@@ -1,0 +1,77 @@
+"""Trace analysis beyond the paper's two metrics.
+
+Helpers the (dynamic) balancing story needs:
+
+* :func:`windowed_stats` — the paper's metrics per time window, to see
+  imbalance evolve;
+* :func:`bottleneck_timeline` — which rank is the bottleneck per window
+  (SIESTA's migrating bottleneck, made visible);
+* :func:`drift_score` — how unstable the bottleneck is (0 = one rank
+  dominates every window, 1 = a different rank every window), the
+  quantity that predicts whether static balancing can work;
+* :func:`phase_breakdown` — per-trace-state share of each rank's time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import TraceError
+from repro.trace.events import RankState
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.trace import Trace
+
+__all__ = [
+    "windowed_stats",
+    "bottleneck_timeline",
+    "drift_score",
+    "phase_breakdown",
+]
+
+
+def windowed_stats(trace: Trace, n_windows: int) -> List[TraceStats]:
+    """The paper's metrics over ``n_windows`` equal time slices."""
+    if n_windows <= 0:
+        raise TraceError(f"n_windows must be > 0, got {n_windows}")
+    total = trace.total_time
+    if total <= 0:
+        raise TraceError("empty trace")
+    dt = total / n_windows
+    return [
+        compute_stats(trace, window=(i * dt, (i + 1) * dt))
+        for i in range(n_windows)
+    ]
+
+
+def bottleneck_timeline(trace: Trace, n_windows: int) -> List[int]:
+    """The bottleneck rank (least waiting) per window."""
+    return [stats.bottleneck_rank for stats in windowed_stats(trace, n_windows)]
+
+
+def drift_score(trace: Trace, n_windows: int = 10) -> float:
+    """Bottleneck instability in [0, 1].
+
+    0: the same rank is the bottleneck in every window (BT-MZ-like —
+    static balancing can win). 1: the bottleneck changes at every window
+    boundary (SIESTA-at-its-worst — static assignments are wrong half the
+    time; use the dynamic balancer).
+    """
+    timeline = bottleneck_timeline(trace, n_windows)
+    if len(timeline) < 2:
+        return 0.0
+    changes = sum(1 for a, b in zip(timeline, timeline[1:]) if a != b)
+    return changes / (len(timeline) - 1)
+
+
+def phase_breakdown(trace: Trace) -> Dict[int, Dict[RankState, float]]:
+    """Per-rank fraction of the run in each recorded state."""
+    total = trace.total_time
+    if total <= 0:
+        raise TraceError("empty trace")
+    out: Dict[int, Dict[RankState, float]] = {}
+    for tl in trace:
+        shares: Dict[RankState, float] = {}
+        for iv in tl.intervals:
+            shares[iv.state] = shares.get(iv.state, 0.0) + iv.duration / total
+        out[tl.rank] = shares
+    return out

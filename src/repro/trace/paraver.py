@@ -1,0 +1,86 @@
+"""ASCII rendering of traces, in the spirit of the paper's PARAVER figures.
+
+Each rank is one horizontal line; time runs left to right; each column is
+one time bucket coloured by the state the rank spent the *majority* of
+that bucket in. ``#`` is computing (the paper's dark grey), blank is
+waiting (light grey), ``|`` is communication (black), ``.``/``+`` are the
+init/finalisation phases, ``!`` is OS noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TraceError
+from repro.trace.events import RankState
+from repro.trace.trace import Trace
+
+__all__ = ["render_gantt", "render_legend", "trace_to_csv"]
+
+
+def _bucket_state(
+    timeline_intervals, t0: float, t1: float
+) -> Optional[RankState]:
+    """Majority state of one rank within [t0, t1)."""
+    totals: Dict[RankState, float] = {}
+    for iv in timeline_intervals:
+        if iv.overlaps(t0, t1):
+            c = iv.clipped(t0, t1)
+            totals[c.state] = totals.get(c.state, 0.0) + c.duration
+    if not totals:
+        return None
+    return max(totals.items(), key=lambda kv: kv[1])[0]
+
+
+def render_gantt(
+    trace: Trace,
+    width: int = 100,
+    window: Optional[Tuple[float, float]] = None,
+    show_axis: bool = True,
+) -> str:
+    """Render the trace as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    width:
+        Number of time buckets (output columns).
+    window:
+        Optional ``(t0, t1)`` zoom; defaults to the whole run.
+    """
+    if width < 2:
+        raise TraceError(f"gantt width must be >= 2, got {width}")
+    t0, t1 = window if window is not None else (0.0, trace.total_time)
+    if t1 <= t0:
+        raise TraceError(f"empty gantt window [{t0}, {t1}]")
+    dt = (t1 - t0) / width
+
+    lines: List[str] = []
+    if trace.label:
+        lines.append(trace.label)
+    for tl in trace:
+        cells = []
+        for i in range(width):
+            state = _bucket_state(tl.intervals, t0 + i * dt, t0 + (i + 1) * dt)
+            cells.append(state.glyph if state is not None else "_")
+        lines.append(f"P{tl.rank + 1} |" + "".join(cells) + "|")
+    if show_axis:
+        label0 = f"{t0:.2f}s"
+        label1 = f"{t1:.2f}s"
+        pad = max(0, width - len(label0) - len(label1))
+        lines.append("    " + label0 + " " * pad + label1)
+    return "\n".join(lines)
+
+
+def render_legend() -> str:
+    """Legend mapping glyphs to states."""
+    parts = [f"{s.glyph!r}={s.value}" for s in RankState]
+    return "legend: " + "  ".join(parts)
+
+
+def trace_to_csv(trace: Trace) -> str:
+    """Flatten the trace to CSV (``rank,start,end,state``) for external tools."""
+    rows = ["rank,start,end,state"]
+    for tl in trace:
+        for iv in tl.intervals:
+            rows.append(f"{tl.rank},{iv.start:.9f},{iv.end:.9f},{iv.state.value}")
+    return "\n".join(rows) + "\n"

@@ -1,0 +1,128 @@
+"""Export traces in the PARAVER ``.prv`` format.
+
+The paper's analysis tool is PARAVER (CEPBA/BSC). This module emits
+simulated traces in PARAVER 2's text format so they can be opened in the
+real tool (or wxParaver): a header line, then one *state record* per
+interval::
+
+    #Paraver (dd/mm/yy at hh:mm):total_ns:nNodes(cpus,..):nAppl:appl_list
+    1:cpu:appl:task:thread:begin_ns:end_ns:state
+
+State values follow the standard PARAVER semantic:
+
+====  =================  ======================================
+code  PARAVER label      our :class:`~repro.trace.events.RankState`
+====  =================  ======================================
+ 0    Idle               IDLE
+ 1    Running            COMPUTE, INIT, FINAL
+ 3    Waiting a message  COMM
+ 5    Synchronization    SYNC
+ 15   Others (OS)        NOISE
+====  =================  ======================================
+
+A companion ``.pcf`` (config) naming the states is produced by
+:func:`render_pcf` so colours match the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import TraceError
+from repro.trace.events import RankState
+from repro.trace.trace import Trace
+
+__all__ = ["PRV_STATE_CODES", "render_prv", "render_pcf"]
+
+#: RankState -> PARAVER state code.
+PRV_STATE_CODES: Dict[RankState, int] = {
+    RankState.IDLE: 0,
+    RankState.COMPUTE: 1,
+    RankState.INIT: 1,
+    RankState.FINAL: 1,
+    RankState.COMM: 3,
+    RankState.SYNC: 5,
+    RankState.NOISE: 15,
+}
+
+_PCF_LABELS = {
+    0: "Idle",
+    1: "Running",
+    3: "Waiting a message",
+    5: "Synchronization",
+    15: "Others (OS noise)",
+}
+
+
+def _ns(seconds: float) -> int:
+    return int(round(seconds * 1e9))
+
+
+def render_prv(
+    trace: Trace,
+    n_cpus: Optional[int] = None,
+    rank_to_cpu: Optional[Dict[int, int]] = None,
+    timestamp: str = "01/01/08 at 00:00",
+) -> str:
+    """Render ``trace`` as the contents of a ``.prv`` file.
+
+    Parameters
+    ----------
+    n_cpus:
+        CPUs of the (single) simulated node; defaults to the rank count.
+    rank_to_cpu:
+        Optional physical placement; PARAVER cpu ids are 1-based.
+    timestamp:
+        Header timestamp; fixed by default so exports are reproducible.
+    """
+    if trace.total_time <= 0:
+        raise TraceError("cannot export an empty trace")
+    n_ranks = trace.n_ranks
+    cpus = n_cpus if n_cpus is not None else n_ranks
+    if cpus <= 0:
+        raise TraceError(f"n_cpus must be > 0, got {cpus}")
+    total_ns = _ns(trace.total_time)
+
+    # Application list: one application of n_ranks tasks, 1 thread each,
+    # each task on its node (we model one node).
+    task_list = ",".join(f"1:{1}" for _ in range(n_ranks))
+    header = (
+        f"#Paraver ({timestamp}):{total_ns}_ns:1({cpus}):1:"
+        f"{n_ranks}({task_list})"
+    )
+
+    lines = [header]
+    for tl in trace:
+        rank = tl.rank
+        cpu = (rank_to_cpu or {}).get(rank, rank) + 1  # 1-based
+        task = rank + 1
+        for iv in tl.intervals:
+            code = PRV_STATE_CODES[iv.state]
+            lines.append(
+                f"1:{cpu}:1:{task}:1:{_ns(iv.start)}:{_ns(iv.end)}:{code}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_pcf() -> str:
+    """The ``.pcf`` companion: state names/colours for the viewer."""
+    lines = [
+        "DEFAULT_OPTIONS",
+        "",
+        "LEVEL               THREAD",
+        "UNITS               NANOSEC",
+        "",
+        "STATES",
+    ]
+    for code in sorted(_PCF_LABELS):
+        lines.append(f"{code}    {_PCF_LABELS[code]}")
+    lines += [
+        "",
+        "STATES_COLOR",
+        "0    {117,195,255}",
+        "1    {0,0,255}",
+        "3    {255,0,0}",
+        "5    {255,255,102}",
+        "15   {170,170,170}",
+    ]
+    return "\n".join(lines) + "\n"

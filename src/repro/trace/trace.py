@@ -1,0 +1,136 @@
+"""Trace accumulation: per-rank timelines of state intervals.
+
+The MPI runtime emits state *transitions* (``rank r enters state s at
+time t``); :class:`RankTimeline` closes the previous interval on each
+transition. Zero-length intervals are dropped — fluid simulation
+produces many back-to-back transitions at the same instant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import TraceError
+from repro.trace.events import RankState, StateInterval
+
+__all__ = ["RankTimeline", "Trace"]
+
+
+class RankTimeline:
+    """State history of one rank."""
+
+    def __init__(self, rank: int) -> None:
+        if rank < 0:
+            raise TraceError(f"rank must be >= 0, got {rank}")
+        self.rank = rank
+        self.intervals: List[StateInterval] = []
+        self._open_state: Optional[RankState] = None
+        self._open_since: float = 0.0
+        self._closed = False
+
+    @property
+    def current_state(self) -> Optional[RankState]:
+        return self._open_state
+
+    @property
+    def open_since(self) -> float:
+        """Start time of the currently open interval (if any)."""
+        return self._open_since
+
+    def time_in_until(self, now: float, *states: RankState) -> float:
+        """Like :meth:`time_in`, but counts the open interval up to ``now``.
+
+        This is what an online controller (the dynamic balancer) sees at
+        instant ``now`` — closed history plus the in-progress state.
+        """
+        total = self.time_in(*states)
+        if self._open_state in states and now > self._open_since:
+            total += now - self._open_since
+        return total
+
+    def transition(self, time: float, state: Optional[RankState]) -> None:
+        """Enter ``state`` at ``time`` (``None`` closes without reopening)."""
+        if self._closed:
+            raise TraceError(f"rank {self.rank}: transition after finish()")
+        if self._open_state is not None:
+            if time < self._open_since:
+                raise TraceError(
+                    f"rank {self.rank}: time went backwards "
+                    f"({time} < {self._open_since})"
+                )
+            if time > self._open_since:
+                self.intervals.append(
+                    StateInterval(self._open_since, time, self._open_state)
+                )
+        self._open_state = state
+        self._open_since = time
+
+    def finish(self, time: float) -> None:
+        """Close the timeline at ``time``; further transitions are errors."""
+        self.transition(time, None)
+        self._closed = True
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last recorded activity."""
+        if self.intervals:
+            return self.intervals[-1].end
+        return self._open_since
+
+    def time_in(self, *states: RankState) -> float:
+        """Total recorded time spent in any of ``states``."""
+        wanted = set(states)
+        return sum(iv.duration for iv in self.intervals if iv.state in wanted)
+
+    def state_at(self, time: float) -> Optional[RankState]:
+        """State at instant ``time`` (None outside recorded span)."""
+        for iv in self.intervals:
+            if iv.start <= time < iv.end:
+                return iv.state
+        return None
+
+    def clipped(self, t0: float, t1: float) -> List[StateInterval]:
+        """Intervals restricted to the window [t0, t1]."""
+        if t1 < t0:
+            raise TraceError(f"bad clip window [{t0}, {t1}]")
+        return [iv.clipped(t0, t1) for iv in self.intervals if iv.overlaps(t0, t1)]
+
+
+class Trace:
+    """A full application trace: one timeline per rank plus run metadata."""
+
+    def __init__(self, n_ranks: int, label: str = "") -> None:
+        if n_ranks <= 0:
+            raise TraceError(f"n_ranks must be > 0, got {n_ranks}")
+        self.label = label
+        self.timelines: Dict[int, RankTimeline] = {
+            r: RankTimeline(r) for r in range(n_ranks)
+        }
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.timelines)
+
+    def __getitem__(self, rank: int) -> RankTimeline:
+        try:
+            return self.timelines[rank]
+        except KeyError:
+            raise TraceError(f"no rank {rank} in trace (n_ranks={self.n_ranks})") from None
+
+    def __iter__(self) -> Iterable[RankTimeline]:
+        return iter(self.timelines[r] for r in sorted(self.timelines))
+
+    def transition(self, rank: int, time: float, state: Optional[RankState]) -> None:
+        """Record a state transition for ``rank``."""
+        self[rank].transition(time, state)
+
+    def finish_all(self, time: float) -> None:
+        """Close every still-open timeline at ``time``."""
+        for tl in self.timelines.values():
+            if not tl._closed:
+                tl.finish(time)
+
+    @property
+    def total_time(self) -> float:
+        """End of the latest timeline — the application's execution time."""
+        return max((tl.end_time for tl in self.timelines.values()), default=0.0)

@@ -1,0 +1,89 @@
+"""Fixed-width text tables in the style of the paper's result tables.
+
+The experiment harness prints tables like the paper's Table IV/V/VI
+(case, process, core, priority, comp %, sync %, imbalance %, execution
+time). :class:`TextTable` is a tiny dependency-free formatter that keeps
+column alignment stable for diffable output in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["TextTable"]
+
+
+class TextTable:
+    """Accumulate rows and render a monospace table.
+
+    Examples
+    --------
+    >>> t = TextTable(["Case", "Imb %", "Time"])
+    >>> t.add_row(["A", "75.69", "81.64s"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    Case | Imb % | Time
+    -----+-------+-------
+    A    | 75.69 | 81.64s
+    """
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers: List[str] = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+        self._separators: set[int] = set()
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append one row; cells are stringified with ``str``."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def add_separator(self) -> None:
+        """Insert a horizontal rule before the next row (group boundary)."""
+        self._separators.add(len(self.rows))
+
+    def _widths(self) -> List[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render the table to a string (no trailing newline)."""
+        widths = self._widths()
+        rule = "-+-".join("-" * w for w in widths)
+
+        def fmt(row: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.headers))
+        lines.append(rule)
+        for i, row in enumerate(self.rows):
+            if i in self._separators and i != 0:
+                lines.append(rule)
+            lines.append(fmt(row))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        lines: List[str] = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,67 @@
+"""Unit conversions and human-readable formatting.
+
+The SMT pipeline model works in *cycles*; the MPI runtime and all the
+paper's tables work in *seconds*. The bridge is the core clock frequency
+(the OpenPower 710's POWER5 runs at 1.65 GHz; we keep it configurable).
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+__all__ = [
+    "POWER5_FREQ_HZ",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "format_seconds",
+    "format_percent",
+    "format_si",
+]
+
+#: Clock frequency of the POWER5 in the IBM OpenPower 710 used by the paper.
+POWER5_FREQ_HZ: float = 1.65e9
+
+
+def cycles_to_seconds(cycles: float, freq_hz: float = POWER5_FREQ_HZ) -> float:
+    """Convert a cycle count to seconds at ``freq_hz``."""
+    check_positive("freq_hz", freq_hz)
+    return float(cycles) / float(freq_hz)
+
+
+def seconds_to_cycles(seconds: float, freq_hz: float = POWER5_FREQ_HZ) -> float:
+    """Convert seconds to cycles at ``freq_hz``."""
+    check_positive("freq_hz", freq_hz)
+    return float(seconds) * float(freq_hz)
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration the way the paper's tables do (``81.64s``)."""
+    if seconds < 0:
+        return f"-{format_seconds(-seconds)}"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_percent(fraction: float, digits: int = 2) -> str:
+    """Format a 0..1 fraction as a percentage string (``75.69%``)."""
+    return f"{fraction * 100.0:.{digits}f}%"
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Format ``value`` with an SI prefix (``1.65G``, ``3.2M``, ...)."""
+    if value == 0:
+        return f"0{unit}"
+    sign = "-" if value < 0 else ""
+    value = abs(value)
+    for threshold, prefix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if value >= threshold:
+            return f"{sign}{value / threshold:.2f}{prefix}{unit}"
+    if value >= 1:
+        return f"{sign}{value:.2f}{unit}"
+    for threshold, prefix in ((1e-3, "m"), (1e-6, "u"), (1e-9, "n")):
+        if value >= threshold:
+            return f"{sign}{value / threshold:.2f}{prefix}{unit}"
+    return f"{sign}{value:.3g}{unit}"

@@ -1,0 +1,62 @@
+"""Argument-validation helpers used across the package.
+
+Centralising these keeps error messages uniform and the call sites terse;
+all raise :class:`~repro.errors.ConfigurationError` (or ``TypeError`` for
+outright wrong types) with the offending name and value in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "check_probability",
+]
+
+
+def check_type(name: str, value: Any, types: Union[Type, Tuple[Type, ...]]) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``.
+
+    ``bool`` is deliberately rejected where a number is expected, because
+    ``isinstance(True, int)`` holds and silently accepting booleans hides
+    caller bugs.
+    """
+    if isinstance(value, bool) and types in (int, float, (int, float), (float, int)):
+        raise TypeError(f"{name} must be a number, got bool")
+    if not isinstance(value, types):
+        type_names = (
+            types.__name__ if isinstance(types, type) else "/".join(t.__name__ for t in types)
+        )
+        raise TypeError(f"{name} must be {type_names}, got {type(value).__name__}")
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise unless ``value`` is a number strictly greater than zero."""
+    check_type(name, value, (int, float))
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise unless ``value`` is a number greater than or equal to zero."""
+    check_type(name, value, (int, float))
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise unless ``lo <= value <= hi``."""
+    check_type(name, value, (int, float))
+    if not (lo <= value <= hi):
+        raise ConfigurationError(f"{name} must be in [{lo}, {hi}], got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise unless ``value`` is a valid probability in [0, 1]."""
+    check_in_range(name, value, 0.0, 1.0)

@@ -1,0 +1,3 @@
+"""Package version, exposed separately so tooling can import it cheaply."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,201 @@
+"""BT Multi-Zone (NAS NPB-MZ) structural model (paper VII-B).
+
+BT-MZ partitions the mesh into *zones* whose sizes grow geometrically, so
+that per-process work is skewed when zones are distributed naively. Each
+iteration, every process computes over its zones, exchanges boundary data
+with its neighbours asynchronously (``mpi_isend``/``mpi_irecv``) and then
+``mpi_waitall``-s — it synchronises with *neighbours*, not globally.
+
+The zone generator reproduces the geometric size law; a round-robin zone
+assignment (zone *k* to process *k mod P*) then yields per-rank work
+ratios of ``(1, r, r^2, r^3)`` for a 4x4 grid — at the default ratio the
+~5.6x max/min skew of the paper's Table V. A greedy bin-packing
+assignment is also provided (what a balanced distribution would do), used
+by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.mpi.process import RankApi, RankProgram
+from repro.workloads.base import validate_works
+
+__all__ = ["ZoneGrid", "BtMzConfig", "bt_mz_programs"]
+
+
+@dataclass(frozen=True)
+class ZoneGrid:
+    """A grid of zones with geometrically increasing sizes.
+
+    ``size(i, j) = base * ratio**i * ratio**j`` grid points for zone
+    ``(i, j)``; class A of BT-MZ uses a 4x4 grid.
+    """
+
+    x_zones: int = 4
+    y_zones: int = 4
+    ratio: float = 1.78
+    base_points: float = 4096.0
+
+    def __post_init__(self) -> None:
+        if self.x_zones <= 0 or self.y_zones <= 0:
+            raise WorkloadError("zone grid dimensions must be > 0")
+        if self.ratio < 1.0:
+            raise WorkloadError(f"zone ratio must be >= 1, got {self.ratio}")
+        if self.base_points <= 0:
+            raise WorkloadError(f"base_points must be > 0, got {self.base_points}")
+
+    @property
+    def n_zones(self) -> int:
+        return self.x_zones * self.y_zones
+
+    def zone_size(self, i: int, j: int) -> float:
+        """Grid points of zone (i, j)."""
+        if not (0 <= i < self.x_zones and 0 <= j < self.y_zones):
+            raise WorkloadError(f"zone ({i},{j}) outside {self.x_zones}x{self.y_zones}")
+        return self.base_points * self.ratio**i * self.ratio**j
+
+    def zone_sizes(self) -> List[float]:
+        """All zone sizes in row-major zone order."""
+        return [
+            self.zone_size(i, j)
+            for i in range(self.x_zones)
+            for j in range(self.y_zones)
+        ]
+
+    @property
+    def skew(self) -> float:
+        """Largest/smallest zone size ratio."""
+        sizes = self.zone_sizes()
+        return max(sizes) / min(sizes)
+
+    # -- zone-to-process assignment ----------------------------------------------
+
+    def assign_round_robin(self, n_procs: int) -> List[List[int]]:
+        """Zone k -> process k mod P (the naive assignment)."""
+        if n_procs <= 0:
+            raise WorkloadError(f"n_procs must be > 0, got {n_procs}")
+        out: List[List[int]] = [[] for _ in range(n_procs)]
+        for k in range(self.n_zones):
+            out[k % n_procs].append(k)
+        return out
+
+    def assign_greedy(self, n_procs: int) -> List[List[int]]:
+        """Largest-zone-first greedy bin packing (a balanced assignment)."""
+        if n_procs <= 0:
+            raise WorkloadError(f"n_procs must be > 0, got {n_procs}")
+        sizes = self.zone_sizes()
+        order = sorted(range(self.n_zones), key=lambda k: -sizes[k])
+        loads = [0.0] * n_procs
+        out: List[List[int]] = [[] for _ in range(n_procs)]
+        for k in order:
+            p = min(range(n_procs), key=loads.__getitem__)
+            out[p].append(k)
+            loads[p] += sizes[k]
+        for zones in out:
+            zones.sort()
+        return out
+
+    def rank_works(
+        self,
+        n_procs: int,
+        instructions_per_point: float = 1.0,
+        assignment: str = "round_robin",
+    ) -> List[float]:
+        """Per-rank instructions per iteration under an assignment."""
+        if assignment == "round_robin":
+            assigned = self.assign_round_robin(n_procs)
+        elif assignment == "greedy":
+            assigned = self.assign_greedy(n_procs)
+        else:
+            raise WorkloadError(f"unknown assignment {assignment!r}")
+        sizes = self.zone_sizes()
+        return [
+            instructions_per_point * sum(sizes[k] for k in zones)
+            for zones in assigned
+        ]
+
+
+@dataclass(frozen=True)
+class BtMzConfig:
+    """One BT-MZ run.
+
+    ``works`` are per-rank instructions per iteration; derive them from a
+    :class:`ZoneGrid` or supply them directly (the experiments calibrate
+    them against the paper's Table V compute percentages).
+    """
+
+    works: Sequence[float]
+    iterations: int = 200
+    profile: str = "hpc"
+    #: Boundary-exchange message size per neighbour per iteration.
+    exchange_bytes: int = 40960
+    #: Initialisation work as a multiple of one iteration's mean work.
+    init_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        validate_works(self.works)
+        if self.iterations <= 0:
+            raise WorkloadError(f"iterations must be > 0, got {self.iterations}")
+        if self.exchange_bytes < 0:
+            raise WorkloadError(f"exchange_bytes must be >= 0, got {self.exchange_bytes}")
+        if self.init_factor < 0:
+            raise WorkloadError(f"init_factor must be >= 0, got {self.init_factor}")
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.works)
+
+    def neighbours(self, rank: int) -> List[int]:
+        """Boundary-exchange partners: the ring neighbours (zone borders
+        wrap in BT-MZ's doubly-periodic mesh)."""
+        n = self.n_ranks
+        if n == 1:
+            return []
+        if n == 2:
+            return [1 - rank]
+        return [(rank - 1) % n, (rank + 1) % n]
+
+
+def _bt_mz_program(cfg: BtMzConfig, rank: int) -> RankProgram:
+    work = float(cfg.works[rank])
+    mean_work = sum(cfg.works) / len(cfg.works)
+    init_work = cfg.init_factor * mean_work
+    neighbours = cfg.neighbours(rank)
+
+    def program(mpi: RankApi):
+        # Initialisation phase (white bars in Figure 3) ending in a barrier.
+        if init_work > 0:
+            yield mpi.init_phase(init_work, profile=cfg.profile)
+        yield mpi.barrier()
+        for it in range(cfg.iterations):
+            if work > 0:
+                yield mpi.compute(work, profile=cfg.profile)
+            requests = []
+            for nb in neighbours:
+                r = yield mpi.irecv(source=nb, tag=it)
+                requests.append(r)
+            for nb in neighbours:
+                r = yield mpi.isend(dest=nb, tag=it, nbytes=cfg.exchange_bytes)
+                requests.append(r)
+            yield mpi.waitall(requests)
+        yield mpi.barrier()
+
+    return program
+
+
+def bt_mz_programs(
+    works: Optional[Sequence[float]] = None,
+    iterations: int = 200,
+    config: Optional[BtMzConfig] = None,
+    **kwargs,
+) -> List[RankProgram]:
+    """Rank programs for a BT-MZ run (from works or a full config)."""
+    if config is None:
+        if works is None:
+            raise WorkloadError("bt_mz_programs needs works or a config")
+        config = BtMzConfig(works=works, iterations=iterations, **kwargs)
+    return [_bt_mz_program(config, r) for r in range(config.n_ranks)]

@@ -1,0 +1,84 @@
+"""Synthetic imbalance generators for examples, tests and Figure 1."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.mpi.process import RankApi, RankProgram
+from repro.workloads.base import WorkVector, validate_works
+
+__all__ = [
+    "one_heavy_works",
+    "linear_ramp_works",
+    "random_works",
+    "barrier_loop_programs",
+]
+
+
+def one_heavy_works(
+    n_ranks: int, base: float, heavy_factor: float, heavy_rank: int = 0
+) -> WorkVector:
+    """All ranks get ``base`` work except one with ``base*heavy_factor``.
+
+    The paper's Figure 1 scenario: a single straggler holds everyone up.
+    """
+    if n_ranks <= 0:
+        raise WorkloadError(f"n_ranks must be > 0, got {n_ranks}")
+    if not 0 <= heavy_rank < n_ranks:
+        raise WorkloadError(f"heavy_rank {heavy_rank} out of range")
+    if base <= 0 or heavy_factor <= 0:
+        raise WorkloadError("base and heavy_factor must be > 0")
+    works = [base] * n_ranks
+    works[heavy_rank] = base * heavy_factor
+    return validate_works(works)
+
+
+def linear_ramp_works(n_ranks: int, base: float, slope: float) -> WorkVector:
+    """Rank r gets ``base * (1 + slope*r)`` work — a domain-skew pattern."""
+    if n_ranks <= 0:
+        raise WorkloadError(f"n_ranks must be > 0, got {n_ranks}")
+    if base <= 0:
+        raise WorkloadError(f"base must be > 0, got {base}")
+    if slope < 0:
+        raise WorkloadError(f"slope must be >= 0, got {slope}")
+    return validate_works([base * (1.0 + slope * r) for r in range(n_ranks)])
+
+
+def random_works(
+    n_ranks: int, base: float, sigma: float, rng: np.random.Generator
+) -> WorkVector:
+    """Lognormal per-rank work around ``base`` — a sparse-input pattern."""
+    if n_ranks <= 0:
+        raise WorkloadError(f"n_ranks must be > 0, got {n_ranks}")
+    if base <= 0 or sigma < 0:
+        raise WorkloadError("base must be > 0 and sigma >= 0")
+    draws = rng.lognormal(-0.5 * sigma**2, sigma, n_ranks)
+    return validate_works([base * float(d) for d in draws])
+
+
+def barrier_loop_programs(
+    works: Sequence[float],
+    iterations: int = 5,
+    profile: str = "hpc",
+) -> List[RankProgram]:
+    """The simplest SPMD shape: compute your share, barrier, repeat.
+
+    The workhorse of the examples and of Figure 1's synthetic trace.
+    """
+    works = validate_works(works)
+    if iterations <= 0:
+        raise WorkloadError(f"iterations must be > 0, got {iterations}")
+
+    def make(rank_work: float) -> RankProgram:
+        def program(mpi: RankApi):
+            for _ in range(iterations):
+                if rank_work > 0:
+                    yield mpi.compute(rank_work, profile=profile)
+                yield mpi.barrier()
+
+        return program
+
+    return [make(w) for w in works]

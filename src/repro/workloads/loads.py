@@ -1,0 +1,65 @@
+"""MetBench loads: one per stressed processor resource.
+
+Paper section VII-A: *"we developed several loads, each one stressing a
+different processor resource (the Floating Point Unit, the L2 cache, the
+branch predictor, etc) for a given amount of time."* Each load pairs a
+:class:`~repro.smt.instructions.LoadProfile` with a human description;
+the MetBench framework runs whichever load a worker is assigned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import WorkloadError
+from repro.smt.instructions import BASE_PROFILES, LoadProfile
+
+__all__ = ["MetBenchLoad", "METBENCH_LOADS", "get_load"]
+
+
+@dataclass(frozen=True)
+class MetBenchLoad:
+    """One MetBench load kernel."""
+
+    name: str
+    profile: LoadProfile
+    description: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("MetBenchLoad needs a name")
+
+
+METBENCH_LOADS: Dict[str, MetBenchLoad] = {
+    "cpu_fpu": MetBenchLoad(
+        "cpu_fpu", BASE_PROFILES["fpu"], "dense floating-point kernel (FPU stress)"
+    ),
+    "cache_l2": MetBenchLoad(
+        "cache_l2", BASE_PROFILES["l2"], "working set resident in L2 (L1-miss stress)"
+    ),
+    "mem_stream": MetBenchLoad(
+        "mem_stream", BASE_PROFILES["mem"], "streaming footprint (memory stress)"
+    ),
+    "branch_mix": MetBenchLoad(
+        "branch_mix", BASE_PROFILES["branch"], "hard-to-predict branches (BXU stress)"
+    ),
+    "cpu_int": MetBenchLoad(
+        "cpu_int", BASE_PROFILES["int"], "integer ALU kernel (FXU stress)"
+    ),
+    "hpc_mix": MetBenchLoad(
+        "hpc_mix",
+        BASE_PROFILES["hpc"],
+        "balanced HPC kernel mix (the default MetBench load)",
+    ),
+}
+
+
+def get_load(name: str) -> MetBenchLoad:
+    """Look up a MetBench load by name."""
+    try:
+        return METBENCH_LOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown MetBench load {name!r}; available: {sorted(METBENCH_LOADS)}"
+        ) from None

@@ -1,0 +1,113 @@
+"""Master-worker (master-slave) workloads.
+
+The paper lists the "master-slave architecture" among the *intrinsic*
+imbalance causes (section II-A). Two variants are provided:
+
+* :func:`static_master_worker_programs` — the master deals every worker
+  its whole share up front; uneven task costs then produce exactly the
+  imbalance the paper's mechanism targets.
+* :func:`dynamic_master_worker_programs` — workers pull chunks on demand
+  (the classic *software* self-balancing alternative to hardware
+  priorities): fast workers simply fetch more chunks, at the price of a
+  request/response round-trip per chunk and a serialised master.
+
+Comparing the two against priority balancing is the related-work
+triangle: data re-distribution vs. computational-power re-distribution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.mpi.datatypes import ANY_SOURCE
+from repro.mpi.process import RankApi, RankProgram
+from repro.workloads.base import validate_works
+
+__all__ = [
+    "static_master_worker_programs",
+    "dynamic_master_worker_programs",
+]
+
+#: Message tags of the pull protocol.
+_TAG_REQUEST = 1
+_TAG_WORK = 2
+_TAG_STOP = 3
+
+
+def static_master_worker_programs(
+    worker_works: Sequence[float],
+    profile: str = "hpc",
+    task_bytes: int = 4096,
+) -> List[RankProgram]:
+    """Rank 0 distributes fixed shares; workers compute them and report.
+
+    ``worker_works[i]`` is worker *i+1*'s total instructions. The master
+    only coordinates (like MetBench's framework).
+    """
+    works = validate_works(worker_works)
+
+    def master(mpi: RankApi):
+        for w in range(len(works)):
+            yield mpi.send(dest=w + 1, tag=_TAG_WORK, nbytes=task_bytes)
+        for _ in range(len(works)):
+            yield mpi.recv(source=ANY_SOURCE, tag=_TAG_STOP)
+
+    def make_worker(index: int) -> RankProgram:
+        def worker(mpi: RankApi):
+            yield mpi.recv(source=0, tag=_TAG_WORK)
+            yield mpi.compute(works[index], profile=profile)
+            yield mpi.send(dest=0, tag=_TAG_STOP, nbytes=8)
+
+        return worker
+
+    return [master] + [make_worker(i) for i in range(len(works))]
+
+
+def dynamic_master_worker_programs(
+    total_work: float,
+    n_workers: int,
+    chunk_work: float,
+    profile: str = "hpc",
+    task_bytes: int = 4096,
+) -> List[RankProgram]:
+    """On-demand chunking: workers request, the master deals, stop at end.
+
+    The task pool holds ``ceil(total_work / chunk_work)`` equal chunks
+    (total work rounds up to a whole number of chunks). Workers that run
+    on favoured (or quiet) contexts naturally process more chunks —
+    software load balancing.
+    """
+    if total_work <= 0:
+        raise WorkloadError(f"total_work must be > 0, got {total_work}")
+    if n_workers <= 0:
+        raise WorkloadError(f"n_workers must be > 0, got {n_workers}")
+    if chunk_work <= 0:
+        raise WorkloadError(f"chunk_work must be > 0, got {chunk_work}")
+
+    n_chunks = max(1, -(-int(total_work) // int(max(1, chunk_work))))
+
+    def master(mpi: RankApi):
+        remaining = n_chunks
+        active = n_workers
+        while active:
+            status = yield mpi.recv(source=ANY_SOURCE, tag=_TAG_REQUEST)
+            if remaining:
+                remaining -= 1
+                yield mpi.send(dest=status.source, tag=_TAG_WORK, nbytes=task_bytes)
+            else:
+                yield mpi.send(dest=status.source, tag=_TAG_STOP, nbytes=8)
+                active -= 1
+
+    def make_worker() -> RankProgram:
+        def worker(mpi: RankApi):
+            while True:
+                yield mpi.send(dest=0, tag=_TAG_REQUEST, nbytes=8)
+                status = yield mpi.recv(source=0)
+                if status.tag == _TAG_STOP:
+                    return
+                yield mpi.compute(chunk_work, profile=profile)
+
+        return worker
+
+    return [master] + [make_worker() for _ in range(n_workers)]

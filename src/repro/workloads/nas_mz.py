@@ -1,0 +1,95 @@
+"""The other NAS multi-zone benchmarks: SP-MZ and LU-MZ.
+
+The paper evaluates BT-MZ because its geometrically-sized zones make it
+*imbalanced*. Its siblings in NPB-MZ are the natural control group:
+
+* **SP-MZ** — all zones equal size: per-rank work is balanced by
+  construction, so priority balancing has nothing to win and gap-boosting
+  anything only hurts (the control experiment for the paper's claim that
+  misused priorities worsen imbalance).
+* **LU-MZ** — a fixed 4x4 grid of equal zones, but a heavier per-point
+  kernel with tighter communication (the SSOR wavefront exchanges more
+  often): balanced compute, higher communication sensitivity.
+
+Both reuse the BT-MZ program structure (compute + asynchronous neighbour
+exchange + waitall per iteration) with their own zone laws.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.mpi.process import RankProgram
+from repro.workloads.bt_mz import BtMzConfig, ZoneGrid, bt_mz_programs
+
+__all__ = ["sp_mz_zone_grid", "lu_mz_zone_grid", "sp_mz_programs", "lu_mz_programs"]
+
+
+def sp_mz_zone_grid(x_zones: int = 4, y_zones: int = 4, base_points: float = 4096.0) -> ZoneGrid:
+    """SP-MZ's zone law: a grid of *equal* zones (ratio 1)."""
+    return ZoneGrid(x_zones=x_zones, y_zones=y_zones, ratio=1.0, base_points=base_points)
+
+
+def lu_mz_zone_grid(base_points: float = 8192.0) -> ZoneGrid:
+    """LU-MZ's zone law: always 4x4 equal zones (the benchmark fixes 16)."""
+    return ZoneGrid(x_zones=4, y_zones=4, ratio=1.0, base_points=base_points)
+
+
+def sp_mz_programs(
+    n_ranks: int = 4,
+    iterations: int = 100,
+    instructions_per_point: float = 1.5e4,
+    profile: str = "cfd",
+    exchange_bytes: int = 40960,
+    init_factor: float = 1.0,
+) -> List[RankProgram]:
+    """Rank programs for an SP-MZ-like run (balanced by construction)."""
+    if n_ranks <= 0:
+        raise WorkloadError(f"n_ranks must be > 0, got {n_ranks}")
+    grid = sp_mz_zone_grid()
+    works = grid.rank_works(n_ranks, instructions_per_point)
+    cfg = BtMzConfig(
+        works=works,
+        iterations=iterations,
+        profile=profile,
+        exchange_bytes=exchange_bytes,
+        init_factor=init_factor,
+    )
+    return bt_mz_programs(config=cfg)
+
+
+def lu_mz_programs(
+    n_ranks: int = 4,
+    iterations: int = 100,
+    instructions_per_point: float = 2.5e4,
+    profile: str = "cfd",
+    exchange_bytes: int = 16384,
+    exchanges_per_iteration: int = 4,
+    init_factor: float = 1.0,
+) -> List[RankProgram]:
+    """Rank programs for an LU-MZ-like run.
+
+    LU's SSOR sweep synchronises more often: each iteration performs
+    ``exchanges_per_iteration`` smaller neighbour exchanges, modelled by
+    splitting the iteration into that many compute+exchange sub-steps.
+    """
+    if n_ranks <= 0:
+        raise WorkloadError(f"n_ranks must be > 0, got {n_ranks}")
+    if exchanges_per_iteration <= 0:
+        raise WorkloadError(
+            f"exchanges_per_iteration must be > 0, got {exchanges_per_iteration}"
+        )
+    grid = lu_mz_zone_grid()
+    works = grid.rank_works(n_ranks, instructions_per_point)
+    # Sub-step decomposition: same total work/communication per iteration,
+    # more synchronisation points.
+    sub_works = [w / exchanges_per_iteration for w in works]
+    cfg = BtMzConfig(
+        works=sub_works,
+        iterations=iterations * exchanges_per_iteration,
+        profile=profile,
+        exchange_bytes=exchange_bytes,
+        init_factor=init_factor * exchanges_per_iteration,
+    )
+    return bt_mz_programs(config=cfg)

@@ -1,0 +1,154 @@
+"""SIESTA's phase structure as a simulated MPI application (paper VII-C).
+
+SIESTA (ab-initio materials simulation) is the paper's "real application":
+
+* an *initialisation* phase (11.99 % of the reference run) that is itself
+  imbalanced, ending in a barrier;
+* a body of self-consistent-field iterations in which "each iteration is
+  not necessarily similar to the previous or the next one. In particular,
+  the process that computes the most is not the same across all the
+  iterations" — per-iteration work varies and the bottleneck migrates;
+* a *finalisation* phase (13.41 %) after a last barrier.
+
+The model draws per-iteration work vectors around per-rank means with
+lognormal jitter, and occasionally swaps the heaviest rank's work with
+another rank's to migrate the bottleneck. All randomness is generated at
+configuration time from a seed, so the resulting rank programs are pure
+data and every run of the same config is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.mpi.process import RankApi, RankProgram
+from repro.util.rng import RngStreams
+from repro.workloads.base import validate_works
+
+__all__ = ["SiestaConfig", "siesta_programs", "draw_iteration_works"]
+
+
+def draw_iteration_works(
+    mean_works: Sequence[float],
+    n_iterations: int,
+    jitter_sigma: float,
+    rotate_prob: float,
+    rng: np.random.Generator,
+) -> List[List[float]]:
+    """Per-iteration work vectors with jitter and bottleneck migration.
+
+    Row *i* is the work vector of iteration *i*; row means track
+    ``mean_works`` (lognormal jitter is mean-one), and with probability
+    ``rotate_prob`` an iteration's heaviest entry trades places with a
+    uniformly chosen other rank — the bottleneck migration the paper
+    describes for SIESTA.
+    """
+    means = np.asarray(validate_works(mean_works), dtype=float)
+    if n_iterations <= 0:
+        raise WorkloadError(f"n_iterations must be > 0, got {n_iterations}")
+    if jitter_sigma < 0:
+        raise WorkloadError(f"jitter_sigma must be >= 0, got {jitter_sigma}")
+    if not 0.0 <= rotate_prob <= 1.0:
+        raise WorkloadError(f"rotate_prob must be in [0,1], got {rotate_prob}")
+    n_ranks = means.size
+    out: List[List[float]] = []
+    for _ in range(n_iterations):
+        if jitter_sigma > 0:
+            # Mean-one lognormal: exp(N(-s^2/2, s)).
+            jitter = rng.lognormal(-0.5 * jitter_sigma**2, jitter_sigma, n_ranks)
+        else:
+            jitter = np.ones(n_ranks)
+        works = means * jitter
+        if n_ranks > 1 and rng.random() < rotate_prob:
+            heavy = int(np.argmax(works))
+            other = int(rng.integers(0, n_ranks - 1))
+            if other >= heavy:
+                other += 1
+            works[heavy], works[other] = works[other], works[heavy]
+        out.append([float(w) for w in works])
+    return out
+
+
+@dataclass(frozen=True)
+class SiestaConfig:
+    """One SIESTA run.
+
+    ``mean_works`` are per-rank mean instructions per SCF iteration;
+    ``init_works``/``final_works`` the per-rank instructions of the two
+    edge phases. The experiments calibrate all three against the paper's
+    Table VI phase shares.
+    """
+
+    mean_works: Sequence[float]
+    init_works: Sequence[float]
+    final_works: Sequence[float]
+    n_iterations: int = 40
+    profile: str = "dft"
+    jitter_sigma: float = 0.30
+    rotate_prob: float = 0.35
+    #: Convergence-check payload of the per-iteration allreduce.
+    allreduce_bytes: int = 64
+    seed: int = 2008
+
+    def __post_init__(self) -> None:
+        validate_works(self.mean_works)
+        validate_works(self.init_works)
+        validate_works(self.final_works)
+        n = len(self.mean_works)
+        if len(self.init_works) != n or len(self.final_works) != n:
+            raise WorkloadError(
+                "mean_works/init_works/final_works must have equal length"
+            )
+        if self.n_iterations <= 0:
+            raise WorkloadError(f"n_iterations must be > 0, got {self.n_iterations}")
+        if self.allreduce_bytes < 0:
+            raise WorkloadError(f"allreduce_bytes must be >= 0, got {self.allreduce_bytes}")
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.mean_works)
+
+    def iteration_works(self) -> List[List[float]]:
+        """The (deterministic) per-iteration work table for this config."""
+        rng = RngStreams(self.seed).get("siesta.iterations")
+        return draw_iteration_works(
+            self.mean_works,
+            self.n_iterations,
+            self.jitter_sigma,
+            self.rotate_prob,
+            rng,
+        )
+
+
+def _siesta_program(
+    cfg: SiestaConfig, rank: int, iteration_works: List[List[float]]
+) -> RankProgram:
+    init_work = float(cfg.init_works[rank])
+    final_work = float(cfg.final_works[rank])
+    my_works = [row[rank] for row in iteration_works]
+
+    def program(mpi: RankApi):
+        if init_work > 0:
+            yield mpi.init_phase(init_work, profile=cfg.profile)
+        yield mpi.barrier()
+        for work in my_works:
+            if work > 0:
+                yield mpi.compute(work, profile=cfg.profile)
+            yield mpi.allreduce(cfg.allreduce_bytes)
+        yield mpi.barrier()
+        if final_work > 0:
+            yield mpi.final_phase(final_work, profile=cfg.profile)
+
+    return program
+
+
+def siesta_programs(
+    config: SiestaConfig,
+) -> List[RankProgram]:
+    """Rank programs for a SIESTA run (work table drawn once, shared)."""
+    table = config.iteration_works()
+    return [_siesta_program(config, r, table) for r in range(config.n_ranks)]

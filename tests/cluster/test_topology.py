@@ -1,0 +1,53 @@
+"""Network topology models."""
+
+import pytest
+
+from repro.cluster.topology import TwoLevelTree, UniformNetwork
+from repro.errors import ConfigurationError
+
+
+class TestUniform:
+    def test_same_node_free(self):
+        net = UniformNetwork()
+        assert net.latency(3, 3) == 0.0
+        assert net.bandwidth(3, 3) == float("inf")
+
+    def test_symmetric(self):
+        net = UniformNetwork()
+        assert net.latency(0, 5) == net.latency(5, 0)
+        assert net.bandwidth(0, 5) == net.bandwidth(5, 0)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformNetwork().latency(-1, 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UniformNetwork(inter_bandwidth=0.0)
+
+
+class TestTwoLevelTree:
+    def test_switch_grouping(self):
+        net = TwoLevelTree(nodes_per_switch=4)
+        assert net.switch_of(0) == net.switch_of(3) == 0
+        assert net.switch_of(4) == 1
+
+    def test_near_vs_far_latency(self):
+        net = TwoLevelTree(nodes_per_switch=2)
+        assert net.latency(0, 1) == net.near_latency
+        assert net.latency(0, 2) == net.far_latency
+        assert net.latency(0, 1) < net.latency(0, 2)
+
+    def test_far_bandwidth_lower(self):
+        net = TwoLevelTree(nodes_per_switch=2)
+        assert net.bandwidth(0, 2) < net.bandwidth(0, 1)
+
+    def test_same_node(self):
+        net = TwoLevelTree()
+        assert net.latency(1, 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoLevelTree(far_latency=1e-6, near_latency=2e-6)
+        with pytest.raises(ConfigurationError):
+            TwoLevelTree(nodes_per_switch=0)

@@ -1,0 +1,39 @@
+"""Shared fixtures: models, systems, and small calibrated workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.system import System, SystemConfig
+from repro.smt.analytic import AnalyticThroughputModel
+from repro.smt.instructions import BASE_PROFILES
+from repro.smt.throughput import ThroughputTable
+
+
+@pytest.fixture(scope="session")
+def analytic_model() -> AnalyticThroughputModel:
+    """One shared analytic model; its memo cache warms across tests."""
+    return AnalyticThroughputModel()
+
+
+@pytest.fixture(scope="session")
+def throughput_table() -> ThroughputTable:
+    """Cycle-sim measurements with short windows (test-speed tuned)."""
+    return ThroughputTable(warmup_cycles=2_000, measure_cycles=15_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    return BASE_PROFILES
+
+
+@pytest.fixture()
+def system() -> System:
+    """A fresh default system (patched kernel, analytic model)."""
+    return System(SystemConfig())
+
+
+@pytest.fixture()
+def standard_system() -> System:
+    """A system running the stock (unpatched) kernel."""
+    return System(SystemConfig(kernel="standard"))

@@ -1,0 +1,65 @@
+"""The profile -> plan -> verify advisor pipeline."""
+
+import pytest
+
+from repro.core.advisor import Advisor
+from repro.core.static import StaticPriorityBalancer
+from repro.errors import ConfigurationError
+from repro.machine.mapping import ProcessMapping
+from repro.workloads.generators import barrier_loop_programs
+
+
+class TestAdvisor:
+    def test_end_to_end_improvement(self, system):
+        works = [1e9, 4e9, 1e9, 4e9]
+        report = Advisor(system).advise(
+            lambda: barrier_loop_programs(works, iterations=3),
+            ProcessMapping.identity(4),
+        )
+        assert report.improvement_percent > 0
+        assert report.imbalance_reduction > 0
+        assert report.balanced.total_time < report.baseline.total_time
+
+    def test_assignment_favours_heavy_ranks(self, system):
+        works = [1e9, 4e9, 1e9, 4e9]
+        report = Advisor(system).advise(
+            lambda: barrier_loop_programs(works, iterations=2),
+            ProcessMapping.identity(4),
+        )
+        prios = report.assignment.priority_dict
+        heavy = {1, 3}
+        for h in heavy:
+            assert prios[h] > 4
+
+    def test_balanced_workload_untouched(self, system):
+        works = [2e9] * 4
+        report = Advisor(system).advise(
+            lambda: barrier_loop_programs(works, iterations=2),
+            ProcessMapping.identity(4),
+        )
+        assert report.assignment.max_gap == 0
+        # No gap -> essentially identical run time.
+        assert report.balanced.total_time == pytest.approx(
+            report.baseline.total_time, rel=0.05
+        )
+
+    def test_custom_balancer(self, system):
+        works = [1e9, 4e9]
+        report = Advisor(system, StaticPriorityBalancer(max_gap=1)).advise(
+            lambda: barrier_loop_programs(works, iterations=2),
+            ProcessMapping.identity(2),
+        )
+        assert report.assignment.max_gap <= 1
+
+    def test_summary_table(self, system):
+        works = [1e9, 3e9]
+        report = Advisor(system).advise(
+            lambda: barrier_loop_programs(works, iterations=2),
+            ProcessMapping.identity(2),
+        )
+        out = report.summary_table().render()
+        assert "baseline" in out and "balanced" in out and "improvement" in out
+
+    def test_empty_factory_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            Advisor(system).advise(lambda: [])

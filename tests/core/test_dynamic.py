@@ -1,0 +1,95 @@
+"""The dynamic balancer (the paper's future work)."""
+
+import pytest
+
+from repro.core.dynamic import DynamicBalancer, DynamicBalancerConfig
+from repro.errors import ConfigurationError
+from repro.machine.mapping import ProcessMapping
+from repro.workloads.generators import barrier_loop_programs
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DynamicBalancerConfig(interval=0.0)
+        with pytest.raises(ConfigurationError):
+            DynamicBalancerConfig(min_priority=5, max_priority=4)
+        with pytest.raises(ConfigurationError):
+            DynamicBalancerConfig(max_gap=5, min_priority=3, max_priority=6)
+        with pytest.raises(ConfigurationError):
+            DynamicBalancerConfig(threshold=1.5)
+
+    def test_interval_property(self):
+        assert DynamicBalancer(DynamicBalancerConfig(interval=0.5)).interval == 0.5
+
+
+class TestControlBehaviour:
+    def test_widens_gap_toward_bottleneck(self, system):
+        works = [1e9, 6e9, 1e9, 6e9]
+        dyn = DynamicBalancer(DynamicBalancerConfig(interval=0.25, threshold=0.1))
+        result = system.run(
+            barrier_loop_programs(works, iterations=6),
+            ProcessMapping.identity(4),
+            controllers=[dyn],
+        )
+        assert dyn.adjustments, "controller never acted"
+        # The first adjustments must favour the heavy ranks (1 and 3).
+        raised = {rank for _, rank, old, new in dyn.adjustments if new > old}
+        assert raised <= {1, 3}
+        assert result.total_time > 0
+
+    def test_improves_imbalanced_run(self, system):
+        works = [1e9, 6e9, 1e9, 6e9]
+        base = system.run(
+            barrier_loop_programs(works, iterations=6), ProcessMapping.identity(4)
+        )
+        dyn = DynamicBalancer(DynamicBalancerConfig(interval=0.25, threshold=0.1))
+        controlled = system.run(
+            barrier_loop_programs(works, iterations=6),
+            ProcessMapping.identity(4),
+            controllers=[dyn],
+        )
+        assert controlled.total_time < base.total_time
+
+    def test_leaves_balanced_run_alone(self, system):
+        works = [2e9] * 4
+        dyn = DynamicBalancer(DynamicBalancerConfig(interval=0.25, threshold=0.1))
+        system.run(
+            barrier_loop_programs(works, iterations=4),
+            ProcessMapping.identity(4),
+            controllers=[dyn],
+        )
+        assert dyn.adjustments == []
+
+    def test_relaxes_stale_gap(self, system):
+        """Start from a (wrong) static boost on a balanced workload: the
+        controller should walk the gap back toward equality."""
+        works = [2e9] * 4
+        dyn = DynamicBalancer(DynamicBalancerConfig(interval=0.2, threshold=0.1))
+        result = system.run(
+            barrier_loop_programs(works, iterations=6),
+            ProcessMapping.identity(4),
+            priorities={0: 4, 1: 6, 2: 4, 3: 6},
+            controllers=[dyn],
+        )
+        lowered = [(r, old, new) for _, r, old, new in dyn.adjustments if new < old]
+        assert lowered, "controller never relaxed the stale gap"
+
+    def test_respects_priority_bounds(self, system):
+        works = [1e8, 8e9, 1e8, 8e9]
+        cfg = DynamicBalancerConfig(interval=0.1, threshold=0.02, max_gap=2)
+        dyn = DynamicBalancer(cfg)
+        system.run(
+            barrier_loop_programs(works, iterations=4),
+            ProcessMapping.identity(4),
+            controllers=[dyn],
+        )
+        for _, _, old, new in dyn.adjustments:
+            assert cfg.min_priority <= new <= cfg.max_priority
+
+    def test_reset(self):
+        dyn = DynamicBalancer()
+        dyn.adjustments.append((0.0, 0, 4, 5))
+        dyn._last_sync[0] = 1.0
+        dyn.reset()
+        assert dyn.adjustments == [] and dyn._last_sync == {}

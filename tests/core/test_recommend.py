@@ -1,0 +1,63 @@
+"""Drift-aware policy recommendation (Advisor.recommend)."""
+
+import pytest
+
+from repro.core.advisor import Advisor
+from repro.machine.mapping import ProcessMapping
+from repro.mpi.process import RankApi
+from repro.workloads.generators import barrier_loop_programs
+
+
+def stable_programs():
+    """Fixed bottleneck: ranks 1 and 3 are always the heavy ones."""
+    return barrier_loop_programs([1e9, 4e9, 1e9, 4e9], iterations=4)
+
+
+def drifting_programs():
+    """The hot rank alternates between 1 and 3 every phase."""
+
+    def make(rank):
+        def program(mpi: RankApi):
+            for phase in range(6):
+                hot = 1 if phase % 2 == 0 else 3
+                work = 2e9 * (3.0 if rank == hot else 1.0)
+                yield mpi.compute(work, profile="hpc")
+                yield mpi.barrier()
+
+        return program
+
+    return [make(r) for r in range(4)]
+
+
+class TestRecommend:
+    def test_stable_workload_gets_static(self, system):
+        rec = Advisor(system).recommend(stable_programs, ProcessMapping.identity(4))
+        assert rec.policy == "static"
+        assert rec.controller is None
+        assert rec.drift <= 0.4
+        assert rec.improvement_percent > 0
+
+    def test_drifting_workload_gets_dynamic(self, system):
+        rec = Advisor(system).recommend(
+            drifting_programs, ProcessMapping.identity(4)
+        )
+        assert rec.policy == "dynamic"
+        assert rec.controller is not None
+        assert rec.drift > 0.4
+        assert rec.chosen.total_time <= rec.baseline.total_time * 1.02
+
+    def test_threshold_forces_policy(self, system):
+        static_forced = Advisor(system).recommend(
+            drifting_programs, ProcessMapping.identity(4), drift_threshold=1.0
+        )
+        assert static_forced.policy == "static"
+        dynamic_forced = Advisor(system).recommend(
+            stable_programs, ProcessMapping.identity(4), drift_threshold=-0.1
+        )
+        assert dynamic_forced.policy == "dynamic"
+
+    def test_assignment_always_computed(self, system):
+        rec = Advisor(system).recommend(
+            drifting_programs, ProcessMapping.identity(4)
+        )
+        assert rec.assignment.mapping.n_ranks == 4

@@ -1,0 +1,101 @@
+"""Priority-configuration search."""
+
+import pytest
+
+from repro.core.balancer import PriorityAssignment
+from repro.core.search import (
+    candidate_assignments,
+    exhaustive_priority_search,
+    greedy_priority_search,
+)
+from repro.errors import ConfigurationError
+from repro.machine.mapping import ProcessMapping
+from repro.workloads.generators import barrier_loop_programs
+
+WORKS = [1e9, 4e9]
+MAPPING = ProcessMapping.identity(2)
+
+
+def factory():
+    return barrier_loop_programs(WORKS, iterations=2)
+
+
+class TestCandidates:
+    def test_gap_bound_respected(self):
+        for a in candidate_assignments(MAPPING, levels=(3, 4, 5, 6), max_gap=2):
+            assert a.max_gap <= 2
+
+    def test_count_for_one_core(self):
+        # 4 levels, |gap| <= 2: 16 - 2 (the (3,6),(6,3) pairs) = 14.
+        cands = candidate_assignments(MAPPING, levels=(3, 4, 5, 6), max_gap=2)
+        assert len(cands) == 14
+
+    def test_lone_rank_core(self):
+        m = ProcessMapping.from_dict({0: 0, 1: 2})
+        cands = candidate_assignments(m, levels=(4, 5), max_gap=1)
+        assert len(cands) == 4  # 2 x 2 independent levels
+
+    def test_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            candidate_assignments(MAPPING, levels=(0, 4))
+
+
+class TestExhaustive:
+    def test_finds_better_than_default(self, system):
+        result = exhaustive_priority_search(
+            system, factory, MAPPING, levels=(4, 5, 6), max_gap=2
+        )
+        default_time = [
+            t for a, t, _ in result.entries if a.priority_dict == {0: 4, 1: 4}
+        ][0]
+        assert result.best_time <= default_time
+        # The best assignment favours the heavy rank 1.
+        best = result.best.priority_dict
+        assert best[1] >= best[0]
+
+    def test_entries_sorted(self, system):
+        result = exhaustive_priority_search(
+            system, factory, MAPPING, levels=(4, 5), max_gap=1
+        )
+        times = [t for _, t, _ in result.entries]
+        assert times == sorted(times)
+
+    def test_keep_top(self, system):
+        result = exhaustive_priority_search(
+            system, factory, MAPPING, levels=(4, 5), max_gap=1, keep_top=2
+        )
+        assert result.evaluated == 2
+
+    def test_improvement_over(self, system):
+        result = exhaustive_priority_search(
+            system, factory, MAPPING, levels=(4, 5, 6), max_gap=2
+        )
+        assert result.improvement_over(1e9) > 99.0
+        with pytest.raises(ConfigurationError):
+            result.improvement_over(0.0)
+
+
+class TestGreedy:
+    def test_converges_to_good_config(self, system):
+        result = greedy_priority_search(
+            system, factory, MAPPING, levels=(4, 5, 6), max_gap=2, max_steps=5
+        )
+        best = result.best.priority_dict
+        assert best[1] > best[0]  # heavy rank favoured
+
+    def test_fewer_evaluations_than_exhaustive(self, system):
+        greedy = greedy_priority_search(
+            system, factory, MAPPING, levels=(3, 4, 5, 6), max_gap=2, max_steps=3
+        )
+        exhaustive = exhaustive_priority_search(
+            system, factory, MAPPING, levels=(3, 4, 5, 6), max_gap=2
+        )
+        # Greedy's history contains every evaluated point.
+        assert greedy.evaluated <= exhaustive.evaluated * 2  # sanity bound
+
+    def test_custom_start(self, system):
+        start = PriorityAssignment.build(MAPPING, {0: 4, 1: 6}, label="seed")
+        result = greedy_priority_search(
+            system, factory, MAPPING, start=start, levels=(4, 5, 6), max_steps=2
+        )
+        assert result.best_time <= [t for a, t, _ in result.entries if a is start][0]

@@ -1,0 +1,48 @@
+"""Figure reproduction helpers."""
+
+import pytest
+
+from repro.experiments.cases import metbench_suite
+from repro.experiments.figures import case_trace, figure1_traces
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def fig1(self, request):
+        from repro.machine.system import System, SystemConfig
+
+        return figure1_traces(System(SystemConfig()), width=60, iterations=2)
+
+    def test_rebalancing_helps(self, fig1):
+        _, _, before, after = fig1
+        assert after.total_time < before.total_time
+        assert after.imbalance_percent < before.imbalance_percent
+
+    def test_charts_have_four_ranks(self, fig1):
+        chart_a, chart_b, _, _ = fig1
+        for chart in (chart_a, chart_b):
+            for rank in ("P1", "P2", "P3", "P4"):
+                assert rank in chart
+
+    def test_waiting_visible_in_imbalanced_chart(self, fig1):
+        chart_a, _, before, _ = fig1
+        # P2's line should contain blank (sync) cells.
+        p2_line = [l for l in chart_a.splitlines() if l.startswith("P2")][0]
+        assert "# " in p2_line or " #" in p2_line
+
+    def test_legend_attached(self, fig1):
+        chart_a, _, _, _ = fig1
+        assert "legend:" in chart_a
+
+
+class TestCaseTrace:
+    def test_renders_named_case(self, system):
+        suite = metbench_suite(iterations=2)
+        chart, run = case_trace(suite, "A", system, width=50)
+        assert "P4" in chart
+        assert run.total_time > 0
+
+    def test_unknown_case(self, system):
+        suite = metbench_suite(iterations=2)
+        with pytest.raises(Exception):
+            case_trace(suite, "Q", system)

@@ -1,0 +1,26 @@
+"""Report generation."""
+
+import pytest
+
+from repro.experiments.cases import metbench_suite
+from repro.experiments.report import suite_report
+
+
+class TestSuiteReport:
+    @pytest.fixture(scope="class")
+    def rendered(self):
+        return suite_report(metbench_suite(iterations=2), cases=["A", "C"])
+
+    def test_contains_comparison_and_breakdowns(self, rendered):
+        assert "paper vs simulated" in rendered
+        assert "case A" in rendered and "case C" in rendered
+        assert "Comp %" in rendered
+
+    def test_paper_values_present(self, rendered):
+        assert "81.64s" in rendered  # paper case A
+        assert "74.90s" in rendered  # paper case C
+
+    def test_case_filter(self):
+        out = suite_report(metbench_suite(iterations=2), cases=["A"])
+        assert "case A" in out
+        assert "case D" not in out

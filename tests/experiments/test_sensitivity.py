@@ -1,0 +1,49 @@
+"""Model-knob sensitivity of the headline conclusions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.sensitivity import (
+    conclusions_hold,
+    sensitivity_table,
+    sweep_model_knob,
+)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def congestion_sweep(self):
+        return sweep_model_knob("congestion_cycles", [75.0, 150.0, 300.0])
+
+    def test_outcomes_per_value(self, congestion_sweep):
+        assert len(congestion_sweep) == 3
+        assert [o.value for o in congestion_sweep] == [75.0, 150.0, 300.0]
+        for o in congestion_sweep:
+            assert set(o.times) == {"A", "C", "D"}
+
+    def test_conclusions_robust_to_congestion(self, congestion_sweep):
+        """C beats A and D loses at every congestion strength — the
+        MetBench conclusions are not an artefact of the 150-cycle default."""
+        assert conclusions_hold(congestion_sweep)
+
+    def test_conclusions_robust_to_l1_tax(self):
+        sweep = sweep_model_knob("l1_sharing_tax", [0.25, 0.5, 0.75])
+        assert conclusions_hold(sweep)
+
+    def test_table_renders(self, congestion_sweep):
+        out = sensitivity_table(congestion_sweep).render()
+        assert "congestion_cycles" in out
+        assert "C vs A" in out and "D vs A" in out
+
+    def test_improvement_sign_convention(self, congestion_sweep):
+        o = congestion_sweep[0]
+        assert o.improvement("C") > 0  # C faster than A
+        assert o.improvement("D") < 0  # D slower than A
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_model_knob("magic", [1.0])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_model_knob("congestion_cycles", [])

@@ -1,0 +1,46 @@
+"""Tables II and III reproduction modules."""
+
+import pytest
+
+from repro.experiments.table2 import (
+    PRIORITY_PAIRS,
+    decode_cycles_table,
+    measured_decode_shares,
+)
+from repro.experiments.table3 import SPECIAL_CASES, special_cases_table
+
+
+class TestTable2:
+    def test_architectural_table_rows(self):
+        out = decode_cycles_table().render()
+        for r in (2, 4, 8, 16, 32):
+            assert f"| {r} " in out or f"| {r}\n" in out or str(r) in out
+        assert "31" in out  # 31:1 split at diff 4
+
+    def test_measured_shares_match_law(self):
+        rows = measured_decode_shares(measure_cycles=8_000, warmup_cycles=1_000)
+        assert len(rows) == len(PRIORITY_PAIRS)
+        for diff, expected_a, expected_b, measured_a, measured_b in rows:
+            assert measured_a == pytest.approx(expected_a, abs=0.01), f"diff {diff}"
+            assert measured_b == pytest.approx(expected_b, abs=0.01), f"diff {diff}"
+
+    def test_pairs_cover_diffs_0_to_4(self):
+        assert sorted(PRIORITY_PAIRS) == [0, 1, 2, 3, 4]
+        for diff, (pa, pb) in PRIORITY_PAIRS.items():
+            assert abs(pa - pb) == diff
+            assert pa > 1 and pb > 1
+
+
+class TestTable3:
+    def test_covers_all_paper_rows(self):
+        assert len(SPECIAL_CASES) == 6
+
+    def test_renders_with_consistent_modes(self):
+        out = special_cases_table().render()
+        for token in ("power_save", "single_thread", "stopped", "leftover"):
+            assert token in out
+
+    def test_shares_in_table(self):
+        out = special_cases_table().render()
+        assert "0.0156" in out  # 1/64 power save
+        assert "0.0312" in out  # 1/32 off+very-low

@@ -1,0 +1,64 @@
+"""Bit-level determinism of whole experiments."""
+
+import pytest
+
+from repro.experiments.cases import siesta_suite
+from repro.experiments.runner import run_case
+from repro.machine.mapping import ProcessMapping
+from repro.machine.system import System, SystemConfig
+from repro.trace.paraver import trace_to_csv
+from repro.workloads.generators import barrier_loop_programs
+
+
+class TestDeterminism:
+    def test_identical_configs_identical_traces(self):
+        def run_once():
+            system = System(SystemConfig(seed=11))
+            result = system.run(
+                barrier_loop_programs([1e9, 3e9, 2e9, 4e9], iterations=3),
+                ProcessMapping.identity(4),
+                priorities={0: 5, 1: 6, 2: 4, 3: 6},
+            )
+            return trace_to_csv(result.trace)
+
+        assert run_once() == run_once()
+
+    def test_siesta_stochastic_workload_still_deterministic(self):
+        """All randomness flows from seeds: even the jittered SIESTA
+        suite reproduces exactly."""
+
+        def run_once():
+            suite = siesta_suite(n_iterations=4, time_scale=0.05, seed=5)
+            system = System(SystemConfig(seed=0))
+            return run_case(system, suite, suite.case("A")).measured_exec
+
+        assert run_once() == run_once()
+
+    def test_noise_seeded(self):
+        from repro.kernel.noise import NoiseConfig
+
+        def run_once(seed):
+            system = System(
+                SystemConfig(
+                    seed=seed,
+                    noise=(
+                        NoiseConfig("d", cpu=0, mean_period=0.02, mean_burst=0.005),
+                    ),
+                )
+            )
+            return system.run(
+                barrier_loop_programs([1e9], iterations=2),
+                ProcessMapping.identity(1),
+            ).total_time
+
+        assert run_once(1) == run_once(1)
+        assert run_once(1) != run_once(2)
+
+    def test_system_seed_does_not_affect_noise_free_runs(self):
+        def run_once(seed):
+            return System(SystemConfig(seed=seed)).run(
+                barrier_loop_programs([1e9, 2e9], iterations=2),
+                ProcessMapping.identity(2),
+            ).total_time
+
+        assert run_once(1) == pytest.approx(run_once(99))

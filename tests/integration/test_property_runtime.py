@@ -1,0 +1,136 @@
+"""Property-based tests of the runtime over random workloads.
+
+Hypothesis generates random work vectors, priorities, mappings and
+iteration counts; the invariants below must hold for every combination:
+no deadlock, complete traces, conserved state fractions, and the
+fundamental monotonicity of the priority mechanism.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.machine.mapping import ProcessMapping
+from repro.machine.system import System, SystemConfig
+from repro.trace.events import RankState
+from repro.workloads.generators import barrier_loop_programs
+
+_SYSTEM = System(SystemConfig())
+
+works_strategy = st.lists(
+    st.floats(min_value=1e7, max_value=5e9), min_size=4, max_size=4
+)
+prio_strategy = st.lists(st.integers(min_value=2, max_value=6), min_size=4, max_size=4)
+
+common_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRuntimeInvariants:
+    @given(works=works_strategy, iterations=st.integers(min_value=1, max_value=3))
+    @common_settings
+    def test_every_run_terminates_with_full_trace(self, works, iterations):
+        result = _SYSTEM.run(
+            barrier_loop_programs(works, iterations=iterations),
+            ProcessMapping.identity(4),
+        )
+        assert result.total_time > 0
+        for tl in result.trace:
+            assert tl.end_time == pytest.approx(result.total_time)
+
+    @given(works=works_strategy, prios=prio_strategy)
+    @common_settings
+    def test_fractions_conserved_under_any_priorities(self, works, prios):
+        result = _SYSTEM.run(
+            barrier_loop_programs(works, iterations=2),
+            ProcessMapping.identity(4),
+            priorities=dict(enumerate(prios)),
+        )
+        for r in result.stats.ranks:
+            total = (
+                r.compute_fraction
+                + r.sync_fraction
+                + r.comm_fraction
+                + r.noise_fraction
+                + r.idle_fraction
+            )
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    @given(works=works_strategy)
+    @common_settings
+    def test_total_time_at_least_heaviest_rank_alone(self, works):
+        """Lower bound: the app cannot finish before its heaviest rank
+        could at the best-possible (solo) rate."""
+        from repro.smt.instructions import BASE_PROFILES
+        from repro.util.units import POWER5_FREQ_HZ
+
+        result = _SYSTEM.run(
+            barrier_loop_programs(works, iterations=1),
+            ProcessMapping.identity(4),
+        )
+        solo_rate = (
+            _SYSTEM.model.core_ipc(BASE_PROFILES["hpc"], None, 7, 0)[0]
+            * POWER5_FREQ_HZ
+        )
+        assert result.total_time >= max(works) / solo_rate * 0.99
+
+    @given(
+        works=works_strategy,
+        pairs=st.permutations([0, 1, 2, 3]),
+    )
+    @common_settings
+    def test_any_mapping_permutation_runs(self, works, pairs):
+        mapping = ProcessMapping.from_dict(
+            {rank: cpu for cpu, rank in enumerate(pairs)}
+        )
+        result = _SYSTEM.run(
+            barrier_loop_programs(works, iterations=1), mapping
+        )
+        assert result.total_time > 0
+
+    @given(
+        work=st.floats(min_value=1e8, max_value=2e9),
+        gap=st.integers(min_value=0, max_value=2),
+    )
+    @common_settings
+    def test_boosting_solo_bottleneck_never_hurts(self, work, gap):
+        """With a single hot rank per core pair, widening its priority
+        gap (within the safe range) must not slow the application."""
+        works = [work * 4, work, work * 4, work]
+        base = _SYSTEM.run(
+            barrier_loop_programs(works, iterations=2), ProcessMapping.identity(4)
+        ).total_time
+        boosted = _SYSTEM.run(
+            barrier_loop_programs(works, iterations=2),
+            ProcessMapping.identity(4),
+            priorities={0: 4 + gap, 1: 4, 2: 4 + gap, 3: 4},
+        ).total_time
+        assert boosted <= base * 1.02
+
+    @given(works=works_strategy)
+    @common_settings
+    def test_imbalance_metric_bounded(self, works):
+        result = _SYSTEM.run(
+            barrier_loop_programs(works, iterations=1),
+            ProcessMapping.identity(4),
+        )
+        assert 0.0 <= result.imbalance_percent <= 100.0
+
+
+class TestComputeConservation:
+    @given(
+        works=st.lists(st.floats(min_value=1e8, max_value=3e9), min_size=2, max_size=2)
+    )
+    @common_settings
+    def test_compute_time_ratio_tracks_work_ratio_on_separate_cores(self, works):
+        """On separate cores (no decode interaction), compute durations
+        are proportional to work."""
+        mapping = ProcessMapping.from_dict({0: 0, 1: 2})
+        result = _SYSTEM.run(
+            barrier_loop_programs(works, iterations=1), mapping
+        )
+        t0 = result.trace[0].time_in(RankState.COMPUTE)
+        t1 = result.trace[1].time_in(RankState.COMPUTE)
+        assert t0 / t1 == pytest.approx(works[0] / works[1], rel=0.1)

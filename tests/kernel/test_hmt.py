@@ -1,0 +1,91 @@
+"""Privilege-checked hardware priority controller."""
+
+import pytest
+
+from repro.errors import InvalidPriorityError, PrivilegeError
+from repro.kernel.hmt import Actor, HmtController
+from repro.smt.chip import Power5Chip
+
+
+@pytest.fixture()
+def hmt():
+    return HmtController(Power5Chip())
+
+
+class TestPrivilegeEnforcement:
+    def test_user_can_set_2_to_4(self, hmt):
+        for prio in (2, 3, 4):
+            hmt.set_priority(0, prio, Actor.USER)
+            assert int(hmt.read_tsr(0)) == prio
+
+    @pytest.mark.parametrize("prio", [0, 1, 5, 6, 7])
+    def test_user_denied_outside_2_to_4(self, hmt, prio):
+        with pytest.raises(PrivilegeError):
+            hmt.set_priority(0, prio, Actor.USER)
+
+    def test_os_can_set_1_to_6(self, hmt):
+        for prio in (1, 2, 3, 4, 5, 6):
+            hmt.set_priority(1, prio, Actor.OS)
+
+    @pytest.mark.parametrize("prio", [0, 7])
+    def test_os_denied_hypervisor_levels(self, hmt, prio):
+        with pytest.raises(PrivilegeError):
+            hmt.set_priority(1, prio, Actor.OS)
+
+    def test_hypervisor_full_range(self, hmt):
+        for prio in range(8):
+            hmt.set_priority(2, prio, Actor.HYPERVISOR)
+
+    def test_denied_write_leaves_priority_unchanged(self, hmt):
+        before = int(hmt.read_tsr(0))
+        with pytest.raises(PrivilegeError):
+            hmt.set_priority(0, 6, Actor.USER)
+        assert int(hmt.read_tsr(0)) == before
+
+    def test_invalid_priority_value(self, hmt):
+        with pytest.raises(InvalidPriorityError):
+            hmt.set_priority(0, 9, Actor.HYPERVISOR)
+
+
+class TestNopSemantics:
+    def test_try_set_silently_noops_on_denial(self, hmt):
+        assert not hmt.try_set_priority(0, 6, Actor.USER)
+        assert int(hmt.read_tsr(0)) == 4
+
+    def test_or_nop_by_register(self, hmt):
+        assert hmt.or_nop(0, 1, Actor.USER)  # or 1,1,1 -> LOW
+        assert int(hmt.read_tsr(0)) == 2
+
+    def test_or_nop_privileged_register_noop_for_user(self, hmt):
+        assert not hmt.or_nop(0, 3, Actor.USER)  # or 3,3,3 -> HIGH
+        assert int(hmt.read_tsr(0)) == 4
+
+    def test_or_nop_priority_convenience(self, hmt):
+        assert hmt.or_nop_priority(0, 3)
+        assert int(hmt.read_tsr(0)) == 3
+        assert not hmt.or_nop_priority(0, 6)  # user path: denied silently
+
+
+class TestAudit:
+    def test_history_records_successful_writes(self, hmt):
+        hmt.set_priority(0, 3, Actor.USER, time=1.5, via="mtspr")
+        hmt.set_priority(2, 6, Actor.OS, time=2.0, via="procfs")
+        assert len(hmt.history) == 2
+        assert hmt.history[1].cpu == 2
+        assert hmt.history[1].via == "procfs"
+        assert hmt.history[1].time == 2.0
+
+    def test_denied_writes_not_recorded(self, hmt):
+        hmt.try_set_priority(0, 6, Actor.USER)
+        assert hmt.history == []
+
+    def test_last_write_filter(self, hmt):
+        hmt.set_priority(0, 3, Actor.USER)
+        hmt.set_priority(1, 2, Actor.USER)
+        assert hmt.last_write().cpu == 1
+        assert hmt.last_write(cpu=0).priority == 3
+        assert hmt.last_write(cpu=3) is None
+
+    def test_priorities_tuple(self, hmt):
+        hmt.set_priority(3, 6, Actor.OS)
+        assert tuple(int(p) for p in hmt.priorities()) == (4, 4, 4, 6)

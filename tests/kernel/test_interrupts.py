@@ -1,0 +1,91 @@
+"""Interrupt and tick event sources."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.interrupts import (
+    InterruptSource,
+    KernelEvent,
+    TimerTickSource,
+    merge_sources,
+)
+
+
+class TestKernelEvent:
+    def test_ordering_by_time(self):
+        a = KernelEvent(1.0, 0, 0.0)
+        b = KernelEvent(2.0, 0, 0.0)
+        assert a < b
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelEvent(0.0, 0, -1.0)
+
+
+class TestTimerTicks:
+    def test_tick_count_matches_hz(self):
+        src = TimerTickSource([0], hz=100.0, phase_stagger=False)
+        events = list(src.events(1.0))
+        assert len(events) == 100
+        assert all(e.kind == "tick" for e in events)
+
+    def test_all_cpus_receive_ticks(self):
+        src = TimerTickSource([0, 1, 2, 3], hz=50.0)
+        events = list(src.events(1.0))
+        assert {e.cpu for e in events} == {0, 1, 2, 3}
+
+    def test_stagger_spreads_phases(self):
+        src = TimerTickSource([0, 1], hz=10.0, phase_stagger=True)
+        events = list(src.events(0.2))
+        times0 = [e.time for e in events if e.cpu == 0]
+        times1 = [e.time for e in events if e.cpu == 1]
+        assert times0[0] != times1[0]
+
+    def test_window_start(self):
+        src = TimerTickSource([0], hz=100.0, phase_stagger=False)
+        events = list(src.events(1.0, t_start=0.5))
+        assert all(0.5 <= e.time < 1.0 for e in events)
+
+    def test_time_ordered(self):
+        src = TimerTickSource([0, 1, 2], hz=30.0)
+        times = [e.time for e in src.events(1.0)]
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimerTickSource([], hz=10.0)
+
+
+class TestInterruptSource:
+    def _rng(self, seed=0):
+        return np.random.Generator(np.random.PCG64(seed))
+
+    def test_poisson_rate_approximate(self):
+        src = InterruptSource(self._rng(), rate_hz=200.0, cpu=0)
+        events = list(src.events(50.0))
+        assert len(events) == pytest.approx(10_000, rel=0.1)
+
+    def test_all_routed_to_cpu0(self):
+        """The 'interrupt annoyance problem': all device IRQs on CPU0."""
+        src = InterruptSource(self._rng(), rate_hz=100.0, cpu=0)
+        assert all(e.cpu == 0 for e in src.events(5.0))
+
+    def test_zero_rate_is_silent(self):
+        src = InterruptSource(self._rng(), rate_hz=0.0)
+        assert list(src.events(100.0)) == []
+
+    def test_deterministic_given_seed(self):
+        e1 = [e.time for e in InterruptSource(self._rng(9), 50.0).events(2.0)]
+        e2 = [e.time for e in InterruptSource(self._rng(9), 50.0).events(2.0)]
+        assert e1 == e2
+
+
+class TestMerge:
+    def test_merged_streams_time_ordered(self):
+        ticks = TimerTickSource([0, 1], hz=25.0)
+        irqs = InterruptSource(np.random.Generator(np.random.PCG64(1)), 40.0)
+        merged = list(merge_sources([ticks, irqs], 2.0))
+        times = [e.time for e in merged]
+        assert times == sorted(times)
+        assert {e.kind for e in merged} == {"tick", "irq"}

@@ -1,0 +1,88 @@
+"""Standard vs patched kernel behaviour (the paper's section VI)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.hmt import Actor, HmtController
+from repro.kernel.kernel import PatchedLinux, StandardLinux, make_kernel
+from repro.kernel.scheduler import PinnedScheduler
+from repro.smt.chip import Power5Chip
+
+
+def build(kind):
+    chip = Power5Chip()
+    hmt = HmtController(chip)
+    sched = PinnedScheduler(chip.config.n_cpus)
+    return chip, hmt, sched, make_kernel(kind, hmt, sched)
+
+
+class TestStandardKernel:
+    def test_interrupt_resets_priority_to_medium(self):
+        """Section VI-A: 'the kernel simply resets the priority to MEDIUM
+        every time it starts to execute an interrupt handler'."""
+        chip, hmt, _, kernel = build("standard")
+        hmt.set_priority(0, 6, Actor.OS)
+        kernel.on_interrupt_entry(0, time=1.0)
+        assert int(chip.priority(0)) == 4
+
+    def test_interrupt_on_default_priority_writes_nothing(self):
+        chip, hmt, _, kernel = build("standard")
+        kernel.on_interrupt_entry(0, time=1.0)
+        assert hmt.history == []  # no redundant write
+
+    def test_no_procfs(self):
+        _, _, _, kernel = build("standard")
+        assert not kernel.has_hmt_procfs
+        with pytest.raises(FileNotFoundError):
+            kernel.procfs
+
+    def test_process_start_sets_medium(self):
+        chip, hmt, _, kernel = build("standard")
+        hmt.set_priority(2, 6, Actor.OS)
+        kernel.on_process_start(pid=7, cpu=2, time=0.0)
+        assert int(chip.priority(2)) == 4
+
+    def test_idle_cpu_lowered(self):
+        """Standard behaviour case 3: idle CPUs run at reduced priority so
+        the sibling receives more resources."""
+        chip, _, _, kernel = build("standard")
+        kernel.on_cpu_idle(1, time=5.0)
+        assert int(chip.priority(1)) == 2
+
+
+class TestPatchedKernel:
+    def test_interrupt_preserves_priority(self):
+        """Patch point 1: handlers no longer touch the priority."""
+        chip, hmt, _, kernel = build("patched")
+        hmt.set_priority(0, 6, Actor.OS)
+        kernel.on_interrupt_entry(0, time=1.0)
+        assert int(chip.priority(0)) == 6
+
+    def test_procfs_available(self):
+        _, _, sched, kernel = build("patched")
+        assert kernel.has_hmt_procfs
+        sched.pin(55, 3)
+        kernel.procfs.write("/proc/55/hmt_priority", "6")
+        assert int(kernel.hmt.read_tsr(3)) == 6
+
+    def test_idle_still_lowered(self):
+        chip, _, _, kernel = build("patched")
+        kernel.on_cpu_idle(0, time=1.0)
+        assert int(chip.priority(0)) == 2
+
+    def test_name_identifies_patch(self):
+        _, _, _, kernel = build("patched")
+        assert "patch" in kernel.name
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(build("standard")[3], StandardLinux)
+        assert isinstance(build("patched")[3], PatchedLinux)
+
+    def test_unknown_kind(self):
+        chip = Power5Chip()
+        hmt = HmtController(chip)
+        sched = PinnedScheduler(4)
+        with pytest.raises(ConfigurationError):
+            make_kernel("windows", hmt, sched)

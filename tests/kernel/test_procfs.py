@@ -1,0 +1,85 @@
+"""The /proc/<pid>/hmt_priority interface of the kernel patch."""
+
+import pytest
+
+from repro.errors import InvalidPriorityError, PrivilegeError
+from repro.kernel.hmt import HmtController
+from repro.kernel.procfs import ProcFs
+from repro.kernel.scheduler import PinnedScheduler
+from repro.smt.chip import Power5Chip
+
+
+@pytest.fixture()
+def machine():
+    chip = Power5Chip()
+    hmt = HmtController(chip)
+    sched = PinnedScheduler(chip.config.n_cpus)
+    sched.pin(100, 0)
+    sched.pin(101, 3)
+    return chip, hmt, ProcFs(hmt, sched)
+
+
+class TestWrite:
+    def test_echo_sets_priority(self, machine):
+        chip, hmt, fs = machine
+        fs.write("/proc/100/hmt_priority", "6")
+        assert int(chip.priority(0)) == 6
+
+    def test_paper_usage_whitespace_tolerant(self, machine):
+        chip, _, fs = machine
+        fs.write("/proc/101/hmt_priority", " 5\n")
+        assert int(chip.priority(3)) == 5
+
+    def test_os_range_1_to_6(self, machine):
+        _, _, fs = machine
+        for prio in (1, 2, 3, 4, 5, 6):
+            fs.write("/proc/100/hmt_priority", str(prio))
+
+    @pytest.mark.parametrize("prio", ["0", "7"])
+    def test_hypervisor_levels_refused(self, machine, prio):
+        _, _, fs = machine
+        with pytest.raises(PrivilegeError):
+            fs.write("/proc/100/hmt_priority", prio)
+
+    def test_non_integer_rejected(self, machine):
+        _, _, fs = machine
+        with pytest.raises(InvalidPriorityError):
+            fs.write("/proc/100/hmt_priority", "high")
+
+    def test_unknown_pid_is_enoent(self, machine):
+        _, _, fs = machine
+        with pytest.raises(FileNotFoundError):
+            fs.write("/proc/999/hmt_priority", "4")
+
+    def test_malformed_path_is_enoent(self, machine):
+        _, _, fs = machine
+        with pytest.raises(FileNotFoundError):
+            fs.write("/proc/100/priority", "4")
+
+    def test_write_goes_through_audited_controller(self, machine):
+        _, hmt, fs = machine
+        fs.write("/proc/100/hmt_priority", "5", time=3.5)
+        assert hmt.last_write().via == "procfs"
+        assert hmt.last_write().time == 3.5
+
+
+class TestRead:
+    def test_cat_returns_current_priority(self, machine):
+        _, _, fs = machine
+        fs.write("/proc/100/hmt_priority", "3")
+        assert fs.read("/proc/100/hmt_priority") == "3\n"
+
+    def test_read_unknown_pid(self, machine):
+        _, _, fs = machine
+        with pytest.raises(FileNotFoundError):
+            fs.read("/proc/1/hmt_priority")
+
+
+class TestHelpers:
+    def test_path_for(self):
+        assert ProcFs.path_for(42) == "/proc/42/hmt_priority"
+
+    def test_set_priority_of_pid(self, machine):
+        chip, _, fs = machine
+        fs.set_priority_of_pid(101, 6)
+        assert int(chip.priority(3)) == 6

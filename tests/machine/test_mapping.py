@@ -1,0 +1,76 @@
+"""Process mappings, including the paper's layouts."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.machine.mapping import ProcessMapping, paired_mapping, paper_mapping
+
+
+class TestProcessMapping:
+    def test_identity(self):
+        m = ProcessMapping.identity(4)
+        assert m.as_dict() == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert m.core_pairs() == [(0, 1), (2, 3)]
+
+    def test_from_dict(self):
+        m = ProcessMapping.from_dict({1: 0, 0: 2})
+        assert m.cpu_of(0) == 2 and m.cpu_of(1) == 0
+
+    def test_core_and_sibling(self):
+        m = ProcessMapping.from_dict({0: 0, 1: 2, 2: 3, 3: 1})
+        assert m.core_of(0) == 0 and m.core_of(3) == 0
+        assert m.sibling_of(0) == 3
+        assert m.sibling_of(1) == 2
+
+    def test_sibling_alone(self):
+        m = ProcessMapping.from_dict({0: 0, 1: 2})
+        assert m.sibling_of(0) == -1
+
+    def test_duplicate_cpu_rejected(self):
+        with pytest.raises(MappingError):
+            ProcessMapping.from_dict({0: 1, 1: 1})
+
+    def test_rank_gap_rejected(self):
+        with pytest.raises(MappingError):
+            ProcessMapping.from_dict({0: 0, 2: 1})
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(MappingError):
+            ProcessMapping.from_dict({0: -1})
+
+    def test_unknown_rank(self):
+        m = ProcessMapping.identity(2)
+        with pytest.raises(MappingError):
+            m.cpu_of(5)
+
+
+class TestPaperMappings:
+    def test_identity_case(self):
+        assert paper_mapping("identity").core_pairs() == [(0, 1), (2, 3)]
+
+    def test_btmz_pairs_heaviest_with_lightest(self):
+        """Cases B-D: P1 (lightest) shares a core with P4 (heaviest)."""
+        m = paper_mapping("btmz")
+        assert m.sibling_of(0) == 3
+        assert m.sibling_of(1) == 2
+
+    def test_siesta_pairs(self):
+        """Cases B-D: P2 with P3 (similar loads), P1 with P4."""
+        m = paper_mapping("siesta")
+        assert m.sibling_of(1) == 2
+        assert m.sibling_of(0) == 3
+
+    def test_unknown_case(self):
+        with pytest.raises(MappingError):
+            paper_mapping("lu-mz")
+
+
+class TestPairedMapping:
+    def test_pairs_to_cores(self):
+        m = paired_mapping([(3, 0), (1, 2)])
+        assert m.core_of(3) == 0 and m.core_of(0) == 0
+        assert m.core_of(1) == 1 and m.core_of(2) == 1
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(MappingError):
+            paired_mapping([(0, 0)])

@@ -1,0 +1,103 @@
+"""Collective operation manager."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi.collectives import CollectiveManager
+from repro.mpi.communicator import Communicator
+from repro.mpi.p2p import CommCosts
+
+
+@pytest.fixture()
+def world():
+    return Communicator.world(4)
+
+
+@pytest.fixture()
+def mgr():
+    return CollectiveManager(CommCosts(latency=1e-6, bandwidth=1e9))
+
+
+class TestBarrier:
+    def test_incomplete_until_all_arrive(self, mgr, world):
+        assert mgr.arrive(world, 0, "barrier", 0, 1.0) is None
+        assert mgr.arrive(world, 1, "barrier", 0, 2.0) is None
+        assert mgr.arrive(world, 2, "barrier", 0, 3.0) is None
+        assert mgr.in_flight == 1
+        outcome = mgr.arrive(world, 3, "barrier", 0, 4.0)
+        assert outcome is not None
+        release, ranks = outcome
+        assert ranks == [0, 1, 2, 3]
+        assert release > 4.0  # after the last arrival
+        assert mgr.in_flight == 0
+        assert mgr.completed == 1
+
+    def test_release_based_on_last_arrival(self, mgr, world):
+        for r in (1, 2, 3):
+            mgr.arrive(world, r, "barrier", 0, 0.0)
+        release, _ = mgr.arrive(world, 0, "barrier", 0, 10.0)
+        assert release == pytest.approx(10.0 + mgr.completion_cost(world, "barrier", 0))
+
+    def test_sequential_barriers_independent(self, mgr, world):
+        """A fast rank entering barrier #2 must not join barrier #1."""
+        mgr.arrive(world, 0, "barrier", 0, 0.0)
+        mgr.arrive(world, 1, "barrier", 0, 0.0)
+        mgr.arrive(world, 2, "barrier", 0, 0.0)
+        mgr.arrive(world, 3, "barrier", 0, 0.0)
+        # Rank 0 races ahead to the next barrier.
+        assert mgr.arrive(world, 0, "barrier", 0, 1.0) is None
+        assert mgr.in_flight == 1
+
+    def test_double_arrival_rejected(self, mgr):
+        comm = Communicator.world(2)
+        mgr.arrive(comm, 0, "barrier", 0, 0.0)
+        # Arriving again without the first completing is a protocol error
+        # caught by slot sequencing: rank 0's second barrier is slot 1.
+        assert mgr.arrive(comm, 0, "barrier", 0, 1.0) is None
+        assert mgr.in_flight == 2
+
+
+class TestKindsAndErrors:
+    def test_kind_mismatch_detected(self, mgr, world):
+        mgr.arrive(world, 0, "barrier", 0, 0.0)
+        with pytest.raises(MpiError, match="mismatch"):
+            mgr.arrive(world, 1, "bcast", 8, 0.0)
+
+    def test_unknown_kind(self, mgr, world):
+        with pytest.raises(MpiError):
+            mgr.arrive(world, 0, "gossip", 0, 0.0)
+
+    def test_rank_not_in_comm(self, mgr):
+        sub = Communicator([0, 1])
+        with pytest.raises(MpiError):
+            mgr.arrive(sub, 3, "barrier", 0, 0.0)
+
+    def test_pending_summary(self, mgr, world):
+        mgr.arrive(world, 0, "barrier", 0, 0.0)
+        assert "waiting for ranks [1, 2, 3]" in mgr.pending_summary()
+        assert mgr.pending_summary() != "none"
+
+
+class TestCosts:
+    def test_barrier_cost_logarithmic(self, mgr):
+        c2 = mgr.completion_cost(Communicator.world(2), "barrier", 0)
+        c8 = mgr.completion_cost(Communicator.world(8), "barrier", 0)
+        assert c8 == pytest.approx(3 * c2)
+
+    def test_allreduce_costs_more_than_reduce(self, mgr, world):
+        assert mgr.completion_cost(world, "allreduce", 4096) > mgr.completion_cost(
+            world, "reduce", 4096
+        )
+
+    def test_payload_scales_cost(self, mgr, world):
+        assert mgr.completion_cost(world, "bcast", 1 << 20) > mgr.completion_cost(
+            world, "bcast", 8
+        )
+
+    def test_max_payload_across_ranks_used(self, mgr):
+        comm = Communicator.world(2)
+        mgr.arrive(comm, 0, "bcast", 8, 0.0)
+        release_small = mgr.completion_cost(comm, "bcast", 8)
+        outcome = mgr.arrive(comm, 1, "bcast", 1 << 20, 0.0)
+        release, _ = outcome
+        assert release > release_small

@@ -1,0 +1,71 @@
+"""Communicators: rank mapping and splitting."""
+
+import pytest
+
+from repro.errors import RankError
+from repro.mpi.communicator import Communicator
+
+
+class TestWorld:
+    def test_world(self):
+        w = Communicator.world(4)
+        assert w.size == 4
+        assert w.name == "MPI_COMM_WORLD"
+        assert w.world_ranks == [0, 1, 2, 3]
+
+    def test_identity_mapping(self):
+        w = Communicator.world(3)
+        for r in range(3):
+            assert w.world_rank(r) == r
+            assert w.local_rank(r) == r
+
+
+class TestCustom:
+    def test_subset(self):
+        c = Communicator([2, 0], name="pair")
+        assert c.size == 2
+        assert c.world_rank(0) == 2
+        assert c.local_rank(0) == 1
+        assert 2 in c and 1 not in c
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(RankError):
+            Communicator([0, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(RankError):
+            Communicator([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(RankError):
+            Communicator([0, -1])
+
+    def test_unknown_lookups(self):
+        c = Communicator([1, 3])
+        with pytest.raises(RankError):
+            c.world_rank(5)
+        with pytest.raises(RankError):
+            c.local_rank(0)
+
+    def test_unique_ids(self):
+        assert Communicator([0]).id != Communicator([0]).id
+
+
+class TestSplit:
+    def test_split_by_color(self):
+        w = Communicator.world(4)
+        subs = w.split([0, 1, 0, 1])
+        assert len(subs) == 2
+        assert subs[0].world_ranks == [0, 2]
+        assert subs[1].world_ranks == [1, 3]
+
+    def test_undefined_color_excluded(self):
+        w = Communicator.world(3)
+        subs = w.split([0, -1, 0])
+        assert len(subs) == 1
+        assert subs[0].world_ranks == [0, 2]
+
+    def test_color_count_mismatch(self):
+        w = Communicator.world(2)
+        with pytest.raises(RankError):
+            w.split([0])

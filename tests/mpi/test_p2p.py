@@ -1,0 +1,107 @@
+"""Message matching engine: MPI semantics and transfer timing."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG
+from repro.mpi.p2p import CommCosts, MessageEngine
+
+
+@pytest.fixture()
+def engine():
+    return MessageEngine(4, CommCosts(latency=1e-6, bandwidth=1e9, eager_threshold=1024))
+
+
+class TestMatching:
+    def test_send_then_recv(self, engine):
+        sreq, _ = engine.post_send(0, 1, tag=5, nbytes=100, time=0.0)
+        rreq, completions = engine.post_recv(1, src=0, tag=5, time=1.0)
+        assert completions
+        times = {r.id: t for t, r, _ in completions}
+        assert rreq.id in times
+        assert engine.messages_matched == 1
+
+    def test_recv_then_send(self, engine):
+        rreq, none = engine.post_recv(1, src=0, tag=5, time=0.0)
+        assert none == []
+        _, completions = engine.post_send(0, 1, tag=5, nbytes=100, time=2.0)
+        assert any(r.id == rreq.id for _, r, _ in completions)
+
+    def test_tag_mismatch_does_not_match(self, engine):
+        engine.post_recv(1, src=0, tag=5, time=0.0)
+        _, completions = engine.post_send(0, 1, tag=6, nbytes=10, time=0.0)
+        recv_completions = [c for c in completions if c[1].kind.value == "recv"]
+        assert not recv_completions
+        assert engine.unmatched_recvs == 1
+
+    def test_wildcard_source_and_tag(self, engine):
+        rreq, _ = engine.post_recv(2, src=ANY_SOURCE, tag=ANY_TAG, time=0.0)
+        _, completions = engine.post_send(3, 2, tag=9, nbytes=10, time=0.0)
+        status = [s for _, r, s in completions if r.id == rreq.id][0]
+        assert status.source == 3 and status.tag == 9
+
+    def test_fifo_order_per_pair(self, engine):
+        """MPI non-overtaking: two same-tag sends match receives in order."""
+        engine.post_send(0, 1, tag=1, nbytes=10, time=0.0)
+        engine.post_send(0, 1, tag=1, nbytes=20, time=0.1)
+        _, c1 = engine.post_recv(1, src=0, tag=1, time=1.0)
+        _, c2 = engine.post_recv(1, src=0, tag=1, time=1.0)
+        s1 = [s for _, r, s in c1 if s is not None][0]
+        s2 = [s for _, r, s in c2 if s is not None][0]
+        assert s1.nbytes == 10 and s2.nbytes == 20
+
+
+class TestTiming:
+    def test_transfer_time_formula(self):
+        costs = CommCosts(latency=2e-6, bandwidth=1e9)
+        assert costs.transfer_time(1000) == pytest.approx(2e-6 + 1e-6)
+
+    def test_recv_completes_after_both_posted(self, engine):
+        engine.post_send(0, 1, tag=0, nbytes=1000, time=5.0)
+        rreq, completions = engine.post_recv(1, src=0, tag=0, time=10.0)
+        t = [t for t, r, _ in completions if r.id == rreq.id][0]
+        assert t == pytest.approx(10.0 + engine.costs.transfer_time(1000))
+
+    def test_eager_sender_released_before_match(self, engine):
+        sreq, completions = engine.post_send(0, 1, tag=0, nbytes=100, time=1.0)
+        # No receive posted, yet the eager send completes quickly.
+        assert len(completions) == 1
+        t, r, status = completions[0]
+        assert r is sreq and status is None
+        assert t == pytest.approx(1.0 + engine.costs.call_overhead)
+
+    def test_rendezvous_sender_waits_for_receiver(self, engine):
+        big = engine.costs.eager_threshold + 1
+        sreq, completions = engine.post_send(0, 1, tag=0, nbytes=big, time=0.0)
+        assert completions == []  # blocked until matched
+        _, completions = engine.post_recv(1, src=0, tag=0, time=7.0)
+        times = {r.id: t for t, r, _ in completions}
+        assert times[sreq.id] == pytest.approx(7.0 + engine.costs.transfer_time(big))
+
+    def test_eager_send_not_completed_twice_on_late_match(self, engine):
+        sreq, first = engine.post_send(0, 1, tag=0, nbytes=10, time=0.0)
+        assert len(first) == 1
+        _, second = engine.post_recv(1, src=0, tag=0, time=1.0)
+        assert all(r.id != sreq.id for _, r, _ in second)
+
+
+class TestValidation:
+    def test_rank_bounds(self, engine):
+        with pytest.raises(MpiError):
+            engine.post_send(0, 9, tag=0, nbytes=0, time=0.0)
+        with pytest.raises(MpiError):
+            engine.post_recv(-1, src=0, tag=0, time=0.0)
+
+    def test_negative_send_tag(self, engine):
+        with pytest.raises(MpiError):
+            engine.post_send(0, 1, tag=-2, nbytes=0, time=0.0)
+
+    def test_pending_summary(self, engine):
+        engine.post_send(0, 1, tag=3, nbytes=2048, time=0.0)  # rendezvous: queued
+        engine.post_recv(2, src=ANY_SOURCE, tag=ANY_TAG, time=0.0)
+        summary = engine.pending_summary()
+        assert "send 0->1 tag=3" in summary
+        assert "recv *->2 tag=*" in summary
+
+    def test_empty_summary(self, engine):
+        assert engine.pending_summary() == "none"

@@ -1,0 +1,67 @@
+"""Datatypes, Status, Request basics."""
+
+import pytest
+
+from repro.errors import MpiError, RequestError
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, Datatype, message_bytes
+from repro.mpi.request import Request, RequestKind
+from repro.mpi.status import Status
+
+
+class TestDatatypes:
+    def test_sizes(self):
+        assert Datatype.DOUBLE.size == 8
+        assert Datatype.INT.size == 4
+        assert Datatype.BYTE.size == 1
+
+    def test_message_bytes(self):
+        assert message_bytes(100, Datatype.DOUBLE) == 800
+        assert message_bytes(0) == 0
+
+    def test_negative_count(self):
+        with pytest.raises(MpiError):
+            message_bytes(-1)
+
+    def test_non_datatype(self):
+        with pytest.raises(MpiError):
+            message_bytes(1, 8)  # type: ignore[arg-type]
+
+    def test_wildcards_are_negative(self):
+        assert ANY_SOURCE < 0 and ANY_TAG < 0
+
+
+class TestStatus:
+    def test_fields(self):
+        s = Status(source=1, tag=7, nbytes=64, time=1.5)
+        assert s.source == 1 and s.nbytes == 64
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Status(source=0, tag=0, nbytes=-1, time=0.0)
+
+
+class TestRequest:
+    def test_ids_unique(self):
+        a = Request(RequestKind.SEND, 0)
+        b = Request(RequestKind.SEND, 0)
+        assert a.id != b.id
+
+    def test_complete_once(self):
+        r = Request(RequestKind.RECV, 1)
+        status = Status(source=0, tag=0, nbytes=8, time=1.0)
+        r.complete(status)
+        assert r.done and r.status is status
+        with pytest.raises(RequestError):
+            r.complete(None)
+
+    def test_wait_on_freed_rejected(self):
+        r = Request(RequestKind.SEND, 0)
+        r.free()
+        with pytest.raises(RequestError):
+            r.check_waitable()
+
+    def test_complete_after_free_rejected(self):
+        r = Request(RequestKind.SEND, 0)
+        r.free()
+        with pytest.raises(RequestError):
+            r.complete()

@@ -1,0 +1,162 @@
+"""Runtime fundamentals: compute, barrier, rates, trace recording."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MappingError
+from repro.machine.mapping import ProcessMapping
+from repro.trace.events import RankState
+
+
+def run(system, programs, mapping=None, **kw):
+    mapping = mapping or ProcessMapping.identity(len(programs))
+    return system.run(programs, mapping=mapping, **kw)
+
+
+class TestComputeTiming:
+    def test_single_rank_duration_matches_rate(self, system, analytic_model):
+        from repro.smt.instructions import BASE_PROFILES
+        from repro.util.units import POWER5_FREQ_HZ
+
+        work = 1e9
+
+        def prog(mpi):
+            yield mpi.compute(work, profile="hpc")
+
+        result = run(system, [prog])
+        solo_ipc = analytic_model.core_ipc(BASE_PROFILES["hpc"], None, 4, 4)[0]
+        expected = work / (solo_ipc * POWER5_FREQ_HZ)
+        assert result.total_time == pytest.approx(expected, rel=0.05)
+
+    def test_zero_work_completes_instantly(self, system):
+        def prog(mpi):
+            yield mpi.compute(0.0, profile="hpc")
+
+        result = run(system, [prog])
+        assert result.total_time == pytest.approx(0.0, abs=1e-9)
+
+    def test_sequential_computes_additive(self, system):
+        def one(mpi):
+            yield mpi.compute(1e9, profile="hpc")
+
+        def two(mpi):
+            yield mpi.compute(1e9, profile="hpc")
+            yield mpi.compute(1e9, profile="hpc")
+
+        t1 = run(system, [one]).total_time
+        t2 = run(system, [two]).total_time
+        assert t2 == pytest.approx(2 * t1, rel=0.01)
+
+    def test_co_located_ranks_slower_than_separate(self, system):
+        def prog(mpi):
+            yield mpi.compute(2e9, profile="hpc")
+
+        same_core = run(system, [prog, prog], ProcessMapping.from_dict({0: 0, 1: 1}))
+        diff_core = run(system, [prog, prog], ProcessMapping.from_dict({0: 0, 1: 2}))
+        assert same_core.total_time > diff_core.total_time
+
+
+class TestBarrier:
+    def test_barrier_synchronises(self, system):
+        def make(work):
+            def prog(mpi):
+                yield mpi.compute(work, profile="hpc")
+                yield mpi.barrier()
+                yield mpi.compute(1e8, profile="hpc")
+
+            return prog
+
+        result = run(system, [make(1e8), make(4e9)])
+        # The fast rank must wait: substantial SYNC time on rank 0 only.
+        assert result.stats.rank_stats(0).sync_fraction > 0.5
+        assert result.stats.rank_stats(1).sync_fraction < 0.05
+
+    def test_trace_states_recorded(self, system):
+        def prog(mpi):
+            yield mpi.init_phase(1e8, profile="hpc")
+            yield mpi.barrier()
+            yield mpi.compute(1e8, profile="hpc")
+            yield mpi.final_phase(1e8, profile="hpc")
+
+        result = run(system, [prog, prog])
+        states = {iv.state for iv in result.trace[0].intervals}
+        assert RankState.INIT in states
+        assert RankState.COMPUTE in states
+        assert RankState.FINAL in states
+
+    def test_imbalance_metric_reflects_waiting(self, system):
+        def make(work):
+            def prog(mpi):
+                yield mpi.compute(work, profile="hpc")
+                yield mpi.barrier()
+
+            return prog
+
+        result = run(system, [make(1e8), make(1e10)])
+        assert result.imbalance_percent > 80.0
+
+
+class TestValidation:
+    def test_mapping_must_cover_ranks(self, system):
+        def prog(mpi):
+            yield mpi.compute(1.0, profile="hpc")
+
+        with pytest.raises(ConfigurationError):
+            run(system, [prog, prog], ProcessMapping.identity(3))
+
+    def test_unknown_profile_rejected(self, system):
+        def prog(mpi):
+            yield mpi.compute(1e6, profile="martian")
+
+        with pytest.raises(ConfigurationError, match="martian"):
+            run(system, [prog])
+
+    def test_empty_program_list(self, system):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            system.run([])
+
+
+class TestResultFields:
+    def test_priority_assignment_changes_execution(self, system):
+        def make(work):
+            def prog(mpi):
+                yield mpi.compute(work, profile="hpc")
+                yield mpi.barrier()
+
+            return prog
+
+        works = [1e9, 4e9, 1e9, 4e9]
+        base = run(system, [make(w) for w in works])
+        bal = run(
+            system,
+            [make(w) for w in works],
+            priorities={0: 4, 1: 6, 2: 4, 3: 6},
+        )
+        assert bal.total_time < base.total_time
+        assert bal.priority_history_len > base.priority_history_len
+
+    def test_final_priorities_idle_lowered_after_exit(self, system):
+        """Once every rank exits, the kernel lowers all idle contexts."""
+
+        def prog(mpi):
+            yield mpi.compute(1e7, profile="hpc")
+
+        result = run(system, [prog, prog, prog, prog], priorities={0: 4, 1: 6, 2: 4, 3: 6})
+        assert set(result.final_priorities) == {2}
+
+    def test_events_counted(self, system):
+        def prog(mpi):
+            yield mpi.compute(1e7, profile="hpc")
+            yield mpi.barrier()
+
+        result = run(system, [prog, prog])
+        assert result.events_processed > 0
+
+    def test_label_propagates(self, system):
+        def prog(mpi):
+            yield mpi.compute(1e6, profile="hpc")
+
+        result = run(system, [prog], label="hello")
+        assert result.label == "hello"
+        assert result.trace.label == "hello"

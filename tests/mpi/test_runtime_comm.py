@@ -1,0 +1,176 @@
+"""Point-to-point and collective communication through the runtime."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.machine.mapping import ProcessMapping
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+
+
+def run(system, programs, mapping=None, **kw):
+    mapping = mapping or ProcessMapping.identity(len(programs))
+    return system.run(programs, mapping=mapping, **kw)
+
+
+class TestBlockingP2P:
+    def test_send_recv_pair(self, system):
+        received = {}
+
+        def sender(mpi):
+            yield mpi.compute(1e8, profile="hpc")
+            yield mpi.send(dest=1, tag=42, nbytes=4096)
+
+        def receiver(mpi):
+            status = yield mpi.recv(source=0, tag=42)
+            received["status"] = status
+
+        run(system, [sender, receiver])
+        status = received["status"]
+        assert isinstance(status, Status)
+        assert status.source == 0 and status.tag == 42 and status.nbytes == 4096
+
+    def test_receiver_waits_for_late_sender(self, system):
+        def sender(mpi):
+            yield mpi.compute(2e9, profile="hpc")
+            yield mpi.send(dest=1, tag=0, nbytes=8)
+
+        def receiver(mpi):
+            yield mpi.recv(source=0, tag=0)
+
+        result = run(system, [sender, receiver])
+        assert result.stats.rank_stats(1).comm_fraction > 0.5
+
+    def test_ping_pong(self, system):
+        def a(mpi):
+            for i in range(3):
+                yield mpi.send(dest=1, tag=i, nbytes=64)
+                yield mpi.recv(source=1, tag=i)
+
+        def b(mpi):
+            for i in range(3):
+                yield mpi.recv(source=0, tag=i)
+                yield mpi.send(dest=0, tag=i, nbytes=64)
+
+        result = run(system, [a, b])
+        assert result.total_time > 0
+
+
+class TestNonBlocking:
+    def test_isend_returns_request_immediately(self, system):
+        seen = {}
+
+        def prog(mpi):
+            req = yield mpi.isend(dest=1, tag=0, nbytes=16)
+            seen["req"] = req
+            yield mpi.compute(1e8, profile="hpc")
+            yield mpi.wait(req)
+
+        def sink(mpi):
+            yield mpi.recv(source=0, tag=0)
+
+        run(system, [prog, sink])
+        assert isinstance(seen["req"], Request)
+
+    def test_overlap_compute_with_communication(self, system):
+        """Nonblocking exchange overlapping compute: the BT-MZ pattern."""
+
+        def make(peer):
+            def prog(mpi):
+                for it in range(3):
+                    rreq = yield mpi.irecv(source=peer, tag=it)
+                    yield mpi.compute(5e8, profile="hpc")
+                    sreq = yield mpi.isend(dest=peer, tag=it, nbytes=1024)
+                    yield mpi.waitall([rreq, sreq])
+
+            return prog
+
+        result = run(system, [make(1), make(0)])
+        # Symmetric ranks: no one should wait long.
+        for r in result.stats.ranks:
+            assert r.sync_fraction < 0.1
+
+    def test_wait_on_already_complete_request(self, system):
+        def a(mpi):
+            req = yield mpi.isend(dest=1, tag=0, nbytes=8)
+            yield mpi.compute(1e9, profile="hpc")  # plenty of time to drain
+            status = yield mpi.wait(req)
+            assert status is None  # sends carry no status
+
+        def b(mpi):
+            yield mpi.recv(source=0, tag=0)
+
+        run(system, [a, b])
+
+    def test_waitall_empty_after_completion(self, system):
+        def a(mpi):
+            reqs = []
+            for i in range(4):
+                r = yield mpi.isend(dest=1, tag=i, nbytes=8)
+                reqs.append(r)
+            yield mpi.waitall(reqs)
+
+        def b(mpi):
+            for i in range(4):
+                yield mpi.recv(source=0, tag=i)
+
+        run(system, [a, b])
+
+
+class TestCollectives:
+    def test_allreduce_synchronises(self, system):
+        def make(work):
+            def prog(mpi):
+                yield mpi.compute(work, profile="hpc")
+                yield mpi.allreduce(64)
+
+            return prog
+
+        result = run(system, [make(1e8), make(2e9)])
+        assert result.stats.rank_stats(0).sync_fraction > 0.5
+
+    def test_bcast_and_reduce(self, system):
+        def prog(mpi):
+            yield mpi.bcast(1 << 16, root=0)
+            yield mpi.compute(1e8, profile="hpc")
+            yield mpi.reduce(1 << 10, root=0)
+
+        result = run(system, [prog, prog, prog, prog])
+        assert result.total_time > 0
+
+
+class TestDeadlockDetection:
+    def test_recv_without_sender(self, system):
+        def lonely(mpi):
+            yield mpi.recv(source=1, tag=0)
+
+        def silent(mpi):
+            yield mpi.compute(1e6, profile="hpc")
+
+        with pytest.raises(DeadlockError, match="recv"):
+            run(system, [lonely, silent])
+
+    def test_mismatched_barrier(self, system):
+        def joins(mpi):
+            yield mpi.barrier()
+
+        def skips(mpi):
+            yield mpi.compute(1e6, profile="hpc")
+
+        with pytest.raises(DeadlockError, match="barrier"):
+            run(system, [joins, skips])
+
+    def test_cyclic_blocking_sends_rendezvous(self, system):
+        """Two rendezvous sends facing each other: classic MPI deadlock."""
+        big = 1 << 20
+
+        def a(mpi):
+            yield mpi.send(dest=1, tag=0, nbytes=big)
+            yield mpi.recv(source=1, tag=0)
+
+        def b(mpi):
+            yield mpi.send(dest=0, tag=0, nbytes=big)
+            yield mpi.recv(source=0, tag=0)
+
+        with pytest.raises(DeadlockError):
+            run(system, [a, b])

@@ -1,0 +1,124 @@
+"""Closed-form throughput model properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.smt.analytic import AnalyticModelConfig, AnalyticThroughputModel
+from repro.smt.instructions import BASE_PROFILES, SPIN_LOAD
+
+HPC = BASE_PROFILES["hpc"]
+DFT = BASE_PROFILES["dft"]
+MEM = BASE_PROFILES["mem"]
+
+prio = st.integers(min_value=2, max_value=6)
+
+
+class TestSoloDemand:
+    def test_positive_and_bounded(self, analytic_model):
+        for p in BASE_PROFILES.values():
+            d = analytic_model.solo_demand(p)
+            assert 0 < d <= p.ilp
+
+    def test_congestion_reduces_demand(self, analytic_model):
+        assert analytic_model.solo_demand(DFT, congestion=50) < analytic_model.solo_demand(DFT)
+
+    def test_l1_tax_reduces_demand_for_cachey_loads(self, analytic_model):
+        assert analytic_model.solo_demand(DFT, l1_tax=0.5) < analytic_model.solo_demand(DFT)
+
+    def test_memory_bound_much_slower_than_compute_bound(self, analytic_model):
+        assert analytic_model.solo_demand(MEM) < analytic_model.solo_demand(HPC) / 3
+
+
+class TestCoreIpc:
+    def test_idle_context_zero(self, analytic_model):
+        a, b = analytic_model.core_ipc(HPC, None, 4, 4)
+        assert b == 0.0 and a > 0
+
+    def test_priority_zero_kills_thread(self, analytic_model):
+        a, b = analytic_model.core_ipc(HPC, HPC, 0, 4)
+        assert a == 0.0 and b > 0
+
+    def test_equal_pair_is_symmetric(self, analytic_model):
+        a, b = analytic_model.core_ipc(HPC, HPC, 4, 4)
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_mirror_symmetry(self, analytic_model):
+        ab = analytic_model.core_ipc(HPC, DFT, 5, 3)
+        ba = analytic_model.core_ipc(DFT, HPC, 3, 5)
+        assert ab[0] == pytest.approx(ba[1], rel=1e-6)
+        assert ab[1] == pytest.approx(ba[0], rel=1e-6)
+
+    @given(prio, prio)
+    @settings(max_examples=25, deadline=None)
+    def test_results_non_negative_and_within_width(self, pa, pb):
+        model = AnalyticThroughputModel()
+        a, b = model.core_ipc(HPC, DFT, pa, pb)
+        width = model.config.decode_width
+        assert 0 <= a <= width and 0 <= b <= width
+
+    def test_victim_monotone_in_gap(self, analytic_model):
+        """The paper's exponential-penalty property: raising the sibling's
+        priority never speeds you up."""
+        victims = [
+            analytic_model.core_ipc(HPC, HPC, 4, pb)[0] for pb in (4, 5, 6)
+        ]
+        assert victims[0] >= victims[1] >= victims[2]
+        assert victims[2] < victims[0] / 3  # gap 2 starves hard
+
+    def test_victim_ipc_tracks_decode_supply_when_starved(self, analytic_model):
+        a, _ = analytic_model.core_ipc(HPC, HPC, 4, 6)
+        assert a == pytest.approx(0.125 * 5, rel=0.05)
+
+    def test_spin_sibling_costs_throughput(self, analytic_model):
+        alone = analytic_model.core_ipc(HPC, None, 4, 4)[0]
+        spun = analytic_model.core_ipc(HPC, SPIN_LOAD, 4, 4)[0]
+        assert spun < alone
+
+    def test_deprioritising_spinner_recovers_throughput(self, analytic_model):
+        """The paper's central mechanism: starve the spinning waiter and
+        the worker speeds up."""
+        eq = analytic_model.core_ipc(HPC, SPIN_LOAD, 4, 4)[0]
+        fav = analytic_model.core_ipc(HPC, SPIN_LOAD, 6, 4)[0]
+        assert fav > eq * 1.05
+
+    def test_memoisation_returns_identical_object(self, analytic_model):
+        r1 = analytic_model.core_ipc(HPC, DFT, 4, 5)
+        r2 = analytic_model.core_ipc(HPC, DFT, 4, 5)
+        assert r1 is r2
+
+    def test_external_traffic_slows_memory_bound(self, analytic_model):
+        base = analytic_model.core_ipc(DFT, DFT, 4, 4)
+        loaded = analytic_model.core_ipc(DFT, DFT, 4, 4, external_traffic=0.3)
+        assert loaded[0] < base[0]
+
+
+class TestChipIpc:
+    def test_single_core(self, analytic_model):
+        ((a, b),) = analytic_model.chip_ipc(((HPC, HPC, 4, 4),))
+        assert a > 0 and b > 0
+
+    def test_cross_core_coupling_for_memory_loads(self, analytic_model):
+        solo = analytic_model.chip_ipc(((DFT, DFT, 4, 4), (None, None, 4, 4)))
+        both = analytic_model.chip_ipc(((DFT, DFT, 4, 4), (DFT, DFT, 4, 4)))
+        assert both[0][0] < solo[0][0]
+
+    def test_empty_rejected(self, analytic_model):
+        with pytest.raises(ConfigurationError):
+            analytic_model.chip_ipc(())
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AnalyticModelConfig(decode_width=0)
+        with pytest.raises(ConfigurationError):
+            AnalyticModelConfig(leftover_fraction=0.9)
+        with pytest.raises(ConfigurationError):
+            AnalyticModelConfig(damping=0.0)
+
+    def test_clear_cache(self):
+        model = AnalyticThroughputModel()
+        model.core_ipc(HPC, None, 4, 4)
+        model.clear_cache()
+        assert model._cache == {}

@@ -1,0 +1,115 @@
+"""Property-based tests of the analytic throughput model.
+
+Hypothesis generates random (valid) load profiles and priority pairs;
+the model must honour the physics invariants the experiments rely on.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.smt.analytic import AnalyticThroughputModel
+from repro.smt.instructions import InstrClass, LoadProfile
+
+_MODEL = AnalyticThroughputModel()
+
+_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def load_profiles(draw):
+    """Random valid profiles (normalised mixes, sane rates).
+
+    The profile *name* is derived from the parameters because the model
+    memoises by name: two distinct random profiles must never share one.
+    """
+    raw = [draw(st.floats(min_value=0.01, max_value=1.0)) for _ in range(5)]
+    total = sum(raw)
+    mix = {cls: raw[i] / total for i, cls in enumerate(InstrClass)}
+    params = (
+        tuple(round(v, 12) for v in raw),
+        round(draw(st.floats(min_value=0.0, max_value=0.4)), 12),
+        round(draw(st.floats(min_value=0.0, max_value=0.6)), 12),
+        round(draw(st.floats(min_value=0.0, max_value=0.6)), 12),
+        round(draw(st.floats(min_value=0.0, max_value=0.2)), 12),
+        round(draw(st.floats(min_value=0.5, max_value=6.0)), 12),
+    )
+    return LoadProfile(
+        name=f"h{abs(hash(params)):x}",
+        mix=mix,
+        l1_miss_rate=params[1],
+        l2_miss_rate=params[2],
+        l3_miss_rate=params[3],
+        branch_mispredict_rate=params[4],
+        ilp=params[5],
+    )
+
+
+prio = st.integers(min_value=2, max_value=6)
+
+
+class TestModelInvariants:
+    @given(p=load_profiles(), pa=prio, pb=prio)
+    @_settings
+    def test_non_negative_bounded(self, p, pa, pb):
+        a, b = _MODEL.core_ipc(p, p, pa, pb)
+        width = _MODEL.config.decode_width
+        assert 0.0 <= a <= width and 0.0 <= b <= width
+
+    @given(p=load_profiles(), pa=prio, pb=prio)
+    @_settings
+    def test_symmetry(self, p, pa, pb):
+        ab = _MODEL.core_ipc(p, p, pa, pb)
+        ba = _MODEL.core_ipc(p, p, pb, pa)
+        assert ab[0] == pytest.approx(ba[1], rel=1e-6, abs=1e-9)
+        assert ab[1] == pytest.approx(ba[0], rel=1e-6, abs=1e-9)
+
+    @given(p=load_profiles())
+    @_settings
+    def test_equal_priorities_equal_throughput(self, p):
+        a, b = _MODEL.core_ipc(p, p, 4, 4)
+        assert a == pytest.approx(b, rel=1e-6, abs=1e-9)
+
+    @given(p=load_profiles())
+    @_settings
+    def test_solo_at_least_pair(self, p):
+        """A co-runner can never speed you up."""
+        solo = _MODEL.core_ipc(p, None, 4, 4)[0]
+        pair = _MODEL.core_ipc(p, p, 4, 4)[0]
+        assert pair <= solo * (1 + 1e-9)
+
+    @given(p=load_profiles())
+    @_settings
+    def test_victim_monotone_in_sibling_priority(self, p):
+        """Raising the sibling's priority never helps you."""
+        victims = [_MODEL.core_ipc(p, p, 4, pb)[0] for pb in (4, 5, 6)]
+        for a, b in zip(victims, victims[1:]):
+            assert b <= a * (1 + 1e-9)
+
+    @given(p=load_profiles())
+    @_settings
+    def test_favoured_never_below_equal_share(self, p):
+        eq = _MODEL.core_ipc(p, p, 4, 4)[1]
+        fav = _MODEL.core_ipc(p, p, 4, 6)[1]
+        assert fav >= eq * (1 - 1e-9)
+
+    @given(p=load_profiles())
+    @_settings
+    def test_solo_demand_decreases_with_congestion(self, p):
+        d0 = _MODEL.solo_demand(p, congestion=0.0)
+        d1 = _MODEL.solo_demand(p, congestion=30.0)
+        assert d1 <= d0 * (1 + 1e-9)
+
+    @given(p=load_profiles(), pa=prio, pb=prio)
+    @_settings
+    def test_deterministic(self, p, pa, pb):
+        assert _MODEL.core_ipc(p, p, pa, pb) == _MODEL.core_ipc(p, p, pa, pb)
+
+    @given(p=load_profiles())
+    @_settings
+    def test_thread_off_gives_sibling_solo(self, p):
+        """Priority 0 sibling = single-thread mode."""
+        st_mode = _MODEL.core_ipc(p, None, 7, 0)[0]
+        off_sibling = _MODEL.core_ipc(p, p, 7, 0)[0]
+        assert off_sibling == pytest.approx(st_mode, rel=1e-6)

@@ -1,0 +1,106 @@
+"""Cache hierarchy latency model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.smt.cache import CacheHierarchy, CacheLevel, MemorySpec, POWER5_CACHES
+
+prob = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestLevels:
+    def test_power5_latency_ordering(self):
+        assert (
+            POWER5_CACHES["l1"].latency
+            < POWER5_CACHES["l2"].latency
+            < POWER5_CACHES["l3"].latency
+            < MemorySpec().latency
+        )
+
+    def test_l1_private_l2_shared(self):
+        assert not POWER5_CACHES["l1"].shared
+        assert POWER5_CACHES["l2"].shared
+
+    def test_level_validation(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevel("x", latency=0, shared=False)
+
+
+class TestAccess:
+    def test_l1_hit_is_l1_latency(self):
+        h = CacheHierarchy()
+        assert h.access(0, False, False, False) == POWER5_CACHES["l1"].latency
+
+    def test_deeper_misses_cost_more(self):
+        h = CacheHierarchy()
+        l2 = h.access(0, True, False, False)
+        h.reset()
+        l3 = h.access(0, True, True, False)
+        h.reset()
+        mem = h.access(0, True, True, True)
+        assert l2 < l3 < mem
+
+    def test_congestion_raises_latency_under_traffic(self):
+        h = CacheHierarchy()
+        first = h.access(0, True, False, False)
+        # Burst of misses in the same cycle neighbourhood.
+        for i in range(10):
+            h.access(i, True, False, False)
+        loaded = h.access(10, True, False, False)
+        assert loaded > first
+
+    def test_congestion_decays_over_time(self):
+        h = CacheHierarchy()
+        for i in range(10):
+            h.access(i, True, False, False)
+        busy = h.recent_traffic
+        h.access(100000, True, False, False)
+        assert h.recent_traffic < busy
+
+    def test_l1_hits_do_not_add_traffic(self):
+        h = CacheHierarchy()
+        for i in range(100):
+            h.access(i, False, False, False)
+        assert h.recent_traffic == 0.0
+
+    def test_reset(self):
+        h = CacheHierarchy()
+        h.access(0, True, True, True)
+        h.reset()
+        assert h.recent_traffic == 0.0
+
+    def test_missing_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(levels={"l1": POWER5_CACHES["l1"]})
+
+
+class TestExpectedLatency:
+    def test_no_misses_equals_l1(self):
+        h = CacheHierarchy()
+        assert h.expected_latency(0, 0, 0) == POWER5_CACHES["l1"].latency
+
+    def test_all_misses_equals_memory(self):
+        h = CacheHierarchy()
+        assert h.expected_latency(1, 1, 1) == MemorySpec().latency
+
+    @given(prob, prob, prob)
+    def test_bounded_by_l1_and_memory(self, p1, p2, p3):
+        h = CacheHierarchy()
+        lat = h.expected_latency(p1, p2, p3)
+        assert POWER5_CACHES["l1"].latency <= lat <= MemorySpec().latency
+
+    @given(prob, prob, prob, st.floats(min_value=0, max_value=50))
+    def test_congestion_monotone(self, p1, p2, p3, cong):
+        h = CacheHierarchy()
+        assert h.expected_latency(p1, p2, p3, cong) >= h.expected_latency(p1, p2, p3)
+
+    @given(st.floats(min_value=0, max_value=0.5), prob, prob)
+    def test_monotone_in_l1_miss_rate(self, p1, p2, p3):
+        h = CacheHierarchy()
+        assert h.expected_latency(p1 + 0.1, p2, p3) >= h.expected_latency(p1, p2, p3)
+
+    def test_invalid_probability_rejected(self):
+        h = CacheHierarchy()
+        with pytest.raises(ConfigurationError):
+            h.expected_latency(1.5, 0, 0)

@@ -1,0 +1,118 @@
+"""SmtCore and Power5Chip state holders."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.smt.chip import ChipConfig, HardwareContextId, Power5Chip
+from repro.smt.core import SmtCore
+from repro.smt.decode import ArbitrationMode
+from repro.smt.instructions import BASE_PROFILES
+
+
+class TestSmtCore:
+    def test_defaults(self):
+        core = SmtCore()
+        assert core.priorities == (4, 4)
+        assert core.load(0) is None and core.load(1) is None
+        assert core.mode is ArbitrationMode.NORMAL
+
+    def test_set_priority_and_mode(self):
+        core = SmtCore()
+        core.set_priority(1, 0)
+        assert core.single_thread_mode
+        core.set_priority(1, 7)
+        core.set_priority(0, 0)
+        assert core.single_thread_mode
+
+    def test_set_load(self):
+        core = SmtCore()
+        core.set_load(0, BASE_PROFILES["hpc"])
+        assert core.load(0).name == "hpc"
+        core.set_load(0, None)
+        assert core.load(0) is None
+
+    def test_bad_context_rejected(self):
+        core = SmtCore()
+        with pytest.raises(ConfigurationError):
+            core.set_priority(2, 4)
+        with pytest.raises(ConfigurationError):
+            core.load(-1)
+
+    def test_bad_load_type_rejected(self):
+        core = SmtCore()
+        with pytest.raises(TypeError):
+            core.set_load(0, "hpc")  # type: ignore[arg-type]
+
+    def test_snapshot_value_semantics(self):
+        a = SmtCore()
+        b = SmtCore()
+        a.set_load(0, BASE_PROFILES["hpc"])
+        b.set_load(0, BASE_PROFILES["hpc"])
+        assert a.snapshot() == b.snapshot()
+        b.set_priority(1, 6)
+        assert a.snapshot() != b.snapshot()
+
+    def test_snapshot_active_threads(self):
+        core = SmtCore()
+        assert core.snapshot().active_threads == 0
+        core.set_load(0, BASE_PROFILES["hpc"])
+        assert core.snapshot().active_threads == 1
+        core.set_priority(0, 0)
+        assert core.snapshot().active_threads == 0
+
+
+class TestChipAddressing:
+    def test_paper_layout(self):
+        """CPUs (0,1) are core 0; (2,3) are core 1 — the paper's P1..P4."""
+        chip = Power5Chip()
+        assert chip.context_of_cpu(0) == HardwareContextId(0, 0)
+        assert chip.context_of_cpu(1) == HardwareContextId(0, 1)
+        assert chip.context_of_cpu(2) == HardwareContextId(1, 0)
+        assert chip.context_of_cpu(3) == HardwareContextId(1, 1)
+
+    def test_roundtrip(self):
+        chip = Power5Chip()
+        for cpu in chip.cpus:
+            assert chip.cpu_of_context(chip.context_of_cpu(cpu)) == cpu
+
+    def test_sibling(self):
+        assert HardwareContextId(1, 0).sibling == HardwareContextId(1, 1)
+
+    def test_out_of_range(self):
+        chip = Power5Chip()
+        with pytest.raises(ConfigurationError):
+            chip.context_of_cpu(4)
+        with pytest.raises(ConfigurationError):
+            chip.cpu_of_context(HardwareContextId(5, 0))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChipConfig(threads_per_core=4)
+        with pytest.raises(ConfigurationError):
+            ChipConfig(n_cores=0)
+
+
+class TestChipState:
+    def test_priority_by_cpu(self):
+        chip = Power5Chip()
+        chip.set_priority(3, 6)
+        assert int(chip.priority(3)) == 6
+        assert int(chip.cores[1].priority(1)) == 6
+
+    def test_load_by_cpu(self):
+        chip = Power5Chip()
+        chip.set_load(2, BASE_PROFILES["dft"])
+        assert chip.cores[1].load(0).name == "dft"
+
+    def test_snapshot_tuple_per_core(self):
+        chip = Power5Chip()
+        snap = chip.snapshot()
+        assert len(snap) == 2
+
+    def test_reset(self):
+        chip = Power5Chip()
+        chip.set_priority(0, 6)
+        chip.set_load(0, BASE_PROFILES["hpc"])
+        chip.reset()
+        assert int(chip.priority(0)) == 4
+        assert chip.load(0) is None

@@ -1,0 +1,163 @@
+"""Paper Tables II & III: the decode-slot arbitration law."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.smt.decode import (
+    ArbitrationMode,
+    OFF_VERY_LOW_SLICE,
+    POWER_SAVE_SLICE,
+    decode_allocation,
+    decode_pattern,
+    decode_share,
+    slice_length,
+)
+
+normal_prio = st.integers(min_value=2, max_value=7)
+any_prio = st.integers(min_value=0, max_value=7)
+
+
+class TestTableII:
+    """R = 2^(|X-Y|+1); lower-priority thread gets 1 cycle, higher R-1."""
+
+    #: Paper Table II rows: (diff, R, cycles_A, cycles_B) with A favoured.
+    PAPER_ROWS = [(0, 2, 1, 1), (1, 4, 3, 1), (2, 8, 7, 1), (3, 16, 15, 1), (4, 32, 31, 1)]
+
+    @pytest.mark.parametrize("diff,R,ca,cb", PAPER_ROWS)
+    def test_rows(self, diff, R, ca, cb):
+        pa, pb = 2 + diff, 2
+        assert slice_length(pa, pb) == R
+        alloc = decode_allocation(pa, pb)
+        assert (alloc.cycles_a, alloc.cycles_b) == (ca, cb)
+
+    def test_paper_example_6_vs_2(self):
+        """Priorities 6 and 2: 'the core fetches 31 times from context0
+        and once from context1'."""
+        alloc = decode_allocation(6, 2)
+        assert alloc.slice_cycles == 32
+        assert alloc.cycles_a == 31
+        assert alloc.cycles_b == 1
+
+    @given(normal_prio, normal_prio)
+    def test_slice_formula(self, a, b):
+        assert slice_length(a, b) == 2 ** (abs(a - b) + 1)
+
+    @given(normal_prio, normal_prio)
+    def test_symmetry(self, a, b):
+        ab = decode_allocation(a, b)
+        ba = decode_allocation(b, a)
+        assert (ab.cycles_a, ab.cycles_b) == (ba.cycles_b, ba.cycles_a)
+
+    @given(normal_prio, normal_prio)
+    def test_shares_sum_to_one_in_normal_mode(self, a, b):
+        alloc = decode_allocation(a, b)
+        assert alloc.mode is ArbitrationMode.NORMAL
+        assert alloc.share_a + alloc.share_b == pytest.approx(1.0)
+
+    def test_slice_length_rejects_special_priorities(self):
+        with pytest.raises(ValueError):
+            slice_length(1, 4)
+        with pytest.raises(ValueError):
+            slice_length(4, 0)
+
+    def test_higher_priority_always_favoured(self):
+        for a in range(2, 8):
+            for b in range(2, 8):
+                alloc = decode_allocation(a, b)
+                if a > b:
+                    assert alloc.cycles_a > alloc.cycles_b
+                elif a < b:
+                    assert alloc.cycles_a < alloc.cycles_b
+                else:
+                    assert alloc.cycles_a == alloc.cycles_b
+
+
+class TestTableIII:
+    """Special cases when either priority is 0 or 1."""
+
+    def test_both_above_one_is_normal(self):
+        assert decode_allocation(2, 2).mode is ArbitrationMode.NORMAL
+
+    def test_one_very_low(self):
+        alloc = decode_allocation(1, 4)
+        assert alloc.mode is ArbitrationMode.LEFTOVER
+        assert alloc.cycles_a == 0 and alloc.cycles_b == 1
+
+    def test_both_very_low_power_save(self):
+        alloc = decode_allocation(1, 1)
+        assert alloc.mode is ArbitrationMode.POWER_SAVE
+        assert alloc.slice_cycles == POWER_SAVE_SLICE == 64
+        assert alloc.share_a == alloc.share_b == pytest.approx(1 / 64)
+
+    def test_single_thread_mode(self):
+        alloc = decode_allocation(0, 4)
+        assert alloc.mode is ArbitrationMode.SINGLE_THREAD
+        assert alloc.share_b == 1.0 and alloc.share_a == 0.0
+
+    def test_off_and_very_low(self):
+        alloc = decode_allocation(0, 1)
+        assert alloc.mode is ArbitrationMode.SINGLE_THREAD_SLOW
+        assert alloc.slice_cycles == OFF_VERY_LOW_SLICE == 32
+        assert alloc.share_b == pytest.approx(1 / 32)
+
+    def test_stopped(self):
+        alloc = decode_allocation(0, 0)
+        assert alloc.mode is ArbitrationMode.STOPPED
+        assert alloc.share_a == alloc.share_b == 0.0
+
+    @given(any_prio, any_prio)
+    def test_mode_symmetry(self, a, b):
+        assert decode_allocation(a, b).mode is decode_allocation(b, a).mode
+
+
+class TestDecodeShare:
+    def test_equal_priorities(self):
+        assert decode_share(4, 4) == (0.5, 0.5)
+
+    def test_leftover_estimate(self):
+        sa, sb = decode_share(1, 4, leftover_fraction=0.05)
+        assert sa == pytest.approx(0.05)
+        assert sb == pytest.approx(0.95)
+
+    @given(any_prio, any_prio)
+    def test_shares_are_probabilities(self, a, b):
+        sa, sb = decode_share(a, b)
+        assert 0.0 <= sa <= 1.0 and 0.0 <= sb <= 1.0
+        assert sa + sb <= 1.0 + 1e-12
+
+    @given(normal_prio, normal_prio, normal_prio)
+    def test_share_monotone_in_own_priority(self, base, lo, hi):
+        """Raising your own priority never lowers your decode share."""
+        if lo > hi:
+            lo, hi = hi, lo
+        assert decode_share(lo, base)[0] <= decode_share(hi, base)[0] + 1e-12
+
+
+class TestDecodePattern:
+    @given(normal_prio, normal_prio)
+    def test_pattern_matches_allocation(self, a, b):
+        alloc = decode_allocation(a, b)
+        pattern = decode_pattern(a, b)
+        assert len(pattern) == alloc.slice_cycles
+        assert pattern.count(0) == alloc.cycles_a
+        assert pattern.count(1) == alloc.cycles_b
+
+    def test_favoured_burst_comes_first(self):
+        assert decode_pattern(6, 2)[:31] == [0] * 31
+        assert decode_pattern(2, 6)[:31] == [1] * 31
+
+    def test_power_save_pattern(self):
+        pattern = decode_pattern(1, 1)
+        assert len(pattern) == 64
+        assert pattern.count(0) == 1 and pattern.count(1) == 1
+        assert pattern.count(None) == 62
+
+    def test_stopped_pattern_empty(self):
+        assert decode_pattern(0, 0) == []
+
+    def test_single_thread_pattern(self):
+        assert decode_pattern(7, 0) == [0]
+        assert decode_pattern(0, 7) == [1]
+
+    def test_leftover_pattern_all_favoured(self):
+        assert decode_pattern(1, 4) == [1]

@@ -1,0 +1,75 @@
+"""Functional unit pools."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.smt.functional_units import (
+    FunctionalUnitPool,
+    FunctionalUnitSpec,
+    POWER5_FU_SPECS,
+)
+from repro.smt.instructions import InstrClass
+
+
+class TestSpecs:
+    def test_power5_counts(self):
+        assert POWER5_FU_SPECS[InstrClass.FXU].count == 2
+        assert POWER5_FU_SPECS[InstrClass.FPU].count == 2
+        assert POWER5_FU_SPECS[InstrClass.BRANCH].count == 1
+
+    def test_fpu_slower_than_fxu(self):
+        assert (
+            POWER5_FU_SPECS[InstrClass.FPU].latency
+            > POWER5_FU_SPECS[InstrClass.FXU].latency
+        )
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            FunctionalUnitSpec("bad", count=0, latency=1)
+        with pytest.raises(ConfigurationError):
+            FunctionalUnitSpec("bad", count=1, latency=0)
+
+
+class TestPool:
+    def test_issue_when_free_starts_immediately(self):
+        pool = FunctionalUnitPool()
+        assert pool.issue(InstrClass.FXU, 10) == 10
+
+    def test_contention_delays_third_op(self):
+        pool = FunctionalUnitPool()
+        # Two FXUs: two ops at cycle 0 start at 0; the third waits.
+        assert pool.issue(InstrClass.FXU, 0) == 0
+        assert pool.issue(InstrClass.FXU, 0) == 0
+        assert pool.issue(InstrClass.FXU, 0) == 1
+
+    def test_single_branch_unit_serialises(self):
+        pool = FunctionalUnitPool()
+        starts = [pool.issue(InstrClass.BRANCH, 0) for _ in range(3)]
+        assert starts == [0, 1, 2]
+
+    def test_earliest_start_is_side_effect_free(self):
+        pool = FunctionalUnitPool()
+        pool.issue(InstrClass.BRANCH, 0)
+        before = pool.earliest_start(InstrClass.BRANCH, 0)
+        assert pool.earliest_start(InstrClass.BRANCH, 0) == before
+
+    def test_issue_counter(self):
+        pool = FunctionalUnitPool()
+        pool.issue(InstrClass.FPU, 0)
+        pool.issue(InstrClass.FPU, 0)
+        assert pool.issued[InstrClass.FPU] == 2
+
+    def test_reset(self):
+        pool = FunctionalUnitPool()
+        pool.issue(InstrClass.BRANCH, 0)
+        pool.reset()
+        assert pool.issue(InstrClass.BRANCH, 0) == 0
+        assert pool.issued[InstrClass.BRANCH] == 1
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FunctionalUnitPool({})
+
+    def test_latency_lookup(self):
+        pool = FunctionalUnitPool()
+        assert pool.latency(InstrClass.FPU) == POWER5_FU_SPECS[InstrClass.FPU].latency

@@ -1,0 +1,68 @@
+"""Cross-validation: analytic model vs cycle simulator.
+
+The fluid MPI runtime's physics comes from the analytic model; the cycle
+simulator is the ground truth for the decode mechanism. They need not
+match absolutely (different abstraction levels) but must agree on the
+*orderings and regimes* every experiment depends on.
+"""
+
+import pytest
+
+from repro.smt.instructions import BASE_PROFILES, SPIN_LOAD
+
+HPC = BASE_PROFILES["hpc"]
+
+GAPS = [(4, 4), (4, 5), (4, 6), (3, 6)]
+
+
+@pytest.fixture(scope="module")
+def curves(analytic_model, throughput_table):
+    analytic = [analytic_model.core_ipc(HPC, HPC, pa, pb) for pa, pb in GAPS]
+    measured = [throughput_table.core_ipc(HPC, HPC, pa, pb) for pa, pb in GAPS]
+    return analytic, measured
+
+
+class TestRegimeAgreement:
+    def test_victim_monotonically_starved_in_both(self, curves):
+        analytic, measured = curves
+        for series in (analytic, measured):
+            victims = [v for v, _ in series]
+            assert victims == sorted(victims, reverse=True)
+
+    def test_favoured_never_hurt_by_priority_in_both(self, curves):
+        analytic, measured = curves
+        for series in (analytic, measured):
+            favs = [f for _, f in series]
+            assert favs[-1] >= favs[0] * 0.95
+
+    def test_victim_slowdown_ratio_same_scale(self, curves):
+        """At gap 2 the victim should lose 2-6x in both models (the
+        super-linear penalty the paper demonstrates)."""
+        analytic, measured = curves
+        for series in (analytic, measured):
+            ratio = series[0][0] / series[2][0]
+            assert 2.0 < ratio < 8.0
+
+    def test_equal_priority_ipc_same_order_of_magnitude(self, curves):
+        analytic, measured = curves
+        ratio = analytic[0][0] / measured[0][0]
+        assert 0.4 < ratio < 2.5
+
+    def test_starved_victim_tracks_decode_supply_in_both(
+        self, analytic_model, throughput_table
+    ):
+        """At gap 2 the victim is decode-bound: IPC ~ share * width."""
+        a = analytic_model.core_ipc(HPC, HPC, 4, 6)[0]
+        m = throughput_table.core_ipc(HPC, HPC, 4, 6)[0]
+        supply = 0.125 * 5
+        assert a <= supply * 1.05
+        assert m <= supply * 1.05
+        assert m > supply * 0.5
+
+    def test_spin_interference_direction_agrees(
+        self, analytic_model, throughput_table
+    ):
+        for model in (analytic_model, throughput_table):
+            alone = model.core_ipc(HPC, None, 4, 4)[0]
+            spun = model.core_ipc(HPC, SPIN_LOAD, 4, 4)[0]
+            assert spun < alone

@@ -1,0 +1,101 @@
+"""Paper Table I: priority levels, privilege rules, or-nop encodings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidPriorityError
+from repro.smt.priorities import (
+    DEFAULT_PRIORITY,
+    HardwarePriority,
+    PRIORITY_TABLE,
+    PrivilegeLevel,
+    can_set_priority,
+    or_nop_for_priority,
+    priority_for_or_nop,
+    required_privilege,
+    validate_priority,
+)
+
+
+class TestTableI:
+    """Exact reproduction of the paper's Table I."""
+
+    #: (priority, label, privilege, or-nop register)
+    PAPER_ROWS = [
+        (0, "Thread shut off", PrivilegeLevel.HYPERVISOR, None),
+        (1, "Very low", PrivilegeLevel.SUPERVISOR, 31),
+        (2, "Low", PrivilegeLevel.USER, 1),
+        (3, "Medium-low", PrivilegeLevel.USER, 6),
+        (4, "Medium", PrivilegeLevel.USER, 2),
+        (5, "Medium-high", PrivilegeLevel.SUPERVISOR, 5),
+        (6, "High", PrivilegeLevel.SUPERVISOR, 3),
+        (7, "Very high", PrivilegeLevel.HYPERVISOR, 7),
+    ]
+
+    @pytest.mark.parametrize("prio,label,privilege,reg", PAPER_ROWS)
+    def test_rows(self, prio, label, privilege, reg):
+        info = PRIORITY_TABLE[prio]
+        assert info.label == label
+        assert info.privilege == privilege
+        assert info.or_nop_register == reg
+
+    @pytest.mark.parametrize("prio,label,privilege,reg", PAPER_ROWS)
+    def test_or_nop_mnemonics(self, prio, label, privilege, reg):
+        if reg is None:
+            assert PRIORITY_TABLE[prio].or_nop_mnemonic is None
+        else:
+            assert or_nop_for_priority(prio) == f"or {reg},{reg},{reg}"
+            assert priority_for_or_nop(reg) == prio
+
+    def test_default_priority_is_medium(self):
+        assert DEFAULT_PRIORITY == HardwarePriority.MEDIUM == 4
+
+    def test_label_property(self):
+        assert HardwarePriority.MEDIUM_LOW.label == "Medium-low"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [-1, 8, 100, 2.5, "4", None, True])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(InvalidPriorityError):
+            validate_priority(bad)
+
+    @pytest.mark.parametrize("good", range(8))
+    def test_accepts_all_levels(self, good):
+        assert validate_priority(good) == good
+
+    def test_priority_zero_has_no_or_nop(self):
+        with pytest.raises(InvalidPriorityError):
+            or_nop_for_priority(0)
+
+    def test_unknown_nop_register(self):
+        with pytest.raises(InvalidPriorityError):
+            priority_for_or_nop(12)
+
+
+class TestPrivileges:
+    """The paper's access rules: user 2-4, OS 1-6, hypervisor 0-7."""
+
+    def test_user_range(self):
+        allowed = {p for p in range(8) if can_set_priority(PrivilegeLevel.USER, p)}
+        assert allowed == {2, 3, 4}
+
+    def test_supervisor_range(self):
+        allowed = {p for p in range(8) if can_set_priority(PrivilegeLevel.SUPERVISOR, p)}
+        assert allowed == {1, 2, 3, 4, 5, 6}
+
+    def test_hypervisor_range(self):
+        allowed = {p for p in range(8) if can_set_priority(PrivilegeLevel.HYPERVISOR, p)}
+        assert allowed == set(range(8))
+
+    @given(st.integers(min_value=0, max_value=7))
+    def test_higher_privilege_supersets_lower(self, prio):
+        if can_set_priority(PrivilegeLevel.USER, prio):
+            assert can_set_priority(PrivilegeLevel.SUPERVISOR, prio)
+        if can_set_priority(PrivilegeLevel.SUPERVISOR, prio):
+            assert can_set_priority(PrivilegeLevel.HYPERVISOR, prio)
+
+    def test_required_privilege_matches_table(self):
+        assert required_privilege(4) == PrivilegeLevel.USER
+        assert required_privilege(6) == PrivilegeLevel.SUPERVISOR
+        assert required_privilege(7) == PrivilegeLevel.HYPERVISOR

@@ -1,0 +1,83 @@
+"""Shared back-end resource pools (GCT, rename)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.smt.resources import POWER5_RESOURCES, ResourceSpec, SharedResourcePool
+
+
+class TestSpec:
+    def test_power5_gct_capacity(self):
+        assert POWER5_RESOURCES["gct"].capacity == 20
+        assert POWER5_RESOURCES["gct"].per_thread_cap == 17
+
+    def test_effective_cap_defaults_to_capacity(self):
+        spec = ResourceSpec("x", capacity=8)
+        assert spec.effective_thread_cap == 8
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ResourceSpec("x", capacity=0)
+
+
+class TestPool:
+    def test_acquire_release_roundtrip(self):
+        pool = SharedResourcePool(ResourceSpec("x", capacity=4))
+        assert pool.try_acquire(0, 3)
+        assert pool.in_use == 3 and pool.free == 1
+        pool.release(0, 3)
+        assert pool.in_use == 0
+
+    def test_capacity_enforced(self):
+        pool = SharedResourcePool(ResourceSpec("x", capacity=4))
+        assert pool.try_acquire(0, 4)
+        assert not pool.try_acquire(1, 1)
+
+    def test_per_thread_cap_prevents_hoarding(self):
+        pool = SharedResourcePool(ResourceSpec("x", capacity=10, per_thread_cap=6))
+        assert pool.try_acquire(0, 6)
+        assert not pool.try_acquire(0, 1)  # thread 0 at its cap
+        assert pool.try_acquire(1, 4)  # sibling can still dispatch
+
+    def test_all_or_nothing_batches(self):
+        pool = SharedResourcePool(ResourceSpec("x", capacity=4))
+        pool.try_acquire(0, 3)
+        assert not pool.try_acquire(1, 2)
+        assert pool.held_by(1) == 0  # nothing partially granted
+
+    def test_over_release_detected(self):
+        pool = SharedResourcePool(ResourceSpec("x", capacity=4))
+        pool.try_acquire(0, 1)
+        with pytest.raises(SimulationError, match="releasing 2"):
+            pool.release(0, 2)
+
+    def test_bad_counts_rejected(self):
+        pool = SharedResourcePool(ResourceSpec("x", capacity=4))
+        with pytest.raises(ConfigurationError):
+            pool.try_acquire(0, 0)
+        with pytest.raises(ConfigurationError):
+            pool.release(0, 0)
+
+    def test_can_acquire_matches_try_acquire(self):
+        pool = SharedResourcePool(ResourceSpec("x", capacity=2))
+        assert pool.can_acquire(0, 2)
+        pool.try_acquire(0, 2)
+        assert not pool.can_acquire(1, 1)
+
+    def test_reset(self):
+        pool = SharedResourcePool(ResourceSpec("x", capacity=2))
+        pool.try_acquire(0, 2)
+        pool.reset()
+        assert pool.free == 2
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(1, 3)), max_size=40))
+    def test_invariant_usage_never_exceeds_capacity(self, ops):
+        """Under any acquire sequence, in_use <= capacity and per-thread
+        holdings <= the thread cap."""
+        spec = ResourceSpec("x", capacity=10, per_thread_cap=7)
+        pool = SharedResourcePool(spec)
+        for thread, n in ops:
+            pool.try_acquire(thread, n)
+            assert pool.in_use <= spec.capacity
+            assert pool.held_by(thread) <= spec.effective_thread_cap

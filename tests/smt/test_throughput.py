@@ -1,0 +1,61 @@
+"""Measured throughput tables (cycle sim behind memoisation)."""
+
+import pytest
+
+from repro.smt.instructions import BASE_PROFILES
+from repro.smt.throughput import ThroughputTable
+
+HPC = BASE_PROFILES["hpc"]
+INT = BASE_PROFILES["int"]
+
+
+class TestMemoisation:
+    def test_second_query_is_cached(self, throughput_table):
+        before = throughput_table.cached_keys
+        r1 = throughput_table.measure(HPC, HPC, 4, 4)
+        mid = throughput_table.cached_keys
+        r2 = throughput_table.measure(HPC, HPC, 4, 4)
+        assert r1 is r2
+        assert mid == throughput_table.cached_keys
+        assert mid >= before
+
+    def test_key_distinguishes_priorities(self, throughput_table):
+        a = throughput_table.measure(HPC, HPC, 4, 4)
+        b = throughput_table.measure(HPC, HPC, 4, 6)
+        assert a is not b
+
+    def test_determinism_across_instances(self):
+        t1 = ThroughputTable(warmup_cycles=1000, measure_cycles=5000, seed=3)
+        t2 = ThroughputTable(warmup_cycles=1000, measure_cycles=5000, seed=3)
+        assert t1.measure(HPC, INT, 4, 5).pair == t2.measure(HPC, INT, 4, 5).pair
+
+    def test_clear_cache(self):
+        t = ThroughputTable(warmup_cycles=500, measure_cycles=2000)
+        t.measure(HPC, None, 7, 0)
+        t.clear_cache()
+        assert t.cached_keys == 0
+
+
+class TestMeasurements:
+    def test_decode_shares_match_law(self, throughput_table):
+        r = throughput_table.measure(HPC, HPC, 6, 4)
+        assert r.decode_share_a == pytest.approx(0.875, abs=0.01)
+        assert r.decode_share_b == pytest.approx(0.125, abs=0.01)
+
+    def test_idle_context_measures_zero(self, throughput_table):
+        r = throughput_table.measure(HPC, None, 4, 4)
+        assert r.ipc_b == 0.0
+        assert r.ipc_a > 0.5
+
+    def test_core_ipc_protocol(self, throughput_table):
+        pair = throughput_table.core_ipc(HPC, HPC, 4, 4)
+        assert pair == throughput_table.measure(HPC, HPC, 4, 4).pair
+
+    def test_chip_ipc_protocol(self, throughput_table):
+        out = throughput_table.chip_ipc(((HPC, None, 4, 4), (None, HPC, 4, 4)))
+        assert len(out) == 2
+        assert out[0][0] > 0 and out[1][1] > 0
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ThroughputTable(warmup_cycles=0)

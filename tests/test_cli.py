@@ -1,0 +1,65 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in (["tables"], ["profiles"], ["sweep"], ["report", "--fast"]):
+            args = parser.parse_args(cmd)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "Table III" in out
+
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "hpc" in out and "dft" in out and "spin" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--profile", "hpc"]) == 0
+        out = capsys.readouterr().out
+        assert "victim" in out and "4 vs 6" in out
+
+    def test_sweep_unknown_profile(self, capsys):
+        assert main(["sweep", "--profile", "gpu"]) == 2
+
+    def test_case(self, capsys):
+        assert main(["case", "metbench", "a", "--iterations", "2", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "metbench case A" in out
+        assert "paper: 81.64s" in out
+        assert "P4" in out
+
+    def test_case_unknown_suite(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["case", "lu", "A"])
+
+    def test_case_unknown_name(self, capsys):
+        assert main(["case", "metbench", "Q"]) == 2
+
+    def test_case_prv_export(self, tmp_path, capsys):
+        prv = tmp_path / "trace.prv"
+        assert (
+            main(
+                ["case", "metbench", "a", "--iterations", "2", "--prv", str(prv)]
+            )
+            == 0
+        )
+        content = prv.read_text()
+        assert content.startswith("#Paraver")
+        assert (tmp_path / "trace.pcf").exists()

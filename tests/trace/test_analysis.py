@@ -1,0 +1,94 @@
+"""Trace analysis: windows, bottleneck timeline, drift."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.analysis import (
+    bottleneck_timeline,
+    drift_score,
+    phase_breakdown,
+    windowed_stats,
+)
+from repro.trace.events import RankState
+from repro.trace.trace import Trace
+
+
+def alternating_trace():
+    """Rank 0 busy in [0,1), rank 1 busy in [1,2) — drifting bottleneck."""
+    trace = Trace(2)
+    trace.transition(0, 0.0, RankState.COMPUTE)
+    trace.transition(0, 1.0, RankState.SYNC)
+    trace[0].finish(2.0)
+    trace.transition(1, 0.0, RankState.SYNC)
+    trace.transition(1, 1.0, RankState.COMPUTE)
+    trace[1].finish(2.0)
+    return trace
+
+
+def stable_trace():
+    """Rank 1 is the bottleneck throughout."""
+    trace = Trace(2)
+    trace.transition(0, 0.0, RankState.COMPUTE)
+    trace.transition(0, 0.5, RankState.SYNC)
+    trace[0].finish(4.0)
+    trace.transition(1, 0.0, RankState.COMPUTE)
+    trace[1].finish(4.0)
+    return trace
+
+
+class TestWindowedStats:
+    def test_window_count(self):
+        stats = windowed_stats(alternating_trace(), 4)
+        assert len(stats) == 4
+
+    def test_window_metrics_localised(self):
+        stats = windowed_stats(alternating_trace(), 2)
+        # First window: rank 1 waits; second window: rank 0 waits.
+        assert stats[0].rank_stats(1).sync_fraction > 0.9
+        assert stats[1].rank_stats(0).sync_fraction > 0.9
+
+    def test_invalid_window_count(self):
+        with pytest.raises(TraceError):
+            windowed_stats(alternating_trace(), 0)
+
+
+class TestBottleneckTimeline:
+    def test_alternation_detected(self):
+        assert bottleneck_timeline(alternating_trace(), 2) == [0, 1]
+
+    def test_stable_bottleneck(self):
+        assert bottleneck_timeline(stable_trace(), 4) == [1, 1, 1, 1]
+
+
+class TestDriftScore:
+    def test_stable_is_zero(self):
+        assert drift_score(stable_trace(), 4) == 0.0
+
+    def test_alternating_is_high(self):
+        assert drift_score(alternating_trace(), 2) == 1.0
+
+    def test_bounds(self):
+        assert 0.0 <= drift_score(alternating_trace(), 5) <= 1.0
+
+    def test_siesta_drifts_more_than_btmz(self, system):
+        """The paper's qualitative distinction, measured."""
+        from repro.experiments.cases import btmz_suite, siesta_suite
+        from repro.experiments.runner import run_case
+
+        bt = btmz_suite(iterations=10)
+        si = siesta_suite(n_iterations=10, time_scale=0.05)
+        bt_run = run_case(system, bt, bt.case("A")).run
+        si_run = run_case(system, si, si.case("A")).run
+        assert drift_score(si_run.trace, 8) > drift_score(bt_run.trace, 8)
+
+
+class TestPhaseBreakdown:
+    def test_shares_sum_to_one(self):
+        shares = phase_breakdown(alternating_trace())
+        for rank_shares in shares.values():
+            assert sum(rank_shares.values()) == pytest.approx(1.0)
+
+    def test_states_present(self):
+        shares = phase_breakdown(alternating_trace())
+        assert RankState.COMPUTE in shares[0]
+        assert RankState.SYNC in shares[0]

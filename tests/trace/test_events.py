@@ -1,0 +1,56 @@
+"""Trace primitives."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import RankState, StateInterval
+
+
+class TestRankState:
+    def test_waiting_states(self):
+        assert RankState.SYNC.is_waiting
+        assert not RankState.COMPUTE.is_waiting
+        assert not RankState.COMM.is_waiting
+
+    def test_useful_states_fold_init_and_final(self):
+        """The paper's traces colour init/final work as computing."""
+        assert RankState.COMPUTE.is_useful
+        assert RankState.INIT.is_useful
+        assert RankState.FINAL.is_useful
+        assert not RankState.SYNC.is_useful
+        assert not RankState.NOISE.is_useful
+
+    def test_glyphs_unique(self):
+        glyphs = [s.glyph for s in RankState]
+        assert len(set(glyphs)) == len(glyphs)
+
+
+class TestStateInterval:
+    def test_duration(self):
+        iv = StateInterval(1.0, 3.5, RankState.COMPUTE)
+        assert iv.duration == pytest.approx(2.5)
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(TraceError):
+            StateInterval(2.0, 1.0, RankState.SYNC)
+
+    def test_zero_length_allowed(self):
+        assert StateInterval(1.0, 1.0, RankState.SYNC).duration == 0.0
+
+    def test_overlaps(self):
+        iv = StateInterval(1.0, 2.0, RankState.COMPUTE)
+        assert iv.overlaps(1.5, 3.0)
+        assert iv.overlaps(0.0, 1.5)
+        assert not iv.overlaps(2.0, 3.0)  # half-open
+        assert not iv.overlaps(0.0, 1.0)
+
+    def test_clipped(self):
+        iv = StateInterval(1.0, 4.0, RankState.COMPUTE)
+        c = iv.clipped(2.0, 3.0)
+        assert (c.start, c.end) == (2.0, 3.0)
+        assert c.state is RankState.COMPUTE
+
+    def test_clip_disjoint_rejected(self):
+        iv = StateInterval(1.0, 2.0, RankState.COMPUTE)
+        with pytest.raises(TraceError):
+            iv.clipped(5.0, 6.0)

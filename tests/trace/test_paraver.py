@@ -1,0 +1,83 @@
+"""ASCII Gantt rendering and CSV export."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import RankState
+from repro.trace.paraver import render_gantt, render_legend, trace_to_csv
+from repro.trace.trace import Trace
+
+
+def sample_trace():
+    trace = Trace(2, label="sample")
+    trace.transition(0, 0.0, RankState.COMPUTE)
+    trace.transition(0, 5.0, RankState.SYNC)
+    trace[0].finish(10.0)
+    trace.transition(1, 0.0, RankState.INIT)
+    trace.transition(1, 2.0, RankState.COMPUTE)
+    trace[1].finish(10.0)
+    return trace
+
+
+class TestGantt:
+    def test_layout(self):
+        out = render_gantt(sample_trace(), width=10)
+        lines = out.splitlines()
+        assert lines[0] == "sample"
+        assert lines[1].startswith("P1 |")
+        assert lines[2].startswith("P2 |")
+        assert lines[1].count("|") == 2
+
+    def test_width_respected(self):
+        out = render_gantt(sample_trace(), width=20, show_axis=False)
+        row = out.splitlines()[1]
+        assert len(row) == len("P1 |") + 20 + 1
+
+    def test_states_rendered(self):
+        out = render_gantt(sample_trace(), width=10, show_axis=False)
+        p1 = out.splitlines()[1]
+        assert "#" in p1 and " " in p1  # compute then sync
+        p2 = out.splitlines()[2]
+        assert "." in p2  # init
+
+    def test_majority_state_per_bucket(self):
+        trace = Trace(1)
+        trace.transition(0, 0.0, RankState.COMPUTE)
+        trace.transition(0, 0.9, RankState.SYNC)
+        trace[0].finish(1.0)
+        out = render_gantt(trace, width=2, show_axis=False)
+        # Both half-buckets are majority-compute (0.9 of the 1.0s run).
+        assert out.splitlines()[0] == "P1 |##|"
+
+    def test_axis_labels(self):
+        out = render_gantt(sample_trace(), width=30)
+        assert "0.00s" in out and "10.00s" in out
+
+    def test_zoom_window(self):
+        out = render_gantt(sample_trace(), window=(0.0, 4.0), width=8, show_axis=False)
+        p1 = out.splitlines()[1]
+        assert p1 == "P1 |########|"
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(TraceError):
+            render_gantt(sample_trace(), window=(3.0, 3.0))
+
+    def test_tiny_width_rejected(self):
+        with pytest.raises(TraceError):
+            render_gantt(sample_trace(), width=1)
+
+
+class TestLegendAndCsv:
+    def test_legend_mentions_all_states(self):
+        legend = render_legend()
+        for state in RankState:
+            assert state.value in legend
+
+    def test_csv_roundtrippable(self):
+        csv = trace_to_csv(sample_trace())
+        lines = csv.strip().splitlines()
+        assert lines[0] == "rank,start,end,state"
+        assert len(lines) == 1 + 2 + 2  # header + 2 intervals per rank
+        rank, start, end, state = lines[1].split(",")
+        assert rank == "0" and state == "compute"
+        assert float(end) > float(start)

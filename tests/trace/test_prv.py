@@ -1,0 +1,78 @@
+"""PARAVER .prv export."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import RankState
+from repro.trace.prv import PRV_STATE_CODES, render_pcf, render_prv
+from repro.trace.trace import Trace
+
+
+def sample_trace():
+    trace = Trace(2)
+    trace.transition(0, 0.0, RankState.COMPUTE)
+    trace.transition(0, 1.5, RankState.SYNC)
+    trace[0].finish(2.0)
+    trace.transition(1, 0.0, RankState.COMPUTE)
+    trace[1].finish(2.0)
+    return trace
+
+
+class TestRenderPrv:
+    def test_header_format(self):
+        out = render_prv(sample_trace(), n_cpus=4)
+        header = out.splitlines()[0]
+        assert header.startswith("#Paraver (")
+        assert ":2000000000_ns:1(4):1:2(" in header
+
+    def test_state_records(self):
+        out = render_prv(sample_trace())
+        lines = out.strip().splitlines()[1:]
+        assert len(lines) == 3  # rank0: 2 intervals, rank1: 1
+        # record: 1:cpu:appl:task:thread:begin:end:state
+        first = lines[0].split(":")
+        assert first[0] == "1"
+        assert first[3] == "1"  # task = rank+1
+        assert first[5] == "0" and first[6] == "1500000000"
+        assert first[7] == str(PRV_STATE_CODES[RankState.COMPUTE])
+
+    def test_sync_state_code(self):
+        out = render_prv(sample_trace())
+        sync_line = out.strip().splitlines()[2]
+        assert sync_line.endswith(f":{PRV_STATE_CODES[RankState.SYNC]}")
+
+    def test_rank_to_cpu_placement(self):
+        out = render_prv(sample_trace(), rank_to_cpu={0: 3, 1: 0})
+        lines = out.strip().splitlines()[1:]
+        assert lines[0].split(":")[1] == "4"  # cpu 3 -> 1-based 4
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            render_prv(Trace(1))
+
+    def test_deterministic_header(self):
+        assert render_prv(sample_trace()) == render_prv(sample_trace())
+
+    def test_roundtrip_with_runtime(self, system):
+        from repro.machine.mapping import ProcessMapping
+        from repro.workloads.generators import barrier_loop_programs
+
+        result = system.run(
+            barrier_loop_programs([1e9, 2e9], iterations=2),
+            ProcessMapping.identity(2),
+        )
+        out = render_prv(result.run.trace if hasattr(result, "run") else result.trace)
+        assert out.count("\n") > 4
+
+    def test_all_states_mapped(self):
+        for state in RankState:
+            assert state in PRV_STATE_CODES
+
+
+class TestRenderPcf:
+    def test_names_and_colors(self):
+        pcf = render_pcf()
+        assert "STATES" in pcf
+        assert "Running" in pcf
+        assert "Synchronization" in pcf
+        assert "STATES_COLOR" in pcf

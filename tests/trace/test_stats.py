@@ -1,0 +1,111 @@
+"""The paper's metrics: imbalance % and per-rank breakdowns."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceError
+from repro.trace.events import RankState
+from repro.trace.stats import compute_stats
+from repro.trace.trace import Trace
+
+
+def two_rank_trace():
+    """Rank 0 computes 2s then waits 8s; rank 1 computes the full 10s."""
+    trace = Trace(2)
+    trace.transition(0, 0.0, RankState.COMPUTE)
+    trace.transition(0, 2.0, RankState.SYNC)
+    trace[0].finish(10.0)
+    trace.transition(1, 0.0, RankState.COMPUTE)
+    trace[1].finish(10.0)
+    return trace
+
+
+class TestPaperMetrics:
+    def test_imbalance_is_max_waiting_fraction(self):
+        stats = compute_stats(two_rank_trace())
+        assert stats.imbalance_percent == pytest.approx(80.0)
+
+    def test_comp_and_sync_percent(self):
+        stats = compute_stats(two_rank_trace())
+        r0 = stats.rank_stats(0)
+        assert r0.compute_percent == pytest.approx(20.0)
+        assert r0.sync_percent == pytest.approx(80.0)
+        assert stats.rank_stats(1).compute_percent == pytest.approx(100.0)
+
+    def test_bottleneck_is_least_waiting_rank(self):
+        stats = compute_stats(two_rank_trace())
+        assert stats.bottleneck_rank == 1
+        assert stats.most_waiting_rank == 0
+
+    def test_init_final_count_as_compute(self):
+        trace = Trace(1)
+        trace.transition(0, 0.0, RankState.INIT)
+        trace.transition(0, 1.0, RankState.COMPUTE)
+        trace.transition(0, 2.0, RankState.FINAL)
+        trace[0].finish(3.0)
+        stats = compute_stats(trace)
+        assert stats.rank_stats(0).compute_percent == pytest.approx(100.0)
+
+    def test_early_finisher_accrues_idle(self):
+        trace = Trace(2)
+        trace.transition(0, 0.0, RankState.COMPUTE)
+        trace[0].finish(4.0)
+        trace.transition(1, 0.0, RankState.COMPUTE)
+        trace[1].finish(10.0)
+        stats = compute_stats(trace)
+        assert stats.rank_stats(0).idle_fraction == pytest.approx(0.6)
+
+    def test_windowed_stats(self):
+        stats = compute_stats(two_rank_trace(), window=(0.0, 2.0))
+        assert stats.rank_stats(0).compute_percent == pytest.approx(100.0)
+        assert stats.imbalance_percent == pytest.approx(0.0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(TraceError):
+            compute_stats(two_rank_trace(), window=(1.0, 1.0))
+
+    def test_unknown_rank_stats(self):
+        stats = compute_stats(two_rank_trace())
+        with pytest.raises(TraceError):
+            stats.rank_stats(9)
+
+
+class TestAsTable:
+    def test_paper_style_table(self):
+        stats = compute_stats(two_rank_trace())
+        table = stats.as_table(priorities={0: 4, 1: 6}, cores={0: 1, 1: 1})
+        out = table.render()
+        assert "P1" in out and "P2" in out
+        assert "80.00" in out  # imbalance
+        assert "10.00s" in out
+
+
+class TestFractionInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=5.0),
+                st.floats(min_value=0.0, max_value=5.0),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_fractions_sum_to_one(self, spans):
+        """compute+sync+comm+noise+idle covers the whole run for every rank."""
+        trace = Trace(len(spans))
+        for rank, (comp, sync) in enumerate(spans):
+            trace.transition(rank, 0.0, RankState.COMPUTE)
+            trace.transition(rank, comp, RankState.SYNC)
+            trace[rank].finish(comp + sync)
+        stats = compute_stats(trace)
+        for r in stats.ranks:
+            total = (
+                r.compute_fraction
+                + r.sync_fraction
+                + r.comm_fraction
+                + r.noise_fraction
+                + r.idle_fraction
+            )
+            assert total == pytest.approx(1.0)
+            assert 0 <= r.sync_fraction <= 1

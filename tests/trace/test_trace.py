@@ -1,0 +1,108 @@
+"""Timeline accumulation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import RankState
+from repro.trace.trace import RankTimeline, Trace
+
+
+class TestRankTimeline:
+    def test_transitions_close_intervals(self):
+        tl = RankTimeline(0)
+        tl.transition(0.0, RankState.COMPUTE)
+        tl.transition(2.0, RankState.SYNC)
+        tl.finish(3.0)
+        assert [(iv.start, iv.end, iv.state) for iv in tl.intervals] == [
+            (0.0, 2.0, RankState.COMPUTE),
+            (2.0, 3.0, RankState.SYNC),
+        ]
+
+    def test_zero_length_intervals_dropped(self):
+        tl = RankTimeline(0)
+        tl.transition(1.0, RankState.COMPUTE)
+        tl.transition(1.0, RankState.SYNC)  # instantaneous switch
+        tl.finish(2.0)
+        assert len(tl.intervals) == 1
+        assert tl.intervals[0].state is RankState.SYNC
+
+    def test_time_must_not_go_backwards(self):
+        tl = RankTimeline(0)
+        tl.transition(5.0, RankState.COMPUTE)
+        with pytest.raises(TraceError, match="backwards"):
+            tl.transition(4.0, RankState.SYNC)
+
+    def test_no_transition_after_finish(self):
+        tl = RankTimeline(0)
+        tl.transition(0.0, RankState.COMPUTE)
+        tl.finish(1.0)
+        with pytest.raises(TraceError):
+            tl.transition(2.0, RankState.SYNC)
+
+    def test_time_in(self):
+        tl = RankTimeline(0)
+        tl.transition(0.0, RankState.COMPUTE)
+        tl.transition(3.0, RankState.SYNC)
+        tl.transition(4.0, RankState.COMPUTE)
+        tl.finish(6.0)
+        assert tl.time_in(RankState.COMPUTE) == pytest.approx(5.0)
+        assert tl.time_in(RankState.SYNC) == pytest.approx(1.0)
+        assert tl.time_in(RankState.COMPUTE, RankState.SYNC) == pytest.approx(6.0)
+
+    def test_time_in_until_counts_open_interval(self):
+        tl = RankTimeline(0)
+        tl.transition(0.0, RankState.SYNC)
+        assert tl.time_in_until(2.5, RankState.SYNC) == pytest.approx(2.5)
+        assert tl.time_in(RankState.SYNC) == 0.0  # closed history only
+
+    def test_state_at(self):
+        tl = RankTimeline(0)
+        tl.transition(0.0, RankState.COMPUTE)
+        tl.transition(1.0, RankState.SYNC)
+        tl.finish(2.0)
+        assert tl.state_at(0.5) is RankState.COMPUTE
+        assert tl.state_at(1.0) is RankState.SYNC
+        assert tl.state_at(5.0) is None
+
+    def test_clipped_window(self):
+        tl = RankTimeline(0)
+        tl.transition(0.0, RankState.COMPUTE)
+        tl.transition(4.0, RankState.SYNC)
+        tl.finish(8.0)
+        clips = tl.clipped(2.0, 6.0)
+        assert [(c.start, c.end) for c in clips] == [(2.0, 4.0), (4.0, 6.0)]
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(TraceError):
+            RankTimeline(-1)
+
+
+class TestTrace:
+    def test_total_time_is_latest_end(self):
+        trace = Trace(2)
+        trace.transition(0, 0.0, RankState.COMPUTE)
+        trace.transition(1, 0.0, RankState.COMPUTE)
+        trace[0].finish(3.0)
+        trace[1].finish(5.0)
+        assert trace.total_time == 5.0
+
+    def test_finish_all(self):
+        trace = Trace(3)
+        for r in range(3):
+            trace.transition(r, 0.0, RankState.COMPUTE)
+        trace.finish_all(2.0)
+        for tl in trace:
+            assert tl.end_time == 2.0
+
+    def test_getitem_unknown_rank(self):
+        trace = Trace(2)
+        with pytest.raises(TraceError):
+            trace[5]
+
+    def test_needs_positive_ranks(self):
+        with pytest.raises(TraceError):
+            Trace(0)
+
+    def test_iteration_order(self):
+        trace = Trace(3)
+        assert [tl.rank for tl in trace] == [0, 1, 2]

@@ -1,0 +1,57 @@
+"""Text table rendering."""
+
+import pytest
+
+from repro.util.tables import TextTable
+
+
+class TestTextTable:
+    def test_alignment_and_rule(self):
+        t = TextTable(["Case", "Time"])
+        t.add_row(["A", "81.64s"])
+        t.add_row(["Blong", "9s"])
+        out = t.render().splitlines()
+        assert out[0] == "Case  | Time"
+        assert set(out[1]) <= {"-", "+"}
+        assert out[2].startswith("A     | 81.64s")
+
+    def test_title(self):
+        t = TextTable(["x"], title="Table IV")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "Table IV"
+
+    def test_row_width_mismatch(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError, match="2 columns"):
+            t.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_separator_groups(self):
+        t = TextTable(["x"])
+        t.add_row([1])
+        t.add_separator()
+        t.add_row([2])
+        lines = t.render().splitlines()
+        # header, rule, row, rule, row
+        assert len(lines) == 5
+
+    def test_markdown(self):
+        t = TextTable(["a", "b"], title="T")
+        t.add_row([1, 2])
+        md = t.render_markdown()
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+        assert "| 1 | 2 |" in md
+
+    def test_str_equals_render(self):
+        t = TextTable(["a"])
+        t.add_row(["v"])
+        assert str(t) == t.render()
+
+    def test_cells_stringified(self):
+        t = TextTable(["a"])
+        t.add_row([3.5])
+        assert "3.5" in t.render()

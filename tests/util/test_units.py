@@ -1,0 +1,56 @@
+"""Unit conversion and formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util.units import (
+    POWER5_FREQ_HZ,
+    cycles_to_seconds,
+    format_percent,
+    format_seconds,
+    format_si,
+    seconds_to_cycles,
+)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert seconds_to_cycles(cycles_to_seconds(1.65e9)) == pytest.approx(1.65e9)
+
+    def test_one_second_at_power5_clock(self):
+        assert seconds_to_cycles(1.0) == pytest.approx(POWER5_FREQ_HZ)
+
+    def test_custom_frequency(self):
+        assert cycles_to_seconds(2000, freq_hz=1000.0) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            cycles_to_seconds(1, freq_hz=0)
+
+    @given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_roundtrip_property(self, cycles):
+        assert cycles_to_seconds(seconds_to_cycles(cycles)) == pytest.approx(
+            cycles, rel=1e-12, abs=1e-9
+        )
+
+
+class TestFormatting:
+    def test_format_seconds_paper_style(self):
+        assert format_seconds(81.64) == "81.64s"
+
+    def test_format_seconds_small(self):
+        assert format_seconds(0.0032) == "3.20ms"
+        assert format_seconds(2.5e-6) == "2.50us"
+
+    def test_format_seconds_negative(self):
+        assert format_seconds(-1.5) == "-1.50s"
+
+    def test_format_percent(self):
+        assert format_percent(0.7569) == "75.69%"
+
+    def test_format_si(self):
+        assert format_si(1.65e9, "Hz") == "1.65GHz"
+        assert format_si(0) == "0"
+        assert format_si(2.5e-3, "s") == "2.50ms"
+        assert format_si(-3.0e6) == "-3.00M"

@@ -1,0 +1,58 @@
+"""Argument validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching(self):
+        check_type("x", 3, int)
+        check_type("x", "s", str)
+        check_type("x", 3.0, (int, float))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "3", int)
+
+    def test_rejects_bool_where_number_expected(self):
+        with pytest.raises(TypeError, match="got bool"):
+            check_type("flag", True, (int, float))
+
+
+class TestNumericChecks:
+    def test_positive(self):
+        check_positive("n", 1)
+        with pytest.raises(ConfigurationError):
+            check_positive("n", 0)
+        with pytest.raises(ConfigurationError):
+            check_positive("n", -2)
+
+    def test_non_negative(self):
+        check_non_negative("n", 0)
+        with pytest.raises(ConfigurationError):
+            check_non_negative("n", -1e-9)
+
+    def test_in_range_inclusive(self):
+        check_in_range("x", 0, 0, 1)
+        check_in_range("x", 1, 0, 1)
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 1.0001, 0, 1)
+
+    def test_probability(self):
+        check_probability("p", 0.5)
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 1.5)
+        with pytest.raises(ConfigurationError):
+            check_probability("p", -0.1)
+
+    def test_error_message_contains_name_and_value(self):
+        with pytest.raises(ConfigurationError, match="workers must be > 0, got -3"):
+            check_positive("workers", -3)

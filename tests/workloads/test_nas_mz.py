@@ -1,0 +1,66 @@
+"""SP-MZ and LU-MZ: the balanced NAS multi-zone control group."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.mapping import ProcessMapping
+from repro.workloads.nas_mz import (
+    lu_mz_programs,
+    lu_mz_zone_grid,
+    sp_mz_programs,
+    sp_mz_zone_grid,
+)
+
+
+class TestZoneLaws:
+    def test_sp_mz_zones_equal(self):
+        grid = sp_mz_zone_grid()
+        assert grid.skew == pytest.approx(1.0)
+        works = grid.rank_works(4)
+        assert max(works) == pytest.approx(min(works))
+
+    def test_lu_mz_fixed_16_zones(self):
+        grid = lu_mz_zone_grid()
+        assert grid.n_zones == 16
+        assert grid.skew == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            sp_mz_programs(n_ranks=0)
+        with pytest.raises(WorkloadError):
+            lu_mz_programs(exchanges_per_iteration=0)
+
+
+class TestBalancedBehaviour:
+    def test_sp_mz_runs_balanced(self, system):
+        result = system.run(
+            sp_mz_programs(iterations=5), ProcessMapping.identity(4)
+        )
+        assert result.imbalance_percent < 10.0
+
+    def test_priorities_hurt_sp_mz(self, system):
+        """The control experiment: gap-boosting a balanced app only slows
+        it (the paper: 'if resource allocation is not used properly, the
+        imbalance of applications is worsened causing performance loss')."""
+        base = system.run(
+            sp_mz_programs(iterations=5), ProcessMapping.identity(4)
+        )
+        boosted = system.run(
+            sp_mz_programs(iterations=5),
+            ProcessMapping.identity(4),
+            priorities={0: 4, 1: 6, 2: 4, 3: 6},
+        )
+        assert boosted.total_time > base.total_time
+        assert boosted.imbalance_percent > base.imbalance_percent
+
+    def test_lu_mz_more_sync_points_than_sp(self, system):
+        sp = system.run(sp_mz_programs(iterations=4), ProcessMapping.identity(4))
+        lu = system.run(lu_mz_programs(iterations=4), ProcessMapping.identity(4))
+        # LU's sub-step exchanges mean more processed events per iteration.
+        assert lu.events_processed > sp.events_processed
+
+    def test_lu_mz_balanced(self, system):
+        result = system.run(
+            lu_mz_programs(iterations=4), ProcessMapping.identity(4)
+        )
+        assert result.imbalance_percent < 12.0

@@ -1,0 +1,104 @@
+"""SIESTA phase model."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.mapping import ProcessMapping
+from repro.trace.events import RankState
+from repro.util.rng import RngStreams
+from repro.workloads.siesta import SiestaConfig, draw_iteration_works, siesta_programs
+
+
+def small_config(**kw):
+    defaults = dict(
+        mean_works=[1e9, 1e9, 1.2e9, 1.5e9],
+        init_works=[2e9] * 4,
+        final_works=[2e9] * 4,
+        n_iterations=6,
+        seed=7,
+    )
+    defaults.update(kw)
+    return SiestaConfig(**defaults)
+
+
+class TestDrawIterationWorks:
+    def _rng(self, seed=0):
+        return RngStreams(seed).get("t")
+
+    def test_shape(self):
+        table = draw_iteration_works([1e9, 2e9], 5, 0.2, 0.3, self._rng())
+        assert len(table) == 5
+        assert all(len(row) == 2 for row in table)
+
+    def test_no_jitter_no_rotation_is_constant(self):
+        table = draw_iteration_works([1e9, 2e9], 4, 0.0, 0.0, self._rng())
+        for row in table:
+            assert row == [1e9, 2e9]
+
+    def test_rotation_migrates_bottleneck(self):
+        """The paper's SIESTA property: 'the process that computes the
+        most is not the same across all the iterations'."""
+        table = draw_iteration_works(
+            [1e9, 1e9, 1e9, 3e9], 40, 0.1, 0.5, self._rng(3)
+        )
+        argmaxes = {max(range(4), key=row.__getitem__) for row in table}
+        assert len(argmaxes) > 1
+
+    def test_mean_tracks_target(self):
+        table = draw_iteration_works([1e9, 2e9], 500, 0.3, 0.0, self._rng(1))
+        mean0 = sum(row[0] for row in table) / len(table)
+        assert mean0 == pytest.approx(1e9, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            draw_iteration_works([1e9], 0, 0.1, 0.1, self._rng())
+        with pytest.raises(WorkloadError):
+            draw_iteration_works([1e9], 5, -0.1, 0.1, self._rng())
+        with pytest.raises(WorkloadError):
+            draw_iteration_works([1e9], 5, 0.1, 1.5, self._rng())
+
+
+class TestConfig:
+    def test_phase_length_mismatch(self):
+        with pytest.raises(WorkloadError):
+            SiestaConfig(
+                mean_works=[1, 2], init_works=[1], final_works=[1, 2], n_iterations=2
+            )
+
+    def test_iteration_works_deterministic(self):
+        cfg = small_config()
+        assert cfg.iteration_works() == cfg.iteration_works()
+
+    def test_seed_changes_table(self):
+        assert small_config(seed=1).iteration_works() != small_config(
+            seed=2
+        ).iteration_works()
+
+
+class TestExecution:
+    def test_phases_in_trace(self, system):
+        result = system.run(
+            siesta_programs(small_config()), ProcessMapping.identity(4)
+        )
+        states = {iv.state for iv in result.trace[0].intervals}
+        assert RankState.INIT in states
+        assert RankState.FINAL in states
+        assert RankState.COMPUTE in states
+
+    def test_deterministic_end_to_end(self, system):
+        cfg = small_config()
+        t1 = system.run(siesta_programs(cfg), ProcessMapping.identity(4)).total_time
+        t2 = system.run(siesta_programs(cfg), ProcessMapping.identity(4)).total_time
+        assert t1 == pytest.approx(t2)
+
+    def test_static_overboost_backfires(self, system):
+        """The paper's case D: a gap-2 boost on a drifting workload
+        reverses the imbalance and slows the run."""
+        cfg = small_config(n_iterations=10, jitter_sigma=0.3, rotate_prob=0.4)
+        base = system.run(siesta_programs(cfg), ProcessMapping.identity(4))
+        overboost = system.run(
+            siesta_programs(cfg),
+            ProcessMapping.identity(4),
+            priorities={0: 4, 1: 4, 2: 4, 3: 6},
+        )
+        assert overboost.total_time > base.total_time
