@@ -2,7 +2,9 @@
 
 Not a paper table — these track the speed of the substrate itself so
 regressions in the hot paths (cycle pipeline stepping, fluid-runtime
-event processing, analytic solves) are visible across commits.
+event processing, analytic solves) are visible across commits. Each
+target also appends its timing stats to
+``benchmarks/results/BENCH_simulator.json`` via ``record_bench``.
 """
 
 import numpy as np
@@ -17,7 +19,20 @@ from repro.workloads.generators import barrier_loop_programs
 HPC = BASE_PROFILES["hpc"]
 
 
-def test_cycle_pipeline_throughput(benchmark):
+def _record(record_bench, name, benchmark, **extra):
+    st = benchmark.stats.stats
+    payload = {
+        "mean_s": st.mean,
+        "min_s": st.min,
+        "median_s": st.median,
+        "stddev_s": st.stddev,
+        "rounds": st.rounds,
+    }
+    payload.update(extra)
+    record_bench(name, payload)
+
+
+def test_cycle_pipeline_throughput(benchmark, record_bench):
     """Cycles simulated per second of the detailed core model."""
 
     def run():
@@ -28,9 +43,11 @@ def test_cycle_pipeline_throughput(benchmark):
 
     completed = benchmark(run)
     assert completed > 0
+    _record(record_bench, "cycle_pipeline_throughput", benchmark,
+            cycles_per_round=20_000)
 
 
-def test_analytic_solve_speed(benchmark):
+def test_analytic_solve_speed(benchmark, record_bench):
     """Uncached closed-form solves (the runtime's rate queries)."""
 
     def run():
@@ -43,9 +60,10 @@ def test_analytic_solve_speed(benchmark):
 
     total = benchmark(run)
     assert total > 0
+    _record(record_bench, "analytic_solve_speed", benchmark, solves_per_round=25)
 
 
-def test_fluid_runtime_event_rate(benchmark):
+def test_fluid_runtime_event_rate(benchmark, record_bench):
     """End-to-end DES: a 4-rank, 20-barrier application per round."""
     system = System(SystemConfig())
     works = [1e9, 2e9, 3e9, 4e9]
@@ -58,3 +76,5 @@ def test_fluid_runtime_event_rate(benchmark):
 
     events = benchmark(run)
     assert events > 20
+    _record(record_bench, "fluid_runtime_event_rate", benchmark,
+            events_per_round=events)

@@ -9,6 +9,7 @@ each experiment is itself a full simulated application run.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -35,3 +36,28 @@ def save_artifact():
         print(f"\n{content}\n[saved to {path}]")
 
     return write
+
+
+@pytest.fixture(scope="session")
+def record_bench():
+    """Accumulator for machine-readable perf numbers.
+
+    Benchmarks call ``record_bench(name, stats_dict)``; at session end
+    everything lands in ``benchmarks/results/BENCH_simulator.json`` so
+    perf changes are diffable across commits without parsing pytest
+    output.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_simulator.json"
+    results: dict = {}
+    if path.exists():
+        try:
+            results = json.loads(path.read_text())
+        except ValueError:
+            results = {}
+
+    def record(name: str, stats: dict) -> None:
+        results[name] = stats
+        path.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")
+
+    yield record

@@ -6,19 +6,24 @@ Commands
     The full paper-vs-measured report (all tables and figures).
 ``tables``
     The architectural Tables I-III, instantly.
-``case <suite> <name> [--iterations N] [--width W] [--prv FILE]``
+``case <suite> <name> [--iterations N] [--width W] [--prv FILE]
+      [--model analytic|cycle] [--table FILE]``
     Run one paper case (suite: metbench|btmz|siesta), print the
     characterisation table and the ASCII trace; optionally export a
-    PARAVER ``.prv``.
+    PARAVER ``.prv``. With ``--model cycle --table FILE``, pipeline
+    measurements are loaded from/persisted to ``FILE``.
 ``profiles``
     The bundled load profiles and their model operating points.
 ``sweep [--profile P]``
     Victim/favoured throughput across priority gaps 0-4.
+``cache info|clear --table FILE``
+    Inspect or delete a persisted throughput table.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -30,6 +35,7 @@ from repro.experiments.table3 import special_cases_table
 from repro.machine.system import System, SystemConfig
 from repro.smt.analytic import AnalyticThroughputModel
 from repro.smt.instructions import BASE_PROFILES
+from repro.smt.throughput import ThroughputTable
 from repro.smt.priorities import PRIORITY_TABLE
 from repro.trace.paraver import render_gantt, render_legend
 from repro.trace.prv import render_pcf, render_prv
@@ -80,8 +86,13 @@ def _cmd_case(args: argparse.Namespace) -> int:
         print(f"unknown case {args.name!r}; suite {args.suite} has {names}",
               file=sys.stderr)
         return 2
-    system = System(SystemConfig())
+    system = System(
+        SystemConfig(model=args.model, throughput_table_path=args.table)
+    )
     result = run_case(system, suite, case)
+    saved = system.save_throughput_table()
+    if saved is not None:
+        print(f"[cache] persisted {saved} throughput entries to {args.table}")
     prios = case.priorities or {r: 4 for r in range(case.n_ranks)}
     cores = {r: case.mapping.core_of(r) + 1 for r in range(case.n_ranks)}
     print(result.run.stats.as_table(prios, cores,
@@ -154,6 +165,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    path = args.table
+    if args.action == "clear":
+        if os.path.exists(path):
+            os.remove(path)
+            print(f"removed {path}")
+        else:
+            print(f"nothing to clear at {path}")
+        return 0
+    # info
+    probe = ThroughputTable()
+    try:
+        import json
+
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        print(f"no table at {path}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"unreadable table {path}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(doc, dict) or doc.get("format") != ThroughputTable.FORMAT:
+        print(f"{path} is not a throughput table file", file=sys.stderr)
+        return 2
+    table = TextTable(["field", "value"], title=f"throughput table {path}")
+    table.add_row(["version", doc.get("version")])
+    table.add_row(["fingerprint", str(doc.get("fingerprint"))[:16] + "..."])
+    table.add_row(["warmup_cycles", doc.get("warmup_cycles")])
+    table.add_row(["measure_cycles", doc.get("measure_cycles")])
+    table.add_row(["seed", doc.get("seed")])
+    table.add_row(["entries", len(doc.get("entries", ()))])
+    matches = "yes" if doc.get("fingerprint") == probe.fingerprint else "no"
+    table.add_row(["matches default config", matches])
+    print(table.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -177,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_case.add_argument("--width", type=int, default=90, help="trace width")
     p_case.add_argument("--prv", default=None,
                         help="export a PARAVER .prv to this path")
+    p_case.add_argument("--model", choices=("analytic", "cycle"),
+                        default="analytic", help="throughput model")
+    p_case.add_argument("--table", default=None,
+                        help="persisted throughput table (cycle model only)")
     p_case.set_defaults(func=_cmd_case)
 
     p_prof = sub.add_parser("profiles", help="bundled load profiles")
@@ -185,6 +238,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="priority-gap operating points")
     p_sweep.add_argument("--profile", default="hpc")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_cache = sub.add_parser("cache", help="persisted throughput tables")
+    p_cache.add_argument("action", choices=("info", "clear"))
+    p_cache.add_argument("--table", required=True,
+                         help="path of the persisted table")
+    p_cache.set_defaults(func=_cmd_cache)
 
     return parser
 

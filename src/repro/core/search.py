@@ -12,6 +12,7 @@ practical with the analytic model.
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -22,6 +23,7 @@ from repro.machine.system import System
 from repro.mpi.process import RankProgram
 
 __all__ = [
+    "SearchStats",
     "SearchResult",
     "candidate_assignments",
     "exhaustive_priority_search",
@@ -30,11 +32,36 @@ __all__ = [
 
 
 @dataclass(frozen=True)
+class SearchStats:
+    """Work accounting for one search invocation.
+
+    ``evaluations`` counts every candidate actually simulated — it is
+    the honest cost figure even when the result keeps only the top N
+    entries. Cache hits/misses are the throughput model's memo deltas
+    over the search (all zeros when the model keeps no stats, and for
+    worker-process caches, which die with their pool).
+    """
+
+    evaluations: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
 class SearchResult:
     """Ranking of evaluated assignments."""
 
     entries: Tuple[Tuple[PriorityAssignment, float, float], ...]
     """(assignment, total_time, imbalance_percent), best first."""
+
+    stats: Optional[SearchStats] = None
+    """Evaluation/cache accounting; ``None`` for hand-built results."""
 
     @property
     def best(self) -> PriorityAssignment:
@@ -46,6 +73,14 @@ class SearchResult:
 
     @property
     def evaluated(self) -> int:
+        """Candidates actually simulated.
+
+        Historically this was ``len(entries)``, which under-reported
+        whenever ``keep_top`` truncated the ranking; it now comes from
+        :attr:`stats` when available.
+        """
+        if self.stats is not None:
+            return self.stats.evaluations
         return len(self.entries)
 
     def improvement_over(self, reference_time: float) -> float:
@@ -94,6 +129,33 @@ def candidate_assignments(
     return out
 
 
+def _model_cache_stats(system: System):
+    """The model's memo counters, or ``None`` if it keeps none."""
+    getter = getattr(system.model, "cache_stats", None)
+    return getter() if callable(getter) else None
+
+
+def _evaluate_assignment(
+    system: System,
+    program_factory: Callable[[], Sequence[RankProgram]],
+    assignment: PriorityAssignment,
+) -> Tuple[float, float]:
+    result = system.run(
+        list(program_factory()),
+        mapping=assignment.mapping,
+        priorities=assignment.priority_dict,
+        label=assignment.describe(),
+    )
+    return result.total_time, result.imbalance_percent
+
+
+def _evaluate_candidate(payload) -> Tuple[float, float]:
+    """Worker entry point for parallel search (module-level so it is
+    picklable by :mod:`concurrent.futures`)."""
+    system, program_factory, assignment = payload
+    return _evaluate_assignment(system, program_factory, assignment)
+
+
 def exhaustive_priority_search(
     system: System,
     program_factory: Callable[[], Sequence[RankProgram]],
@@ -101,27 +163,68 @@ def exhaustive_priority_search(
     levels: Sequence[int] = (3, 4, 5, 6),
     max_gap: int = 2,
     keep_top: int = 0,
+    workers: int = 1,
 ) -> SearchResult:
     """Evaluate every candidate assignment; return them ranked.
 
     ``program_factory`` must build *fresh* generator programs per run
     (generators are single-use).
+
+    With ``workers > 1``, candidates are evaluated in a process pool.
+    ``executor.map`` preserves candidate order, and each run is
+    deterministic given (programs, mapping, priorities), so the ranking
+    is byte-identical to the serial one. The system and factory must be
+    picklable for this; when they are not (e.g. a lambda factory), the
+    search transparently falls back to the serial path. Worker model
+    caches are private to the pool, so cross-candidate cache reuse — and
+    the hit/miss accounting — only happens in serial mode.
     """
-    entries: List[Tuple[PriorityAssignment, float, float]] = []
-    for assignment in candidate_assignments(mapping, levels, max_gap):
-        result = system.run(
-            list(program_factory()),
-            mapping=assignment.mapping,
-            priorities=assignment.priority_dict,
-            label=assignment.describe(),
-        )
-        entries.append((assignment, result.total_time, result.imbalance_percent))
+    candidates = candidate_assignments(mapping, levels, max_gap)
+    if not candidates:
+        raise ConfigurationError("search evaluated no candidates")
+    before = _model_cache_stats(system)
+
+    outcomes: Optional[List[Tuple[float, float]]] = None
+    used_workers = 1
+    if workers > 1 and len(candidates) > 1:
+        try:
+            n = min(int(workers), len(candidates))
+            with ProcessPoolExecutor(max_workers=n) as pool:
+                outcomes = list(
+                    pool.map(
+                        _evaluate_candidate,
+                        [(system, program_factory, a) for a in candidates],
+                    )
+                )
+            used_workers = n
+        except Exception:
+            # Unpicklable system/factory or a broken pool: evaluate
+            # serially instead (any genuine simulation error will
+            # re-raise below, from the same candidate).
+            outcomes = None
+    if outcomes is None:
+        outcomes = [
+            _evaluate_assignment(system, program_factory, a) for a in candidates
+        ]
+
+    entries: List[Tuple[PriorityAssignment, float, float]] = [
+        (a, t, imb) for a, (t, imb) in zip(candidates, outcomes)
+    ]
+    after = _model_cache_stats(system)
+    hits = misses = 0
+    if before is not None and after is not None:
+        hits = after.hits - before.hits
+        misses = after.misses - before.misses
+    stats = SearchStats(
+        evaluations=len(candidates),
+        cache_hits=hits,
+        cache_misses=misses,
+        workers=used_workers,
+    )
     entries.sort(key=lambda e: e[1])
     if keep_top > 0:
         entries = entries[:keep_top]
-    if not entries:
-        raise ConfigurationError("search evaluated no candidates")
-    return SearchResult(tuple(entries))
+    return SearchResult(tuple(entries), stats=stats)
 
 
 def greedy_priority_search(
@@ -143,14 +246,10 @@ def greedy_priority_search(
             mapping, {r: 4 for r in range(mapping.n_ranks)}, label="start"
         )
 
+    before = _model_cache_stats(system)
+
     def evaluate(assignment: PriorityAssignment) -> Tuple[float, float]:
-        result = system.run(
-            list(program_factory()),
-            mapping=assignment.mapping,
-            priorities=assignment.priority_dict,
-            label=assignment.describe(),
-        )
-        return result.total_time, result.imbalance_percent
+        return _evaluate_assignment(system, program_factory, assignment)
 
     current = start
     current_time, current_imb = evaluate(current)
@@ -176,5 +275,14 @@ def greedy_priority_search(
         if best_move is None or best_move[1] >= current_time:
             break
         current, current_time, current_imb = best_move
+    after = _model_cache_stats(system)
+    hits = misses = 0
+    if before is not None and after is not None:
+        hits = after.hits - before.hits
+        misses = after.misses - before.misses
+    evaluations = len(history)
     history.sort(key=lambda e: e[1])
-    return SearchResult(tuple(history))
+    return SearchResult(
+        tuple(history),
+        stats=SearchStats(evaluations=evaluations, cache_hits=hits, cache_misses=misses),
+    )

@@ -72,3 +72,8 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent internal state."""
+
+
+class PersistenceError(ReproError):
+    """A persisted artifact (throughput table, ...) is malformed or does
+    not match the configuration that is trying to load it."""

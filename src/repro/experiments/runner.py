@@ -62,6 +62,10 @@ def run_suite(
         results.append(run_case(system, suite, case))
     if not results:
         raise ConfigurationError(f"no cases selected from suite {suite.name!r}")
+    # Cycle-model systems with a configured table path persist whatever
+    # new measurements this suite produced, so the next invocation
+    # starts warm.
+    system.save_throughput_table()
     return results
 
 

@@ -60,12 +60,23 @@ class SystemConfig:
     #: Daemon noise sources.
     noise: tuple = ()
     seed: int = 0
+    #: Where the cycle model's measured throughput table is persisted.
+    #: When set (model="cycle" only), measurements found there are loaded
+    #: at construction and :meth:`System.save_throughput_table` writes
+    #: new ones back, so repeated cycle-model experiments skip the
+    #: 50k-cycle pipeline measurements entirely.
+    throughput_table_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kernel not in ("standard", "patched"):
             raise ConfigurationError(f"kernel must be standard|patched, got {self.kernel!r}")
         if self.model not in ("analytic", "cycle"):
             raise ConfigurationError(f"model must be analytic|cycle, got {self.model!r}")
+        if self.throughput_table_path is not None and self.model != "cycle":
+            raise ConfigurationError(
+                "throughput_table_path only applies to model='cycle' "
+                f"(got model={self.model!r})"
+            )
         if self.tick_hz < 0 or self.irq_rate_hz < 0:
             raise ConfigurationError("tick_hz/irq_rate_hz must be >= 0")
         for cfg in self.noise:
@@ -89,6 +100,20 @@ class System:
             self.model = AnalyticThroughputModel(self.config.analytic)
         else:
             self.model = ThroughputTable(seed=self.config.seed)
+            if self.config.throughput_table_path:
+                self.model.load(self.config.throughput_table_path)
+
+    def save_throughput_table(self) -> Optional[int]:
+        """Persist the cycle model's measured table to the configured path.
+
+        No-op (returns ``None``) for the analytic model or when no
+        ``throughput_table_path`` is configured; otherwise returns the
+        number of entries written.
+        """
+        path = self.config.throughput_table_path
+        if path and isinstance(self.model, ThroughputTable):
+            return self.model.save(path)
+        return None
 
     # -- machine assembly -------------------------------------------------------
 

@@ -97,6 +97,11 @@ class RuntimeConfig:
     max_events: int = 2_000_000
     #: Temporal tolerance for simultaneity.
     epsilon: float = 1e-9
+    #: Per-core-group dirty tracking: a state change on one chip only
+    #: re-solves that chip's IPC. Disable to force a full re-solve on
+    #: every state change (equivalence testing / ablation — results are
+    #: identical either way).
+    incremental_rates: bool = True
 
     def __post_init__(self) -> None:
         if self.wait_mode not in ("spin", "block"):
@@ -139,11 +144,15 @@ class _Proc:
     __slots__ = (
         "rank",
         "cpu",
+        "core_idx",
+        "thread",
         "gen",
         "state",
         "remaining",
+        "rate",
         "profile_name",
         "trace_state",
+        "timeline",
         "compute_trace_state",
         "resume_value",
         "awaiting",
@@ -156,11 +165,15 @@ class _Proc:
     def __init__(self, rank: int, cpu: int, gen: Generator[Op, object, None]) -> None:
         self.rank = rank
         self.cpu = cpu
+        self.core_idx = cpu // 2
+        self.thread = cpu % 2
         self.gen = gen
         self.state = _PState.READY
         self.remaining = 0.0
+        self.rate = 0.0  # instructions/second while computing
         self.profile_name: Optional[str] = None
         self.trace_state: Optional[RankState] = None
+        self.timeline = None  # bound to the rank's RankTimeline by the runtime
         #: Which useful state (COMPUTE/INIT/FINAL) the current compute is.
         self.compute_trace_state: RankState = RankState.COMPUTE
         self.resume_value: object = None
@@ -256,7 +269,9 @@ class MpiRuntime:
         self._procs: List[_Proc] = []
         for rank, prog in enumerate(programs):
             api = RankApi(rank, self.n_ranks)
-            self._procs.append(_Proc(rank, self.mapping[rank], prog(api)))
+            proc = _Proc(rank, self.mapping[rank], prog(api))
+            proc.timeline = self.trace[rank]
+            self._procs.append(proc)
         self._by_request: Dict[int, _Proc] = {}
 
         self.now = 0.0
@@ -264,8 +279,29 @@ class MpiRuntime:
         self._heap: List[Tuple[float, int, str, object]] = []
         self._kernel_events = kernel_events
         self._next_kernel: Optional[KernelEvent] = None
-        self._rates: Dict[int, float] = {}  # rank -> instructions/second
-        self._rates_dirty = True
+        # Multi-chip machines group their cores per chip so the model's
+        # shared-L2 coupling stays within a chip; a plain Power5Chip is a
+        # single group. Rate recomputation is tracked per group: a
+        # priority write or load change on one chip only re-solves that
+        # chip's IPC.
+        self._cores = list(chip.cores)
+        groups = getattr(chip, "core_groups", None)
+        if groups is None:
+            groups = [list(range(len(self._cores)))]
+        self._core_groups: List[List[int]] = [list(g) for g in groups]
+        self._group_of_core: Dict[int, int] = {
+            core: gi for gi, group in enumerate(self._core_groups) for core in group
+        }
+        self._dirty_groups: Set[int] = set(range(len(self._core_groups)))
+        self._incremental = bool(self.config.incremental_rates)
+        self._ipc_by_core: Dict[int, Tuple[float, float]] = {}
+        #: Per-run memo of group state -> chip_ipc result.  The model's own
+        #: chip cache persists across runs; this dict just skips the
+        #: name-key construction inside ``chip_ipc`` for repeat states.
+        self._group_ipc_memo: Dict[tuple, tuple] = {}
+        #: How often each group's IPC was re-solved (observability: the
+        #: multi-chip tests assert a chip-0 event leaves chip 1 alone).
+        self.group_recompute_counts: List[int] = [0] * len(self._core_groups)
         self.events_processed = 0
         self._finished = 0
         #: Called once at t=0 after all processes are pinned and started —
@@ -284,47 +320,77 @@ class MpiRuntime:
     def _push(self, time: float, kind: str, payload: object) -> None:
         heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
 
+    @property
+    def _rates_dirty(self) -> bool:
+        """Whether any group needs a rate re-solve (compat view of the
+        dirty set; assigning True marks every group)."""
+        return bool(self._dirty_groups)
+
+    @_rates_dirty.setter
+    def _rates_dirty(self, value: bool) -> None:
+        if value:
+            self._mark_all_dirty()
+        else:
+            self._dirty_groups.clear()
+
+    def _mark_all_dirty(self) -> None:
+        self._dirty_groups.update(range(len(self._core_groups)))
+
+    def _mark_dirty_cpu(self, cpu: int) -> None:
+        if self.config.incremental_rates:
+            self._dirty_groups.add(self._group_of_core[cpu // 2])
+        else:
+            self._mark_all_dirty()
+
     def _set_context_load(self, proc: _Proc, name: Optional[str]) -> None:
-        self.chip.set_load(
-            proc.cpu, self.profiles[name] if name is not None else None
-        )
-        self._rates_dirty = True
+        profile = self.profiles[name] if name is not None else None
+        core = self._cores[proc.core_idx]
+        # Hot path: ``proc.thread`` is 0/1 by construction and ``profile``
+        # comes from the validated profile table, so skip SmtCore's
+        # per-call checks and write the context slot directly.
+        if core._loads[proc.thread] is profile:
+            return  # no state change (e.g. re-installing the spin posture)
+        core._loads[proc.thread] = profile
+        if self._incremental:
+            self._dirty_groups.add(self._group_of_core[proc.core_idx])
+        else:
+            self._mark_all_dirty()
 
     def _set_trace(self, proc: _Proc, state: Optional[RankState]) -> None:
         if proc.trace_state is not state:
-            self.trace.transition(proc.rank, self.now, state)
+            proc.timeline.transition(self.now, state)
             proc.trace_state = state
 
     def _recompute_rates(self) -> None:
-        cores = self.chip.cores
-        # Multi-chip machines group their cores per chip so the model's
-        # shared-L2 coupling stays within a chip; a plain Power5Chip is a
-        # single group.
-        groups = getattr(self.chip, "core_groups", None)
-        if groups is None:
-            groups = [list(range(len(cores)))]
-        ipc_by_core: Dict[int, Tuple[float, float]] = {}
-        for group in groups:
-            states = tuple(
-                (
-                    cores[i].load(0),
-                    cores[i].load(1),
-                    int(cores[i].priority(0)),
-                    int(cores[i].priority(1)),
-                )
-                for i in group
-            )
-            ipcs = self.model.chip_ipc(states)
+        cores = self._cores
+        ipc_by_core = self._ipc_by_core
+        dirty = self._dirty_groups
+        memo = self._group_ipc_memo
+        for gi in sorted(dirty) if len(dirty) > 1 else tuple(dirty):
+            group = self._core_groups[gi]
+            # Profiles are interned in ``self.profiles`` for the runtime's
+            # lifetime, so identity is a sound (and cheap) memo key; the
+            # full state tuple is only materialised on a memo miss.
+            key_parts = [gi]
+            for i in group:
+                core = cores[i]
+                loads = core._loads
+                prios = core._priorities
+                key_parts.append((id(loads[0]), id(loads[1]), prios[0], prios[1]))
+            key = tuple(key_parts)
+            ipcs = memo.get(key)
+            if ipcs is None:
+                ipcs = self.model.chip_ipc(tuple(cores[i].state() for i in group))
+                memo[key] = ipcs
             for i, pair in zip(group, ipcs):
                 ipc_by_core[i] = pair
+            self.group_recompute_counts[gi] += 1
+        dirty.clear()
         freq = self.chip.config.freq_hz
+        computing = _PState.COMPUTING
         for proc in self._procs:
-            if proc.state != _PState.COMPUTING:
-                continue
-            core, thread = proc.cpu // 2, proc.cpu % 2
-            proc_ipc = ipc_by_core[core][thread]
-            self._rates[proc.rank] = proc_ipc * freq
-        self._rates_dirty = False
+            if proc.state is computing:
+                proc.rate = ipc_by_core[proc.core_idx][proc.thread] * freq
 
     # -- generator advancement -----------------------------------------------------
 
@@ -337,6 +403,15 @@ class MpiRuntime:
                 self._on_done(proc)
                 return
             proc.resume_value = None
+            # Exact-type fast paths for the two ops that dominate HPC
+            # phase structure; isinstance keeps subclasses working below.
+            op_type = type(op)
+            if op_type is ComputeOp:
+                self._start_compute(proc, op)
+                return
+            if op_type is BarrierOp:
+                self._start_collective(proc, op)
+                return
             if isinstance(op, ComputeOp):
                 self._start_compute(proc, op)
                 return
@@ -509,7 +584,7 @@ class MpiRuntime:
             self.hmt.or_nop_priority(proc.cpu, op.priority, self.now)
         else:
             self.kernel.procfs.set_priority_of_pid(proc.rank, op.priority, self.now)
-        self._rates_dirty = True
+        self._mark_dirty_cpu(proc.cpu)
 
     def _on_done(self, proc: _Proc) -> None:
         proc.state = _PState.DONE
@@ -517,7 +592,7 @@ class MpiRuntime:
         self._set_context_load(proc, None)
         self._set_trace(proc, RankState.IDLE)
         self.kernel.on_cpu_idle(proc.cpu, self.now)
-        self._rates_dirty = True
+        self._mark_dirty_cpu(proc.cpu)
 
     # -- event handling ---------------------------------------------------------
 
@@ -567,7 +642,7 @@ class MpiRuntime:
 
     def _handle_kernel_event(self, event: KernelEvent) -> None:
         self.kernel.on_interrupt_entry(event.cpu, self.now)
-        self._rates_dirty = True
+        self._mark_dirty_cpu(event.cpu)
         if event.duration <= 0:
             return
         # Preempt whatever runs on that cpu.
@@ -604,7 +679,7 @@ class MpiRuntime:
                 self._resume_from_block(proc)
                 return
             self._wait_posture(proc, proc.blocked_trace_state)
-        self._rates_dirty = True
+        self._mark_dirty_cpu(proc.cpu)
 
     # -- kernel event feed ---------------------------------------------------------
 
@@ -634,23 +709,29 @@ class MpiRuntime:
             self._advance(proc)
 
         eps = cfg.epsilon
+        max_events = cfg.max_events
+        time_limit = cfg.time_limit
+        procs = self._procs
+        heap = self._heap
+        computing_state = _PState.COMPUTING
         while self._finished < self.n_ranks:
-            if self.events_processed > cfg.max_events:
+            if self.events_processed > max_events:
                 raise SimulationError(
-                    f"exceeded max_events={cfg.max_events} at t={self.now}"
+                    f"exceeded max_events={max_events} at t={self.now}"
                 )
-            if self._rates_dirty:
+            if self._dirty_groups:
                 self._recompute_rates()
 
             t_next = math.inf
-            if self._heap:
-                t_next = self._heap[0][0]
-            kernel_ev = self._peek_kernel()
-            if kernel_ev is not None:
-                t_next = min(t_next, kernel_ev.time)
-            computing = [p for p in self._procs if p.state == _PState.COMPUTING]
+            if heap:
+                t_next = heap[0][0]
+            if self._next_kernel is not None or self._kernel_events is not None:
+                kernel_ev = self._peek_kernel()
+                if kernel_ev is not None:
+                    t_next = min(t_next, kernel_ev.time)
+            computing = [p for p in procs if p.state is computing_state]
             for proc in computing:
-                rate = self._rates.get(proc.rank, 0.0)
+                rate = proc.rate
                 if rate > 0.0:
                     t_next = min(t_next, self.now + proc.remaining / rate)
             if math.isinf(t_next):
@@ -660,9 +741,9 @@ class MpiRuntime:
                     f"collectives: {self.collectives.pending_summary()}"
                 )
             t_next = max(t_next, self.now)
-            if t_next > cfg.time_limit:
+            if t_next > time_limit:
                 raise SimulationError(
-                    f"exceeded time_limit={cfg.time_limit}s "
+                    f"exceeded time_limit={time_limit}s "
                     f"(next event at t={t_next:.3f}s)"
                 )
 
@@ -670,13 +751,13 @@ class MpiRuntime:
             dt = t_next - self.now
             if dt > 0:
                 for proc in computing:
-                    rate = self._rates.get(proc.rank, 0.0)
-                    proc.remaining = max(0.0, proc.remaining - rate * dt)
+                    remaining = proc.remaining - proc.rate * dt
+                    proc.remaining = remaining if remaining > 0.0 else 0.0
             self.now = t_next
 
             # Fire due heap events.
-            while self._heap and self._heap[0][0] <= self.now + eps:
-                _, _, kind, payload = heapq.heappop(self._heap)
+            while heap and heap[0][0] <= self.now + eps:
+                _, _, kind, payload = heapq.heappop(heap)
                 self.events_processed += 1
                 if kind == "req":
                     req, status = payload  # type: ignore[misc]
@@ -689,14 +770,15 @@ class MpiRuntime:
                     idx = payload  # type: ignore[assignment]
                     ctrl = self._controllers[idx]
                     ctrl.on_tick(self, self.now)
-                    self._rates_dirty = True
+                    # Controllers may touch any CPU's priority/load.
+                    self._mark_all_dirty()
                     if self._finished < self.n_ranks:
                         self._push(self.now + float(ctrl.interval), "ctrl", idx)
                 else:  # pragma: no cover - defensive
                     raise SimulationError(f"unknown event kind {kind!r}")
 
             # Fire due kernel events.
-            while True:
+            while self._next_kernel is not None or self._kernel_events is not None:
                 kernel_ev = self._peek_kernel()
                 if kernel_ev is None or kernel_ev.time > self.now + eps:
                     break
@@ -705,9 +787,9 @@ class MpiRuntime:
                 self._handle_kernel_event(kernel_ev)
 
             # Complete computes that drained.
-            for proc in self._procs:
-                if proc.state == _PState.COMPUTING:
-                    rate = self._rates.get(proc.rank, 0.0)
+            for proc in procs:
+                if proc.state is computing_state:
+                    rate = proc.rate
                     if proc.remaining <= 0.0 or (
                         rate > 0.0 and proc.remaining / rate <= eps
                     ):

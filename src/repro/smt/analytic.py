@@ -23,11 +23,30 @@ closed-form alternative, built from the same ingredients:
 Throughputs are solved by a short damped fixed-point iteration; the model
 is validated against the cycle simulator in
 ``tests/smt/test_model_agreement.py``.
+
+Performance: the solver precomputes per-profile constants (latency terms
+in mix order, functional-unit coefficients, miss rates) so the fixed
+point runs on local floats — the arithmetic is kept term-for-term
+identical to the definitional formulas, so results are bit-identical to
+an unoptimised evaluation. Solves are memoised at two levels with
+bounded LRU caches: per core state (``core_ipc``) and per whole
+chip-group state (``chip_ipc``), the latter shared with the MPI
+runtime's rate recomputation.
+
+One caching subtlety: the core-level key rounds external traffic to
+1e-4, so two nearly-equal cross-core traffic levels share an entry.
+That rounding is part of the model's *semantics* (the paper-table runs
+were produced with it), which is why the cross-core sweep inside
+``chip_ipc`` always queries through the memo: disabling the core cache
+(``core_cache_size=0``) removes the rounding and can shift converged
+values in the final digits when cross-core traffic is nonzero. For
+zero-traffic queries cached and uncached answers are byte-identical
+(``tests/smt/test_cache_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -35,6 +54,7 @@ from repro.smt.cache import CacheHierarchy
 from repro.smt.decode import decode_share
 from repro.smt.functional_units import POWER5_FU_SPECS, FunctionalUnitSpec
 from repro.smt.instructions import InstrClass, LoadProfile
+from repro.util.memo import CacheStats, LruCache
 from repro.util.validation import check_in_range, check_non_negative, check_positive
 
 __all__ = ["AnalyticModelConfig", "AnalyticThroughputModel"]
@@ -79,11 +99,46 @@ class AnalyticModelConfig:
         check_in_range("damping", self.damping, 0.05, 1.0)
 
 
+class _ProfileConsts:
+    """Precomputed per-profile solver inputs (mix order preserved)."""
+
+    __slots__ = (
+        "ilp",
+        "l1_miss",
+        "l2_miss",
+        "l3_miss",
+        "mem_frac",
+        "lat_terms",
+        "fu_terms",
+        "solo_plain",
+    )
+
+    def __init__(self, ilp, l1_miss, l2_miss, l3_miss, mem_frac, lat_terms, fu_terms):
+        self.ilp = ilp
+        self.l1_miss = l1_miss
+        self.l2_miss = l2_miss
+        self.l3_miss = l3_miss
+        self.mem_frac = mem_frac
+        #: (is_memory_op, mix_fraction, fixed_latency) in mix order.
+        self.lat_terms = lat_terms
+        #: (fu_group, mix_fraction) in mix order, zero fractions dropped.
+        self.fu_terms = fu_terms
+        self.solo_plain = 0.0  # filled by the model (needs cache latencies)
+
+
 class AnalyticThroughputModel:
     """Closed-form per-thread IPC for co-running loads at given priorities.
 
-    The model instance is stateless apart from a memoisation cache; it is
-    safe to share one instance across an experiment.
+    The model instance is stateless apart from its memoisation caches; it
+    is safe to share one instance across an experiment, and it can be
+    pickled across a process-pool boundary (parallel search).
+
+    Parameters
+    ----------
+    core_cache_size, chip_cache_size:
+        Bounds of the LRU memo caches for :meth:`core_ipc` and
+        :meth:`chip_ipc`; 0 disables the respective cache (used by the
+        cached-vs-uncached equivalence tests).
     """
 
     def __init__(
@@ -91,34 +146,104 @@ class AnalyticThroughputModel:
         config: Optional[AnalyticModelConfig] = None,
         caches: Optional[CacheHierarchy] = None,
         fu_specs: Mapping[InstrClass, FunctionalUnitSpec] = POWER5_FU_SPECS,
+        core_cache_size: int = 65536,
+        chip_cache_size: int = 16384,
     ) -> None:
         self.config = config or AnalyticModelConfig()
         self.caches = caches or CacheHierarchy()
         self.fu_specs = dict(fu_specs)
-        self._cache: Dict[tuple, Tuple[float, float]] = {}
+        self._cache: LruCache[Tuple[float, float]] = LruCache(core_cache_size)
+        self._chip_cache: LruCache[Tuple[Tuple[float, float], ...]] = LruCache(
+            chip_cache_size
+        )
+        self._share_cache: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        self._consts: Dict[str, _ProfileConsts] = {}
+        self._fu_caps = self._fu_capacity()
+        # Cache-level latencies, hoisted for the inlined expected-latency.
+        self._lat_l1 = self.caches.levels["l1"].latency
+        self._lat_l2 = self.caches.levels["l2"].latency
+        self._lat_l3 = self.caches.levels["l3"].latency
+        self._lat_mem = self.caches.memory.latency
 
     # -- building blocks -------------------------------------------------------
+
+    def _profile_consts(self, profile: LoadProfile) -> _ProfileConsts:
+        consts = self._consts.get(profile.name)
+        if consts is not None:
+            return consts
+        cfg = self.config
+        lat_terms = []
+        fu_terms = []
+        for cls, frac in profile.mix.items():
+            spec = self.fu_specs[cls]
+            if cls in (InstrClass.LOAD, InstrClass.STORE):
+                lat_terms.append((True, frac, float(spec.latency)))
+                group = "LSU"
+            else:
+                if cls is InstrClass.BRANCH:
+                    fixed = float(spec.latency) + (
+                        profile.branch_mispredict_rate * cfg.branch_flush_penalty
+                    )
+                else:
+                    fixed = float(spec.latency)
+                lat_terms.append((False, frac, fixed))
+                group = spec.name
+            if frac != 0.0:
+                fu_terms.append((group, frac))
+        consts = _ProfileConsts(
+            ilp=profile.ilp,
+            l1_miss=profile.l1_miss_rate,
+            l2_miss=profile.l2_miss_rate,
+            l3_miss=profile.l3_miss_rate,
+            mem_frac=profile.memory_fraction,
+            lat_terms=tuple(lat_terms),
+            fu_terms=tuple(fu_terms),
+        )
+        consts.solo_plain = self._demand(consts, 0.0, 0.0)
+        self._consts[profile.name] = consts
+        return consts
+
+    def _expected_latency(
+        self, l1_miss: float, l2_miss: float, l3_miss: float, congestion: float
+    ) -> float:
+        """`CacheHierarchy.expected_latency`, term-for-term, on hoisted
+        latencies (the hierarchy's validation is redundant here: profile
+        miss rates are validated at construction)."""
+        hit1 = 1.0 - l1_miss
+        hit2 = l1_miss * (1.0 - l2_miss)
+        hit3 = l1_miss * l2_miss * (1.0 - l3_miss)
+        miss = l1_miss * l2_miss * l3_miss
+        return (
+            hit1 * self._lat_l1
+            + hit2 * (self._lat_l2 + congestion)
+            + hit3 * (self._lat_l3 + 2 * congestion)
+            + miss * (self._lat_mem + 3 * congestion)
+        )
+
+    def _demand(self, c: _ProfileConsts, congestion: float, l1_tax: float) -> float:
+        """Back-end-unconstrained IPC from precomputed constants."""
+        l1_miss = min(1.0, c.l1_miss * (1.0 + l1_tax))
+        mem_lat = self._expected_latency(l1_miss, c.l2_miss, c.l3_miss, congestion)
+        total = 0.0
+        for is_mem, frac, fixed in c.lat_terms:
+            if frac == 0.0:
+                continue
+            lat = max(fixed, mem_lat) if is_mem else fixed
+            total += frac * lat
+        return c.ilp / (1.0 + (total - 1.0) / c.ilp)
 
     def mean_instruction_latency(
         self, profile: LoadProfile, congestion: float = 0.0, l1_tax: float = 0.0
     ) -> float:
         """Mix-weighted expected latency of one instruction, in cycles."""
-        l1_miss = min(1.0, profile.l1_miss_rate * (1.0 + l1_tax))
-        mem_lat = self.caches.expected_latency(
-            l1_miss, profile.l2_miss_rate, profile.l3_miss_rate, congestion
-        )
+        c = self._profile_consts(profile)
+        l1_miss = min(1.0, c.l1_miss * (1.0 + l1_tax))
+        mem_lat = self._expected_latency(l1_miss, c.l2_miss, c.l3_miss, congestion)
         total = 0.0
-        for cls, frac in profile.mix.items():
+        for is_mem, frac, fixed in c.lat_terms:
             if frac == 0.0:
                 continue
-            if cls in (InstrClass.LOAD, InstrClass.STORE):
-                lat = max(float(self.fu_specs[cls].latency), mem_lat)
-            elif cls is InstrClass.BRANCH:
-                lat = float(self.fu_specs[cls].latency) + (
-                    profile.branch_mispredict_rate * self.config.branch_flush_penalty
-                )
-            else:
-                lat = float(self.fu_specs[cls].latency)
+            lat = max(fixed, mem_lat) if is_mem else fixed
             total += frac * lat
         return total
 
@@ -133,8 +258,7 @@ class AnalyticThroughputModel:
         cost is ``1/ilp * (1 + (E[lat]-1)/ilp)`` chain-cycles... folded:
         ``demand = ilp / (1 + (E[lat]-1)/ilp)``.
         """
-        e_lat = self.mean_instruction_latency(profile, congestion, l1_tax)
-        return profile.ilp / (1.0 + (e_lat - 1.0) / profile.ilp)
+        return self._demand(self._profile_consts(profile), congestion, l1_tax)
 
     def _fu_capacity(self) -> Dict[str, float]:
         """Ops/cycle capacity per physical unit group (LSU shared by LD/ST)."""
@@ -152,6 +276,13 @@ class AnalyticThroughputModel:
     def _off_l1_rate(self, profile: LoadProfile, ipc: float) -> float:
         """Off-L1 accesses per cycle generated by a thread at ``ipc``."""
         return ipc * profile.memory_fraction * profile.l1_miss_rate
+
+    def _decode_share(self, prio_a: int, prio_b: int) -> Tuple[float, float]:
+        hit = self._share_cache.get((prio_a, prio_b))
+        if hit is None:
+            hit = decode_share(prio_a, prio_b, self.config.leftover_fraction)
+            self._share_cache[(prio_a, prio_b)] = hit
+        return hit
 
     # -- the solver -------------------------------------------------------------
 
@@ -179,7 +310,7 @@ class AnalyticThroughputModel:
         if hit is not None:
             return hit
         result = self._solve(profile_a, profile_b, int(prio_a), int(prio_b), external_traffic)
-        self._cache[key] = result
+        self._cache.put(key, result)
         return result
 
     def _solve(
@@ -191,33 +322,40 @@ class AnalyticThroughputModel:
         external_traffic: float,
     ) -> Tuple[float, float]:
         cfg = self.config
-        share_a, share_b = decode_share(prio_a, prio_b, cfg.leftover_fraction)
-        profiles = (profile_a, profile_b)
+        share_a, share_b = self._decode_share(prio_a, prio_b)
         shares = (share_a, share_b)
-        active = [p is not None and s > 0.0 for p, s in zip(profiles, shares)]
+        consts = tuple(
+            self._profile_consts(p) if p is not None else None
+            for p in (profile_a, profile_b)
+        )
+        active = [c is not None and s > 0.0 for c, s in zip(consts, shares)]
         both_active = all(active)
-        caps = self._fu_capacity()
+        caps = self._fu_caps
 
         supply = [
             (s * cfg.decode_width if act else 0.0) for s, act in zip(shares, active)
         ]
+        solo = [c.solo_plain if act else 0.0 for c, act in zip(consts, active)]
         x = [
-            min(sup, self.solo_demand(p)) if act else 0.0
-            for sup, p, act in zip(supply, profiles, active)
+            min(sup, so) if act else 0.0
+            for sup, so, act in zip(supply, solo, active)
         ]
 
-        solo = [self.solo_demand(p) if act else 0.0 for p, act in zip(profiles, active)]
+        congestion_cycles = cfg.congestion_cycles
+        l1_sharing_tax = cfg.l1_sharing_tax
+        base_traffic = external_traffic * cfg.cross_core_factor
+        damping = cfg.damping
 
         for _ in range(cfg.iterations):
             # Congestion from combined off-L1 traffic (plus cross-core).
-            traffic = external_traffic * cfg.cross_core_factor
-            for p, xi, act in zip(profiles, x, active):
+            traffic = base_traffic
+            for c, xi, act in zip(consts, x, active):
                 if act:
-                    traffic += self._off_l1_rate(p, xi)
-            congestion = cfg.congestion_cycles * traffic
+                    traffic += xi * c.mem_frac * c.l1_miss
+            congestion = congestion_cycles * traffic
 
             new_x = []
-            for i, (p, act) in enumerate(zip(profiles, active)):
+            for i, (c, act) in enumerate(zip(consts, active)):
                 if not act:
                     new_x.append(0.0)
                     continue
@@ -226,20 +364,20 @@ class AnalyticThroughputModel:
                 # co-runner evicts less.
                 j = 1 - i
                 if both_active and solo[j] > 0:
-                    l1_tax = cfg.l1_sharing_tax * min(1.0, x[j] / solo[j])
+                    l1_tax = l1_sharing_tax * min(1.0, x[j] / solo[j])
                 else:
                     l1_tax = 0.0
-                demand = self.solo_demand(p, congestion, l1_tax)
+                demand = self._demand(c, congestion, l1_tax)
                 new_x.append(min(supply[i], demand))
 
             # Joint FU capacity: proportional scaling by the worst group.
             scale = 1.0
             for group, cap in caps.items():
                 util = 0.0
-                for p, xi, act in zip(profiles, new_x, active):
+                for c, xi, act in zip(consts, new_x, active):
                     if act:
-                        for cls, frac in p.mix.items():
-                            if self._fu_group(cls) == group:
+                        for g, frac in c.fu_terms:
+                            if g == group:
                                 util += xi * frac
                 if util > cap:
                     scale = min(scale, cap / util)
@@ -247,21 +385,18 @@ class AnalyticThroughputModel:
                 new_x = [xi * scale for xi in new_x]
 
             # Memory bandwidth: outstanding misses bounded by MSHRs.
-            off_l1 = sum(
-                self._off_l1_rate(p, xi)
-                for p, xi, act in zip(profiles, new_x, active)
-                if act
-            )
+            off_l1 = 0
+            for c, xi, act in zip(consts, new_x, active):
+                if act:
+                    off_l1 += xi * c.mem_frac * c.l1_miss
             if off_l1 > 0:
                 # Average service latency of an off-L1 access across threads.
                 lat_num = 0.0
-                for p, xi, act in zip(profiles, new_x, active):
-                    if not act or p.memory_fraction == 0.0:
+                for c, xi, act in zip(consts, new_x, active):
+                    if not act or c.mem_frac == 0.0:
                         continue
-                    lat = self.caches.expected_latency(
-                        1.0, p.l2_miss_rate, p.l3_miss_rate, congestion
-                    )
-                    lat_num += self._off_l1_rate(p, xi) * lat
+                    lat = self._expected_latency(1.0, c.l2_miss, c.l3_miss, congestion)
+                    lat_num += xi * c.mem_frac * c.l1_miss * lat
                 mean_lat = lat_num / off_l1 if off_l1 else 0.0
                 if mean_lat > 0:
                     mem_cap = self.caches.memory.mshrs_per_core / mean_lat
@@ -270,7 +405,7 @@ class AnalyticThroughputModel:
                         new_x = [xi * mem_scale for xi in new_x]
 
             x = [
-                xi + cfg.damping * (nxi - xi) for xi, nxi in zip(x, new_x)
+                xi + damping * (nxi - xi) for xi, nxi in zip(x, new_x)
             ]
 
         return (max(0.0, x[0]), max(0.0, x[1]))
@@ -287,9 +422,26 @@ class AnalyticThroughputModel:
         per core. Cores are coupled through shared-L2/L3 congestion: each
         core is solved with the other cores' off-L1 traffic as external.
         Two coupling sweeps suffice — traffic changes slowly in IPC.
+
+        Whole-group results are memoised (bounded LRU) on the tuple of
+        per-core ``(load_a, load_b, prio_a, prio_b)`` states: MPI phase
+        structure revisits the same machine states constantly, so the
+        runtime's rate recomputation usually resolves to one lookup.
         """
         if not core_states:
             raise ConfigurationError("chip_ipc needs at least one core state")
+        key = tuple(
+            (
+                pa.name if pa else None,
+                pb.name if pb else None,
+                int(xa),
+                int(xb),
+            )
+            for (pa, pb, xa, xb) in core_states
+        )
+        hit = self._chip_cache.get(key)
+        if hit is not None:
+            return hit
         results = [self.core_ipc(pa, pb, xa, xb) for (pa, pb, xa, xb) in core_states]
         for _ in range(2):
             traffics = []
@@ -305,8 +457,19 @@ class AnalyticThroughputModel:
                 self.core_ipc(pa, pb, xa, xb, external_traffic=total - t)
                 for (pa, pb, xa, xb), t in zip(core_states, traffics)
             ]
-        return tuple(results)
+        out = tuple(results)
+        self._chip_cache.put(key, out)
+        return out
+
+    # -- cache accounting -------------------------------------------------------
+
+    def cache_stats(self) -> CacheStats:
+        """Combined accounting of the core- and chip-level memo caches."""
+        return self._cache.stats() + self._chip_cache.stats()
 
     def clear_cache(self) -> None:
         """Drop memoised results (after mutating config, for tests)."""
         self._cache.clear()
+        self._chip_cache.clear()
+        self._consts.clear()
+        self._share_cache.clear()

@@ -113,6 +113,14 @@ class SmtCore:
             ArbitrationMode.SINGLE_THREAD_SLOW,
         )
 
+    def state(self) -> Tuple[Optional[LoadProfile], Optional[LoadProfile], int, int]:
+        """``(load_a, load_b, prio_a, prio_b)`` — the throughput-model
+        query for this core, built without per-field accessor overhead
+        (the MPI runtime's rate recomputation calls this per event)."""
+        loads = self._loads
+        prios = self._priorities
+        return (loads[0], loads[1], int(prios[0]), int(prios[1]))
+
     def snapshot(self) -> CoreSnapshot:
         """Hashable view for throughput memoisation."""
         return CoreSnapshot(

@@ -14,9 +14,13 @@ prio_b) -> (ipc_a, ipc_b)`` method.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.errors import PersistenceError
 from repro.smt.cache import CacheHierarchy
 from repro.smt.instructions import LoadProfile
 from repro.smt.pipeline import CorePipeline, PipelineConfig
@@ -68,6 +72,7 @@ class ThroughputTable:
         check_positive("measure_cycles", measure_cycles)
         self.warmup_cycles = int(warmup_cycles)
         self.measure_cycles = int(measure_cycles)
+        self.seed = int(seed)
         self.pipeline_config = pipeline_config or PipelineConfig()
         self._streams = RngStreams(seed)
         self._cache: Dict[tuple, ThroughputResult] = {}
@@ -144,3 +149,131 @@ class ThroughputTable:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+
+    # -- persistence -----------------------------------------------------------
+
+    FORMAT = "repro-throughput-table"
+    VERSION = 1
+
+    @property
+    def fingerprint(self) -> str:
+        """Hash of everything a measurement depends on.
+
+        Two tables agree on every possible entry iff their fingerprints
+        match: warmup/measure windows, RNG seed, and the pipeline
+        configuration (resource pool sizes included).  A persisted file
+        carries this so stale tables are never silently reused.
+        """
+        pc = self.pipeline_config
+        payload = {
+            "warmup_cycles": self.warmup_cycles,
+            "measure_cycles": self.measure_cycles,
+            "seed": self.seed,
+            "pipeline": {
+                "decode_width": pc.decode_width,
+                "retire_width": pc.retire_width,
+                "branch_flush_penalty": pc.branch_flush_penalty,
+                "gct": [pc.gct_spec.name, pc.gct_spec.capacity, pc.gct_spec.per_thread_cap],
+                "rename": [
+                    pc.rename_spec.name,
+                    pc.rename_spec.capacity,
+                    pc.rename_spec.per_thread_cap,
+                ],
+                "rename_per_instr": pc.rename_per_instr,
+            },
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+        return digest.hexdigest()
+
+    def save(self, path: str) -> int:
+        """Persist every cached measurement to ``path`` (JSON).
+
+        The write is atomic (temp file + rename) so a concurrent reader
+        never sees a torn table.  Returns the number of entries written.
+        """
+        entries = []
+        for key in sorted(self._cache, key=repr):
+            r = self._cache[key]
+            entries.append(
+                {
+                    "key": list(key),
+                    "ipc_a": r.ipc_a,
+                    "ipc_b": r.ipc_b,
+                    "decode_share_a": r.decode_share_a,
+                    "decode_share_b": r.decode_share_b,
+                    "cycles": r.cycles,
+                }
+            )
+        doc = {
+            "format": self.FORMAT,
+            "version": self.VERSION,
+            "fingerprint": self.fingerprint,
+            "warmup_cycles": self.warmup_cycles,
+            "measure_cycles": self.measure_cycles,
+            "seed": self.seed,
+            "entries": entries,
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return len(entries)
+
+    def load(self, path: str, strict: bool = False) -> int:
+        """Merge measurements persisted at ``path`` into the cache.
+
+        Entries are only accepted when the file's fingerprint matches
+        this table's (same windows, seed and pipeline config); a
+        mismatched or missing file is skipped and 0 returned, unless
+        ``strict`` is true, in which case :class:`PersistenceError` is
+        raised.  Returns the number of entries loaded.
+        """
+        if not os.path.exists(path):
+            if strict:
+                raise PersistenceError(f"throughput table not found: {path}")
+            return 0
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PersistenceError(f"unreadable throughput table {path}: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("format") != self.FORMAT:
+            raise PersistenceError(f"{path} is not a throughput table file")
+        if doc.get("version") != self.VERSION:
+            if strict:
+                raise PersistenceError(
+                    f"{path}: unsupported table version {doc.get('version')!r}"
+                )
+            return 0
+        if doc.get("fingerprint") != self.fingerprint:
+            if strict:
+                raise PersistenceError(
+                    f"{path}: fingerprint mismatch — table was measured under a "
+                    "different pipeline config/seed; re-measure or delete it"
+                )
+            return 0
+        loaded = 0
+        for entry in doc.get("entries", ()):
+            try:
+                raw_key = entry["key"]
+                key = (raw_key[0], raw_key[1], int(raw_key[2]), int(raw_key[3]))
+                result = ThroughputResult(
+                    ipc_a=float(entry["ipc_a"]),
+                    ipc_b=float(entry["ipc_b"]),
+                    decode_share_a=float(entry["decode_share_a"]),
+                    decode_share_b=float(entry["decode_share_b"]),
+                    cycles=int(entry["cycles"]),
+                )
+            except (KeyError, IndexError, TypeError, ValueError) as exc:
+                raise PersistenceError(
+                    f"{path}: malformed table entry {entry!r}"
+                ) from exc
+            if key not in self._cache:
+                self._cache[key] = result
+                loaded += 1
+        return loaded

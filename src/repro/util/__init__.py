@@ -1,5 +1,6 @@
 """Small shared utilities: RNG streams, unit conversion, validation, tables."""
 
+from repro.util.memo import CacheStats, LruCache
 from repro.util.rng import RngStreams, stream_seed
 from repro.util.units import (
     cycles_to_seconds,
@@ -25,6 +26,8 @@ from repro.util.stats import (
 )
 
 __all__ = [
+    "CacheStats",
+    "LruCache",
     "RngStreams",
     "stream_seed",
     "cycles_to_seconds",

@@ -4,10 +4,12 @@ import pytest
 
 from repro.core.balancer import PriorityAssignment
 from repro.core.search import (
+    SearchStats,
     candidate_assignments,
     exhaustive_priority_search,
     greedy_priority_search,
 )
+from repro.machine.system import System, SystemConfig
 from repro.errors import ConfigurationError
 from repro.machine.mapping import ProcessMapping
 from repro.workloads.generators import barrier_loop_programs
@@ -64,7 +66,11 @@ class TestExhaustive:
         result = exhaustive_priority_search(
             system, factory, MAPPING, levels=(4, 5), max_gap=1, keep_top=2
         )
-        assert result.evaluated == 2
+        # keep_top truncates the ranking, not the work accounting: all
+        # four candidates were simulated.
+        assert len(result.entries) == 2
+        assert result.evaluated == 4
+        assert result.stats is not None and result.stats.evaluations == 4
 
     def test_improvement_over(self, system):
         result = exhaustive_priority_search(
@@ -99,3 +105,63 @@ class TestGreedy:
             system, factory, MAPPING, start=start, levels=(4, 5, 6), max_steps=2
         )
         assert result.best_time <= [t for a, t, _ in result.entries if a is start][0]
+
+
+class TestSearchStats:
+    def test_serial_stats_track_model_cache(self, system):
+        result = exhaustive_priority_search(
+            system, factory, MAPPING, levels=(4, 5), max_gap=1
+        )
+        stats = result.stats
+        assert stats.workers == 1
+        assert stats.evaluations == len(result.entries) == 4
+        # The shared model answers repeat queries from its memo.
+        assert stats.cache_hits > 0
+        assert 0.0 < stats.hit_rate <= 1.0
+
+    def test_greedy_carries_stats(self, system):
+        result = greedy_priority_search(
+            system, factory, MAPPING, levels=(4, 5), max_gap=1, max_steps=2
+        )
+        assert result.stats is not None
+        assert result.stats.evaluations == len(result.entries)
+
+    def test_handbuilt_result_defaults(self):
+        st = SearchStats(evaluations=3)
+        assert st.cache_hits == st.cache_misses == 0
+        assert st.hit_rate == 0.0
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self):
+        serial = exhaustive_priority_search(
+            System(SystemConfig()), factory, MAPPING, levels=(4, 5), max_gap=1
+        )
+        parallel = exhaustive_priority_search(
+            System(SystemConfig()),
+            factory,
+            MAPPING,
+            levels=(4, 5),
+            max_gap=1,
+            workers=2,
+        )
+        assert [(a.priority_dict, t, imb) for a, t, imb in parallel.entries] == [
+            (a.priority_dict, t, imb) for a, t, imb in serial.entries
+        ]
+        assert parallel.stats.evaluations == serial.stats.evaluations
+
+    def test_unpicklable_factory_falls_back_to_serial(self, system):
+        local_works = list(WORKS)
+        lambda_factory = lambda: barrier_loop_programs(local_works, iterations=2)
+        result = exhaustive_priority_search(
+            system, lambda_factory, MAPPING, levels=(4, 5), max_gap=1, workers=2
+        )
+        assert result.stats.workers == 1  # pool refused the lambda
+        assert result.evaluated == 4
+
+    def test_single_candidate_stays_serial(self, system):
+        result = exhaustive_priority_search(
+            system, factory, MAPPING, levels=(4,), max_gap=0, workers=4
+        )
+        assert result.stats.workers == 1
+        assert result.evaluated == 1

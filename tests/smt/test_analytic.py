@@ -121,4 +121,5 @@ class TestConfig:
         model = AnalyticThroughputModel()
         model.core_ipc(HPC, None, 4, 4)
         model.clear_cache()
-        assert model._cache == {}
+        assert len(model._cache) == 0
+        assert len(model._chip_cache) == 0

@@ -1,0 +1,103 @@
+"""Caching must not change physics.
+
+The memo layers (core-level LRU, chip-level LRU, and the runtime's
+group-state memo) exist purely for speed: a cached answer must be the
+byte-identical float pair the solver would have produced. These tests
+compare default models against models with every cache disabled
+(``max_size=0``), both at the query level and end to end through the
+MPI runtime.
+"""
+
+import pytest
+
+from repro.machine.mapping import ProcessMapping
+from repro.machine.system import System, SystemConfig
+from repro.smt.analytic import AnalyticThroughputModel
+from repro.smt.instructions import BASE_PROFILES
+from repro.workloads.generators import barrier_loop_programs
+
+HPC = BASE_PROFILES["hpc"]
+DFT = BASE_PROFILES["dft"]
+MEM = BASE_PROFILES["mem"]
+
+
+def _uncached_model():
+    return AnalyticThroughputModel(core_cache_size=0, chip_cache_size=0)
+
+
+class TestModelEquivalence:
+    def test_core_ipc_identical(self):
+        cached = AnalyticThroughputModel()
+        uncached = _uncached_model()
+        for pa in (2, 4, 6):
+            for pb in (0, 3, 5):
+                for a, b in ((HPC, DFT), (MEM, None), (DFT, DFT)):
+                    assert cached.core_ipc(a, b, pa, pb) == uncached.core_ipc(
+                        a, b, pa, pb
+                    )
+
+    def test_core_ipc_repeat_query_identical(self):
+        """The second (cached) answer equals a fresh solve of the same key."""
+        cached = AnalyticThroughputModel()
+        first = cached.core_ipc(HPC, DFT, 4, 5)
+        again = cached.core_ipc(HPC, DFT, 4, 5)
+        assert again == first == _uncached_model().core_ipc(HPC, DFT, 4, 5)
+
+    def test_chip_ipc_identical(self):
+        cached = AnalyticThroughputModel()
+        uncached = _uncached_model()
+        states = ((HPC, DFT, 4, 6), (MEM, None, 4, 4))
+        assert cached.chip_ipc(states) == uncached.chip_ipc(states)
+        # Warm hit equals the uncached recompute too.
+        assert cached.chip_ipc(states) == uncached.chip_ipc(states)
+
+    def test_disabled_caches_track_misses_only(self):
+        uncached = _uncached_model()
+        uncached.core_ipc(HPC, DFT, 4, 5)
+        uncached.core_ipc(HPC, DFT, 4, 5)
+        stats = uncached.cache_stats()
+        assert stats.hits == 0
+        assert stats.misses >= 2
+        assert stats.size == 0
+
+
+class TestRuntimeEquivalence:
+    def test_traces_identical_with_uncached_model(self):
+        """Both ranks share core 0, so every model query carries zero
+        external traffic and the cached/uncached answers must agree to
+        the last bit. (With cross-core traffic the core memo's rounded
+        1e-4 traffic key is itself part of the model's semantics, so
+        disabling it is not a pure no-op — see the module docstring of
+        :mod:`repro.smt.analytic`.)"""
+        results = []
+        for cached in (True, False):
+            system = System(SystemConfig())
+            if not cached:
+                system.model = _uncached_model()
+            results.append(
+                system.run(
+                    barrier_loop_programs([1e9, 3e9], iterations=5),
+                    ProcessMapping.identity(2),
+                    priorities={0: 6, 1: 4},
+                )
+            )
+        warm, cold = results
+        assert warm.total_time == cold.total_time
+        assert warm.events_processed == cold.events_processed
+        warm_trace = [
+            [(iv.start, iv.end, iv.state) for iv in tl.intervals] for tl in warm.trace
+        ]
+        cold_trace = [
+            [(iv.start, iv.end, iv.state) for iv in tl.intervals] for tl in cold.trace
+        ]
+        assert warm_trace == cold_trace
+
+    def test_cache_stats_report_reuse(self):
+        system = System(SystemConfig())
+        programs = lambda: barrier_loop_programs([1e9, 2e9], iterations=3)
+        system.run(programs(), ProcessMapping.identity(2))
+        before = system.model.cache_stats()
+        system.run(programs(), ProcessMapping.identity(2))
+        after = system.model.cache_stats()
+        assert after.hits > before.hits  # second run rides the memo
+        assert after.misses == before.misses  # ... without new solves

@@ -1,0 +1,141 @@
+"""On-disk throughput tables: save/load round trips and invalidation."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, PersistenceError
+from repro.machine.mapping import ProcessMapping
+from repro.machine.system import System, SystemConfig
+from repro.smt.instructions import BASE_PROFILES
+from repro.smt.pipeline import PipelineConfig
+from repro.smt.throughput import ThroughputTable
+from repro.workloads.generators import barrier_loop_programs
+
+HPC = BASE_PROFILES["hpc"]
+MEM = BASE_PROFILES["mem"]
+
+
+def small_table(**kw):
+    defaults = dict(warmup_cycles=500, measure_cycles=2000, seed=3)
+    defaults.update(kw)
+    return ThroughputTable(**defaults)
+
+
+class TestRoundTrip:
+    def test_save_load_identical_measurements(self, tmp_path):
+        path = str(tmp_path / "table.json")
+        t = small_table()
+        r1 = t.measure(HPC, HPC, 4, 6)
+        r2 = t.measure(MEM, None, 4, 4)
+        assert t.save(path) == 2
+
+        fresh = small_table()
+        assert fresh.load(path) == 2
+        # Loaded entries are served without re-measuring ...
+        assert fresh.measure(HPC, HPC, 4, 6) == r1
+        assert fresh.measure(MEM, None, 4, 4) == r2
+        # ... and match what a cold table would measure anyway.
+        assert small_table().measure(HPC, HPC, 4, 6) == r1
+
+    def test_load_merges_without_clobbering(self, tmp_path):
+        path = str(tmp_path / "table.json")
+        t = small_table()
+        t.measure(HPC, HPC, 4, 6)
+        t.save(path)
+        other = small_table()
+        local = other.measure(HPC, None, 4, 4)
+        assert other.load(path) == 1
+        assert other.cached_keys == 2
+        assert other.measure(HPC, None, 4, 4) == local
+
+    def test_save_is_atomic_and_creates_dirs(self, tmp_path):
+        path = str(tmp_path / "nested" / "dir" / "table.json")
+        t = small_table()
+        t.measure(HPC, HPC, 4, 4)
+        assert t.save(path) == 1
+        assert small_table().load(path) == 1
+
+
+class TestInvalidation:
+    def test_fingerprint_covers_measurement_inputs(self):
+        base = small_table().fingerprint
+        assert small_table(seed=4).fingerprint != base
+        assert small_table(measure_cycles=2500).fingerprint != base
+        assert small_table(warmup_cycles=600).fingerprint != base
+        assert (
+            small_table(pipeline_config=PipelineConfig(decode_width=4)).fingerprint
+            != base
+        )
+        assert small_table().fingerprint == base  # deterministic
+
+    def test_mismatched_table_ignored_by_default(self, tmp_path):
+        path = str(tmp_path / "table.json")
+        t = small_table()
+        t.measure(HPC, HPC, 4, 6)
+        t.save(path)
+        other = small_table(seed=9)
+        assert other.load(path) == 0
+        assert other.cached_keys == 0
+
+    def test_mismatched_table_raises_in_strict_mode(self, tmp_path):
+        path = str(tmp_path / "table.json")
+        small_table().save(path)
+        with pytest.raises(PersistenceError):
+            small_table(seed=9).load(path, strict=True)
+
+    def test_missing_file(self, tmp_path):
+        path = str(tmp_path / "absent.json")
+        assert small_table().load(path) == 0
+        with pytest.raises(PersistenceError):
+            small_table().load(path, strict=True)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError):
+            small_table().load(str(path))
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(PersistenceError):
+            small_table().load(str(path))
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        path = str(tmp_path / "table.json")
+        t = small_table()
+        t.measure(HPC, HPC, 4, 6)
+        t.save(path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        del doc["entries"][0]["ipc_a"]
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        with pytest.raises(PersistenceError):
+            small_table().load(path)
+
+
+class TestSystemWiring:
+    def test_path_rejected_for_analytic_model(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(throughput_table_path="/tmp/table.json")
+
+    def test_cycle_system_persists_and_reloads(self, tmp_path):
+        path = str(tmp_path / "table.json")
+        cfg = SystemConfig(model="cycle", throughput_table_path=path)
+        first = System(cfg)
+        r1 = first.run(
+            barrier_loop_programs([1e8, 2e8], iterations=2),
+            ProcessMapping.identity(2),
+        )
+        n = first.save_throughput_table()
+        assert n and n > 0
+
+        second = System(cfg)
+        assert second.model.cached_keys == n  # warm before any run
+        r2 = second.run(
+            barrier_loop_programs([1e8, 2e8], iterations=2),
+            ProcessMapping.identity(2),
+        )
+        assert r2.total_time == r1.total_time
+
+    def test_save_is_noop_for_analytic(self):
+        assert System(SystemConfig()).save_throughput_table() is None

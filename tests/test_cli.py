@@ -63,3 +63,33 @@ class TestCommands:
         content = prv.read_text()
         assert content.startswith("#Paraver")
         assert (tmp_path / "trace.pcf").exists()
+
+
+class TestCacheCommand:
+    def test_case_cycle_persists_table(self, tmp_path, capsys):
+        path = str(tmp_path / "table.json")
+        rc = main(["case", "metbench", "a", "--iterations", "1",
+                   "--width", "40", "--model", "cycle", "--table", path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "persisted" in out
+
+        assert main(["cache", "info", "--table", path]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+        assert "entries" in out
+
+        assert main(["cache", "clear", "--table", path]) == 0
+        assert main(["cache", "info", "--table", path]) == 2
+
+    def test_cache_info_missing(self, tmp_path):
+        assert main(["cache", "info", "--table", str(tmp_path / "no.json")]) == 2
+
+    def test_cache_clear_missing_is_ok(self, tmp_path, capsys):
+        assert main(["cache", "clear", "--table", str(tmp_path / "no.json")]) == 0
+        assert "nothing to clear" in capsys.readouterr().out
+
+    def test_cache_info_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["cache", "info", "--table", str(bad)]) == 2

@@ -1,0 +1,78 @@
+"""LRU memo cache used by the throughput models."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.memo import CacheStats, LruCache
+
+
+class TestLruCache:
+    def test_put_get(self):
+        c = LruCache(max_size=4)
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.get("b") is None
+
+    def test_eviction_is_lru(self):
+        c = LruCache(max_size=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # refresh "a"; "b" is now least recent
+        c.put("c", 3)
+        assert c.get("b") is None
+        assert c.get("a") == 1
+        assert c.get("c") == 3
+
+    def test_len_bounded(self):
+        c = LruCache(max_size=3)
+        for i in range(10):
+            c.put(i, i)
+        assert len(c) == 3
+
+    def test_disabled_cache_stores_nothing(self):
+        c = LruCache(max_size=0)
+        c.put("a", 1)
+        assert c.get("a") is None
+        assert len(c) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LruCache(max_size=-1)
+
+    def test_stats_accounting(self):
+        c = LruCache(max_size=4)
+        c.put("a", 1)
+        c.get("a")
+        c.get("a")
+        c.get("missing")
+        st = c.stats()
+        assert st.hits == 2 and st.misses == 1
+        assert st.hit_rate == pytest.approx(2 / 3)
+        c.reset_stats()
+        assert c.stats().hits == 0
+
+    def test_clear(self):
+        c = LruCache(max_size=4)
+        c.put("a", 1)
+        c.clear()
+        assert len(c) == 0 and c.get("a") is None
+
+    def test_picklable(self):
+        c = LruCache(max_size=4)
+        c.put(("k", 1), (1.0, 2.0))
+        c2 = pickle.loads(pickle.dumps(c))
+        assert c2.get(("k", 1)) == (1.0, 2.0)
+
+
+class TestCacheStats:
+    def test_addition(self):
+        a = CacheStats(hits=2, misses=1, size=3, max_size=10)
+        b = CacheStats(hits=1, misses=4, size=2, max_size=6)
+        total = a + b
+        assert total.hits == 3 and total.misses == 5
+        assert total.size == 5 and total.max_size == 16
+
+    def test_hit_rate_empty(self):
+        assert CacheStats(hits=0, misses=0, size=0, max_size=0).hit_rate == 0.0
