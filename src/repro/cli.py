@@ -18,6 +18,11 @@ Commands
     Victim/favoured throughput across priority gaps 0-4.
 ``cache info|clear --table FILE``
     Inspect or delete a persisted throughput table.
+``oracle record|check|fuzz``
+    The invariant/conformance oracle layer: record or replay golden
+    traces under ``tests/golden/``, or fuzz randomized scenarios through
+    the fluid/analytic/cycle model paths (``--budget N --seed S``;
+    failing scenarios are written as JSON for CI artifacts).
 """
 
 from __future__ import annotations
@@ -203,6 +208,80 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_golden_dir() -> str:
+    """``tests/golden`` next to the repo the package runs from, else cwd."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    candidate = os.path.join(here, "tests", "golden")
+    if os.path.isdir(os.path.join(here, "tests")):
+        return candidate
+    return os.path.join(os.getcwd(), "tests", "golden")
+
+
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    # Imported here: the oracle package pulls in the workload generators,
+    # which `repro tables` etc. never need.
+    from repro.errors import GoldenMismatchError, OracleError
+    from repro.oracle import checker, differential, golden
+
+    directory = args.dir or _default_golden_dir()
+    if args.action == "record":
+        paths = golden.record_all(directory)
+        for p in paths:
+            print(f"recorded {p}")
+        return 0
+    if args.action == "check":
+        report = checker.verify_decode_law(strict=False)
+        if not report.ok:
+            print(report.summary(), file=sys.stderr)
+            return 1
+        try:
+            checks = golden.check_all(directory, tolerance=args.tolerance,
+                                      strict=False)
+        except OracleError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        bad = 0
+        for c in checks:
+            status = "ok" if c.ok else "MISMATCH"
+            print(f"{status:8s} {os.path.basename(c.path)} "
+                  f"(replayed {c.replayed_time:.4f}s, "
+                  f"recorded {c.recorded_time:.4f}s)")
+            for m in c.mismatches:
+                bad += 1
+                print(f"         - {m}")
+        if bad:
+            print(f"{bad} golden mismatch(es)", file=sys.stderr)
+            return 1
+        print(f"{len(checks)} golden trace(s) match; decode law holds")
+        return 0
+    # fuzz
+    report = differential.fuzz(args.budget, seed=args.seed)
+    print(report.summary())
+    if not report.ok and args.failures:
+        import json
+
+        doc = {
+            "budget": report.budget,
+            "seed": report.seed,
+            "failures": [
+                {
+                    "scenario": res.scenario.to_doc(),
+                    "fingerprint": res.scenario.fingerprint,
+                    "disagreements": list(res.disagreements),
+                    "fluid_time": res.fluid_time,
+                    "cycle_time": res.cycle_time,
+                    "estimate_time": res.estimate_time,
+                }
+                for res in report.failures
+            ],
+        }
+        with open(args.failures, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote failing scenarios to {args.failures}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -244,6 +323,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--table", required=True,
                          help="path of the persisted table")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_oracle = sub.add_parser(
+        "oracle", help="invariant / conformance / golden-trace oracle"
+    )
+    p_oracle.add_argument("action", choices=("record", "check", "fuzz"))
+    p_oracle.add_argument("--dir", default=None,
+                          help="golden-trace directory (default tests/golden)")
+    p_oracle.add_argument("--tolerance", type=float, default=0.0,
+                          help="relative metric tolerance for check "
+                          "(0 = bit-exact trace digests)")
+    p_oracle.add_argument("--budget", type=int, default=100,
+                          help="fuzz: number of random scenarios")
+    p_oracle.add_argument("--seed", type=int, default=0,
+                          help="fuzz: scenario-generator seed")
+    p_oracle.add_argument("--failures", default=None,
+                          help="fuzz: write failing scenarios to this JSON "
+                          "path (CI artifact)")
+    p_oracle.set_defaults(func=_cmd_oracle)
 
     return parser
 

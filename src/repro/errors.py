@@ -77,3 +77,31 @@ class SimulationError(ReproError):
 class PersistenceError(ReproError):
     """A persisted artifact (throughput table, ...) is malformed or does
     not match the configuration that is trying to load it."""
+
+
+class ValidationTypeError(ReproError, TypeError):
+    """A value has the wrong type.
+
+    Derives from both :class:`ReproError` (so library-wide ``except
+    ReproError`` handlers see it) and :class:`TypeError` (so callers that
+    catch the builtin keep working)."""
+
+
+class OracleError(ReproError):
+    """Base class for the invariant/conformance oracle layer."""
+
+
+class InvariantViolation(OracleError):
+    """A machine-checked physics invariant does not hold.
+
+    Carries the violated invariant's registry name and a human-readable
+    detail so CI logs point straight at the broken law."""
+
+    def __init__(self, invariant: str, detail: str) -> None:
+        self.invariant = invariant
+        self.detail = detail
+        super().__init__(f"invariant {invariant!r} violated: {detail}")
+
+
+class GoldenMismatchError(OracleError):
+    """A replayed run disagrees with its recorded golden-trace snapshot."""

@@ -36,14 +36,29 @@ class CaseResult:
         return [r.compute_percent for r in self.run.stats.ranks]
 
 
-def run_case(system: System, suite: Suite, case: ExperimentCase) -> CaseResult:
-    """Execute one case of a suite on ``system``."""
+def run_case(
+    system: System,
+    suite: Suite,
+    case: ExperimentCase,
+    check_invariants: bool = False,
+) -> CaseResult:
+    """Execute one case of a suite on ``system``.
+
+    ``check_invariants=True`` sweeps the oracle layer's run/trace
+    invariants over the finished result (strict: the first violation
+    raises) — the cheap post-hoc mode, independent of the runtime's own
+    ``RuntimeConfig.check_invariants`` live hooks.
+    """
     run = system.run(
         suite.programs(case),
         mapping=case.mapping,
         priorities=case.priorities,
         label=f"{suite.name}.{case.name}",
     )
+    if check_invariants:
+        from repro.oracle.checker import verify_run
+
+        verify_run(run)
     return CaseResult(suite.name, case, run)
 
 
@@ -51,6 +66,7 @@ def run_suite(
     suite: Suite,
     system: Optional[System] = None,
     cases: Optional[Sequence[str]] = None,
+    check_invariants: bool = False,
 ) -> List[CaseResult]:
     """Execute all (or the named) cases of a suite, in definition order."""
     system = system or System(SystemConfig())
@@ -59,7 +75,7 @@ def run_suite(
     for case in suite.cases:
         if wanted is not None and case.name not in wanted:
             continue
-        results.append(run_case(system, suite, case))
+        results.append(run_case(system, suite, case, check_invariants=check_invariants))
     if not results:
         raise ConfigurationError(f"no cases selected from suite {suite.name!r}")
     # Cycle-model systems with a configured table path persist whatever

@@ -102,6 +102,13 @@ class RuntimeConfig:
     #: every state change (equivalence testing / ablation — results are
     #: identical either way).
     incremental_rates: bool = True
+    #: Attach the oracle layer's :class:`~repro.oracle.checker.RuntimeChecker`
+    #: to this run: every rate re-solve and time advance is checked live
+    #: (finite non-negative rates, monotone time) and the finished result
+    #: is swept against the decode/trace/run invariants. Off by default;
+    #: when off the event loop pays a single ``is None`` test per
+    #: iteration.
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.wait_mode not in ("spin", "block"):
@@ -314,6 +321,13 @@ class MpiRuntime:
         #: an ``interval`` in seconds and an ``on_tick(runtime, now)``
         #: method, invoked at each multiple of their interval.
         self._controllers = list(controllers or ())
+        #: Live invariant oracle (None unless ``config.check_invariants``).
+        #: Imported lazily: the oracle package imports this module.
+        self._oracle = None
+        if self.config.check_invariants:
+            from repro.oracle.checker import RuntimeChecker
+
+            self._oracle = RuntimeChecker(self)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -714,6 +728,7 @@ class MpiRuntime:
         procs = self._procs
         heap = self._heap
         computing_state = _PState.COMPUTING
+        oracle = self._oracle
         while self._finished < self.n_ranks:
             if self.events_processed > max_events:
                 raise SimulationError(
@@ -721,6 +736,8 @@ class MpiRuntime:
                 )
             if self._dirty_groups:
                 self._recompute_rates()
+                if oracle is not None:
+                    oracle.on_rates()
 
             t_next = math.inf
             if heap:
@@ -754,6 +771,8 @@ class MpiRuntime:
                     remaining = proc.remaining - proc.rate * dt
                     proc.remaining = remaining if remaining > 0.0 else 0.0
             self.now = t_next
+            if oracle is not None:
+                oracle.on_advance()
 
             # Fire due heap events.
             while heap and heap[0][0] <= self.now + eps:
@@ -800,7 +819,7 @@ class MpiRuntime:
 
         self.trace.finish_all(self.now)
         stats = compute_stats(self.trace)
-        return RunResult(
+        result = RunResult(
             label=self.label,
             trace=self.trace,
             stats=stats,
@@ -809,3 +828,6 @@ class MpiRuntime:
             priority_history_len=len(self.hmt.history),
             final_priorities=tuple(int(p) for p in self.hmt.priorities()),
         )
+        if oracle is not None:
+            oracle.on_finish(result)
+        return result

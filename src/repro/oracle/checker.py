@@ -1,0 +1,165 @@
+"""Attach the invariant registry to live runs and finished results.
+
+Two entry points:
+
+* :class:`RuntimeChecker` — created by :class:`~repro.mpi.runtime.MpiRuntime`
+  when ``RuntimeConfig.check_invariants`` is on. It watches the event
+  loop (monotone simulated time, finite non-negative rates) and, when
+  the run finishes, sweeps the decode/trace/run scopes. The runtime pays
+  a single ``is None`` test per loop iteration when the knob is off.
+* :func:`verify_run` / :func:`verify_model` / :func:`verify_decode_law` —
+  post-hoc sweeps used by the experiment runner, the ``repro oracle``
+  CLI and the test suite.
+
+All failures raise :class:`~repro.errors.InvariantViolation` (strict
+mode, the default) or are collected into a :class:`CheckReport`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import InvariantViolation
+from repro.oracle.invariants import Invariant, invariants_for_scope
+
+__all__ = [
+    "CheckReport",
+    "InvariantChecker",
+    "RuntimeChecker",
+    "verify_decode_law",
+    "verify_model",
+    "verify_trace",
+    "verify_run",
+]
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one invariant sweep."""
+
+    checked: List[str] = field(default_factory=list)
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def merge(self, other: "CheckReport") -> "CheckReport":
+        self.checked.extend(other.checked)
+        self.violations.extend(other.violations)
+        return self
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{len(self.checked)} invariants hold"
+        lines = [
+            f"{len(self.violations)} of {len(self.checked)} invariants violated:"
+        ]
+        lines += [f"  - {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+class InvariantChecker:
+    """Run registered invariants over a scope's subject.
+
+    ``strict=True`` re-raises the first violation; ``strict=False``
+    collects every violation into the returned report (what the CLI
+    prints).
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+
+    def _sweep(self, invariants: List[Invariant], *subject) -> CheckReport:
+        report = CheckReport()
+        for inv in invariants:
+            report.checked.append(inv.name)
+            try:
+                inv(*subject)
+            except InvariantViolation as violation:
+                if self.strict:
+                    raise
+                report.violations.append(violation)
+        return report
+
+    def check_decode(self) -> CheckReport:
+        return self._sweep(invariants_for_scope("decode"))
+
+    def check_model(self, model) -> CheckReport:
+        return self._sweep(invariants_for_scope("model"), model)
+
+    def check_trace(self, trace) -> CheckReport:
+        return self._sweep(invariants_for_scope("trace"), trace)
+
+    def check_run(self, result) -> CheckReport:
+        report = self._sweep(invariants_for_scope("run"), result)
+        return report.merge(self.check_trace(result.trace))
+
+
+class RuntimeChecker:
+    """Live oracle for one :class:`~repro.mpi.runtime.MpiRuntime` run.
+
+    The runtime calls :meth:`on_rates` after every rate re-solve,
+    :meth:`on_advance` after every time step, and :meth:`on_finish` with
+    the built :class:`~repro.mpi.runtime.RunResult`. Each hook raises
+    :class:`~repro.errors.InvariantViolation` at the instant physics
+    breaks, with the simulated time in the message — far closer to the
+    defect than a corrupted end-of-run table would be.
+    """
+
+    def __init__(self, runtime) -> None:
+        self._runtime = runtime
+        self._last_now: float = 0.0
+        self._checker = InvariantChecker(strict=True)
+
+    def on_rates(self) -> None:
+        rt = self._runtime
+        for proc in rt._procs:
+            rate = proc.rate
+            if not math.isfinite(rate) or rate < 0.0:
+                raise InvariantViolation(
+                    "runtime.rates",
+                    f"t={rt.now:.9f}s: rank {proc.rank} solved to "
+                    f"non-physical rate {rate}",
+                )
+            if proc.remaining < 0.0:
+                raise InvariantViolation(
+                    "runtime.rates",
+                    f"t={rt.now:.9f}s: rank {proc.rank} has negative "
+                    f"remaining work {proc.remaining}",
+                )
+
+    def on_advance(self) -> None:
+        rt = self._runtime
+        if rt.now < self._last_now:
+            raise InvariantViolation(
+                "runtime.time_monotone",
+                f"simulated time went backwards: {rt.now} < {self._last_now}",
+            )
+        self._last_now = rt.now
+
+    def on_finish(self, result) -> None:
+        self._checker.check_decode()
+        self._checker.check_run(result)
+
+
+def verify_decode_law(strict: bool = True) -> CheckReport:
+    """Sweep the pure decode-arbitration invariants."""
+    return InvariantChecker(strict).check_decode()
+
+
+def verify_model(model, strict: bool = True) -> CheckReport:
+    """Sweep the throughput-model invariants over ``model``."""
+    return InvariantChecker(strict).check_model(model)
+
+
+def verify_trace(trace, strict: bool = True) -> CheckReport:
+    """Sweep the trace invariants over a finished trace."""
+    return InvariantChecker(strict).check_trace(trace)
+
+
+def verify_run(result, strict: bool = True) -> CheckReport:
+    """Sweep run + trace invariants over a :class:`RunResult`."""
+    return InvariantChecker(strict).check_run(result)

@@ -1,0 +1,245 @@
+"""Golden-trace snapshots: recorded physics future PRs are diffed against.
+
+A golden file under ``tests/golden/`` pins one :class:`Scenario` to the
+exact physics the simulator produced when the file was recorded: the
+sha256 digest of the full-precision trace interval stream, the paper's
+two metrics, the per-rank state breakdown, and the scenario's own
+fingerprint (so a file can never be replayed against a silently edited
+scenario). ``repro oracle check`` re-runs every scenario and compares —
+bit-exactly on the digest by default (the simulator is deterministic:
+``tests/integration/test_determinism.py``), or within ``--tolerance`` on
+the scalar metrics for cross-platform runs.
+
+The snapshot format is versioned; bump :data:`GOLDEN_VERSION` when an
+*intentional* physics change lands and re-record with ``repro oracle
+record`` in the same PR, so the diff shows exactly which numbers moved.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import GoldenMismatchError, OracleError
+from repro.mpi.runtime import RunResult
+from repro.oracle.differential import Scenario, run_fluid, trace_digest
+
+__all__ = [
+    "GOLDEN_FORMAT",
+    "GOLDEN_VERSION",
+    "GoldenCheck",
+    "default_scenarios",
+    "snapshot",
+    "record",
+    "record_all",
+    "check",
+    "check_all",
+    "golden_paths",
+]
+
+GOLDEN_FORMAT = "repro-golden-trace"
+GOLDEN_VERSION = 1
+
+
+def default_scenarios() -> List[Scenario]:
+    """The canonical recorded set: one per workload family, covering the
+    identity and paper mappings and a static priority assignment."""
+    return [
+        Scenario(
+            name="barrier-skewed",
+            kind="barrier_loop",
+            works=(1.0e9, 3.0e9, 2.0e9, 4.0e9),
+            iterations=3,
+        ),
+        Scenario(
+            name="metbench-prio",
+            kind="metbench",
+            works=(8.0e8, 2.4e9, 1.2e9, 2.4e9),
+            iterations=3,
+            priorities=((0, 4), (1, 6), (2, 4), (3, 6)),
+        ),
+        Scenario(
+            name="btmz-paper-mapping",
+            kind="btmz",
+            works=(6.0e8, 1.1e9, 1.9e9, 3.4e9),
+            iterations=2,
+            mapping="btmz",
+            priorities=((0, 4), (1, 4), (2, 5), (3, 6)),
+        ),
+    ]
+
+
+def snapshot(scenario: Scenario, result: RunResult) -> dict:
+    """The JSON document pinning ``result``'s physics to ``scenario``."""
+    return {
+        "format": GOLDEN_FORMAT,
+        "version": GOLDEN_VERSION,
+        "scenario": scenario.to_doc(),
+        "scenario_fingerprint": scenario.fingerprint,
+        "trace_digest": trace_digest(result),
+        "total_time": result.total_time,
+        "imbalance_percent": result.imbalance_percent,
+        "events_processed": result.events_processed,
+        "final_priorities": [int(p) for p in result.final_priorities],
+        "ranks": [
+            {
+                "rank": r.rank,
+                "compute": r.compute_fraction,
+                "sync": r.sync_fraction,
+                "comm": r.comm_fraction,
+                "noise": r.noise_fraction,
+                "idle": r.idle_fraction,
+            }
+            for r in result.stats.ranks
+        ],
+    }
+
+
+def _golden_path(directory: str, scenario: Scenario) -> str:
+    return os.path.join(directory, f"{scenario.name}.golden.json")
+
+
+def record(scenario: Scenario, path: str) -> dict:
+    """Run ``scenario`` fresh and write its snapshot to ``path``."""
+    result = run_fluid(scenario, check_invariants=True)
+    doc = snapshot(scenario, result)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return doc
+
+
+def record_all(directory: str) -> List[str]:
+    """Record every default scenario into ``directory``; returns paths."""
+    paths = []
+    for scenario in default_scenarios():
+        path = _golden_path(directory, scenario)
+        record(scenario, path)
+        paths.append(path)
+    return paths
+
+
+def golden_paths(directory: str) -> List[str]:
+    """All golden files under ``directory``, sorted."""
+    return sorted(glob.glob(os.path.join(directory, "*.golden.json")))
+
+
+@dataclass(frozen=True)
+class GoldenCheck:
+    """One golden file's replay outcome."""
+
+    path: str
+    scenario: Scenario
+    digest_equal: bool
+    recorded_time: float
+    replayed_time: float
+    mismatches: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def _load_doc(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        raise OracleError(f"no golden file at {path}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise OracleError(f"unreadable golden file {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != GOLDEN_FORMAT:
+        raise OracleError(f"{path} is not a golden-trace file")
+    if doc.get("version") != GOLDEN_VERSION:
+        raise OracleError(
+            f"{path}: golden version {doc.get('version')!r} != "
+            f"{GOLDEN_VERSION}; re-record with `repro oracle record`"
+        )
+    return doc
+
+
+def check(path: str, tolerance: float = 0.0, strict: bool = True) -> GoldenCheck:
+    """Replay the golden file's scenario and compare against the record.
+
+    ``tolerance`` is a relative band on the scalar metrics; with the
+    default 0.0 the trace digest must match bit-exactly (same-platform
+    CI). With a positive tolerance the digest difference is reported but
+    only tolerance-exceeding metric drift is a mismatch. ``strict=True``
+    raises :class:`~repro.errors.GoldenMismatchError` on any mismatch.
+    """
+    doc = _load_doc(path)
+    scenario = Scenario.from_doc(doc["scenario"])
+    mismatches: List[str] = []
+
+    if scenario.fingerprint != doc.get("scenario_fingerprint"):
+        mismatches.append(
+            "scenario fingerprint drifted — the embedded scenario was "
+            "edited after recording; re-record instead of editing"
+        )
+
+    result = run_fluid(scenario, check_invariants=True)
+    digest = trace_digest(result)
+    digest_equal = digest == doc.get("trace_digest")
+    if not digest_equal and tolerance <= 0.0:
+        mismatches.append(
+            f"trace digest {digest[:16]}... != recorded "
+            f"{str(doc.get('trace_digest'))[:16]}..."
+        )
+
+    def drifted(label: str, got: float, want: float) -> None:
+        tol = max(tolerance, 0.0)
+        if not math.isclose(got, want, rel_tol=max(tol, 1e-12), abs_tol=tol):
+            mismatches.append(f"{label}: replayed {got!r} vs recorded {want!r}")
+
+    drifted("total_time", result.total_time, float(doc["total_time"]))
+    drifted(
+        "imbalance_percent",
+        result.imbalance_percent,
+        float(doc["imbalance_percent"]),
+    )
+    recorded_ranks = {int(r["rank"]): r for r in doc.get("ranks", ())}
+    for r in result.stats.ranks:
+        want = recorded_ranks.get(r.rank)
+        if want is None:
+            mismatches.append(f"rank {r.rank} missing from the recording")
+            continue
+        drifted(f"rank {r.rank} compute", r.compute_fraction, float(want["compute"]))
+        drifted(f"rank {r.rank} sync", r.sync_fraction, float(want["sync"]))
+    if tuple(int(p) for p in result.final_priorities) != tuple(
+        int(p) for p in doc.get("final_priorities", ())
+    ):
+        mismatches.append(
+            f"final priorities {result.final_priorities} != recorded "
+            f"{tuple(doc.get('final_priorities', ()))}"
+        )
+
+    outcome = GoldenCheck(
+        path=path,
+        scenario=scenario,
+        digest_equal=digest_equal,
+        recorded_time=float(doc["total_time"]),
+        replayed_time=result.total_time,
+        mismatches=tuple(mismatches),
+    )
+    if strict and not outcome.ok:
+        raise GoldenMismatchError(
+            f"{path}: " + "; ".join(outcome.mismatches)
+        )
+    return outcome
+
+
+def check_all(
+    directory: str, tolerance: float = 0.0, strict: bool = True
+) -> List[GoldenCheck]:
+    """Replay every golden file under ``directory``."""
+    paths = golden_paths(directory)
+    if not paths:
+        raise OracleError(f"no *.golden.json files under {directory}")
+    return [check(p, tolerance=tolerance, strict=strict) for p in paths]

@@ -41,8 +41,10 @@ __all__ = [
     "decode_allocation",
     "decode_share",
     "decode_pattern",
+    "enumerate_allocations",
     "POWER_SAVE_SLICE",
     "OFF_VERY_LOW_SLICE",
+    "OS_PRIORITY_RANGE",
 ]
 
 #: In power-save mode (both priorities 1) each thread decodes 1 of 64 cycles.
@@ -50,6 +52,10 @@ POWER_SAVE_SLICE: int = 64
 #: With one thread off and the other at VERY LOW, the live thread decodes
 #: 1 of 32 cycles.
 OFF_VERY_LOW_SLICE: int = 32
+
+#: Priorities an OS-level balancer may set (paper Table I: 0 and 7 are
+#: hypervisor-only), the range the oracle's exhaustive sweeps cover.
+OS_PRIORITY_RANGE: Tuple[int, ...] = (1, 2, 3, 4, 5, 6)
 
 
 class ArbitrationMode(enum.Enum):
@@ -172,6 +178,21 @@ def decode_share(
             return (leftover_fraction, 1.0 - leftover_fraction)
         return (1.0 - leftover_fraction, leftover_fraction)
     return (alloc.share_a, alloc.share_b)
+
+
+def enumerate_allocations(
+    priorities: Optional[Tuple[int, ...]] = None,
+) -> List[Tuple[Tuple[int, int], DecodeAllocation]]:
+    """Every priority pair's resolved arbitration, for exhaustive sweeps.
+
+    ``priorities`` defaults to the full architectural range 0..7; the
+    oracle's Table II/III invariants pass :data:`OS_PRIORITY_RANGE` to
+    restrict to OS-settable levels.
+    """
+    levels = tuple(priorities) if priorities is not None else tuple(range(8))
+    return [
+        ((a, b), decode_allocation(a, b)) for a in levels for b in levels
+    ]
 
 
 def decode_pattern(prio_a: int, prio_b: int) -> List[Optional[int]]:

@@ -95,6 +95,34 @@ class RankTimeline:
             raise TraceError(f"bad clip window [{t0}, {t1}]")
         return [iv.clipped(t0, t1) for iv in self.intervals if iv.overlaps(t0, t1)]
 
+    def validate(self) -> None:
+        """Raise :class:`TraceError` unless this timeline is well formed.
+
+        Well-formed means what the runtime's enter/exit discipline
+        guarantees by construction: strictly positive interval durations,
+        monotonically increasing timestamps, and *contiguity* — each
+        interval opens exactly when its predecessor closes (the
+        transition API closes and reopens at the same instant, and
+        zero-length intervals are dropped). The oracle layer replays this
+        check over finished traces so a future refactor of the event loop
+        cannot silently emit overlapping or time-travelling intervals.
+        """
+        prev_end: Optional[float] = None
+        for i, iv in enumerate(self.intervals):
+            if iv.end <= iv.start:
+                raise TraceError(
+                    f"rank {self.rank}: interval {i} has non-positive "
+                    f"duration: {iv}"
+                )
+            if prev_end is not None and iv.start != prev_end:
+                raise TraceError(
+                    f"rank {self.rank}: interval {i} opens at {iv.start} "
+                    f"but its predecessor closed at {prev_end}"
+                )
+            prev_end = iv.end
+        if self._closed and self._open_state is not None:  # pragma: no cover
+            raise TraceError(f"rank {self.rank}: closed timeline left an open state")
+
 
 class Trace:
     """A full application trace: one timeline per rank plus run metadata."""
@@ -134,3 +162,8 @@ class Trace:
     def total_time(self) -> float:
         """End of the latest timeline — the application's execution time."""
         return max((tl.end_time for tl in self.timelines.values()), default=0.0)
+
+    def validate(self) -> None:
+        """Validate every rank timeline (see :meth:`RankTimeline.validate`)."""
+        for tl in self:
+            tl.validate()

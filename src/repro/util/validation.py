@@ -1,15 +1,19 @@
 """Argument-validation helpers used across the package.
 
-Centralising these keeps error messages uniform and the call sites terse;
-all raise :class:`~repro.errors.ConfigurationError` (or ``TypeError`` for
-outright wrong types) with the offending name and value in the message.
+Centralising these keeps error messages uniform and the call sites terse.
+Every failure raises a typed error from :mod:`repro.errors`:
+:class:`~repro.errors.ConfigurationError` for out-of-range values and
+:class:`~repro.errors.ValidationTypeError` for outright wrong types (the
+latter also derives from ``TypeError``, so pre-existing ``except
+TypeError`` call sites keep working while ``except ReproError`` now sees
+everything).
 """
 
 from __future__ import annotations
 
-from typing import Any, Tuple, Type, Union
+from typing import Any, Sequence, Tuple, Type, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ValidationTypeError
 
 __all__ = [
     "check_positive",
@@ -17,23 +21,28 @@ __all__ = [
     "check_in_range",
     "check_type",
     "check_probability",
+    "check_int",
+    "check_choice",
 ]
 
 
 def check_type(name: str, value: Any, types: Union[Type, Tuple[Type, ...]]) -> None:
-    """Raise ``TypeError`` unless ``value`` is an instance of ``types``.
+    """Raise :class:`ValidationTypeError` unless ``value`` is an instance
+    of ``types``.
 
     ``bool`` is deliberately rejected where a number is expected, because
     ``isinstance(True, int)`` holds and silently accepting booleans hides
     caller bugs.
     """
     if isinstance(value, bool) and types in (int, float, (int, float), (float, int)):
-        raise TypeError(f"{name} must be a number, got bool")
+        raise ValidationTypeError(f"{name} must be a number, got bool")
     if not isinstance(value, types):
         type_names = (
             types.__name__ if isinstance(types, type) else "/".join(t.__name__ for t in types)
         )
-        raise TypeError(f"{name} must be {type_names}, got {type(value).__name__}")
+        raise ValidationTypeError(
+            f"{name} must be {type_names}, got {type(value).__name__}"
+        )
 
 
 def check_positive(name: str, value: float) -> None:
@@ -60,3 +69,20 @@ def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
 def check_probability(name: str, value: float) -> None:
     """Raise unless ``value`` is a valid probability in [0, 1]."""
     check_in_range(name, value, 0.0, 1.0)
+
+
+def check_int(name: str, value: Any) -> int:
+    """Raise unless ``value`` is an integer (bool rejected); returns it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationTypeError(
+            f"{name} must be an int, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_choice(name: str, value: Any, choices: Sequence[Any]) -> None:
+    """Raise unless ``value`` is one of ``choices``."""
+    if value not in choices:
+        raise ConfigurationError(
+            f"{name} must be one of {sorted(map(repr, choices))}, got {value!r}"
+        )

@@ -150,6 +150,26 @@ class TestParallel:
         ]
         assert parallel.stats.evaluations == serial.stats.evaluations
 
+    def test_worker_count_never_changes_the_ranking(self):
+        """workers=1 and workers=N walk the same candidate space and must
+        produce identical entries, times and imbalances — parallelism is
+        an implementation detail, not a physics knob."""
+        serial = exhaustive_priority_search(
+            System(SystemConfig()), factory, MAPPING, levels=(4, 5, 6), max_gap=2
+        )
+        flat = [(a.priority_dict, t, imb) for a, t, imb in serial.entries]
+        for workers in (2, 4):
+            par = exhaustive_priority_search(
+                System(SystemConfig()),
+                factory,
+                MAPPING,
+                levels=(4, 5, 6),
+                max_gap=2,
+                workers=workers,
+            )
+            assert [(a.priority_dict, t, imb) for a, t, imb in par.entries] == flat
+            assert par.best_time == serial.best_time
+
     def test_unpicklable_factory_falls_back_to_serial(self, system):
         local_works = list(WORKS)
         lambda_factory = lambda: barrier_loop_programs(local_works, iterations=2)

@@ -1,0 +1,120 @@
+"""The invariant registry and the laws it encodes."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.oracle.invariants import (
+    PAPER_TABLE_II,
+    REGISTRY,
+    get_invariant,
+    invariant,
+    invariants_for_scope,
+)
+from repro.smt.analytic import AnalyticThroughputModel
+from repro.smt.decode import slice_length
+
+
+class TestRegistry:
+    def test_every_scope_is_populated(self):
+        for scope in ("decode", "model", "trace", "run"):
+            assert invariants_for_scope(scope), f"no {scope} invariants"
+
+    def test_names_carry_their_scope_prefix(self):
+        for name, inv in REGISTRY.items():
+            assert name == inv.name
+            assert name.split(".")[0] in ("decode", "model", "trace", "run")
+
+    def test_get_unknown_raises_violation(self):
+        with pytest.raises(InvariantViolation):
+            get_invariant("decode.nonexistent")
+
+    def test_duplicate_registration_rejected(self):
+        existing = next(iter(REGISTRY))
+        with pytest.raises(ValueError, match="duplicate"):
+            invariant(existing, "decode", "dup")
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError, match="scope"):
+            invariant("bogus.name", "cosmic", "no such scope")
+        with pytest.raises(ValueError, match="scope"):
+            invariants_for_scope("cosmic")
+
+
+class TestDecodeInvariants:
+    def test_all_decode_invariants_hold(self):
+        for inv in invariants_for_scope("decode"):
+            inv()  # must not raise
+
+    def test_literal_table2_matches_the_formula(self):
+        """The transcription and the arithmetic are independent statements
+        of R = 2^(diff+1); they must agree on every diff."""
+        for diff, (r, fav, other) in PAPER_TABLE_II.items():
+            assert r == 2 ** (diff + 1)
+            assert fav + other == r
+            if diff <= 4:  # both priorities stay in 2..7
+                assert slice_length(2 + diff, 2) == r
+
+    def test_violation_names_the_invariant(self):
+        err = InvariantViolation("decode.table2", "pair (4,6): wrong")
+        assert err.invariant == "decode.table2"
+        assert "decode.table2" in str(err)
+        assert "pair (4,6)" in str(err)
+
+
+class TestModelInvariants:
+    def test_analytic_model_satisfies_all(self, analytic_model):
+        for inv in invariants_for_scope("model"):
+            inv(analytic_model)
+
+    def test_cycle_table_satisfies_all(self, throughput_table):
+        for inv in invariants_for_scope("model"):
+            inv(throughput_table)
+
+    def test_broken_model_is_caught(self):
+        """A model whose IPC *decreases* with its own priority violates
+        model.ipc_monotone — the oracle must notice."""
+
+        class InvertedModel(AnalyticThroughputModel):
+            def core_ipc(self, a, b, pa, pb):
+                super().core_ipc(a, b, pa, pb)
+                # Quadratic inversion: raising your own priority *halves*
+                # your throughput — far beyond the measurement slack.
+                return (1.0 / (1.0 + pa) ** 2, 1.0 / (1.0 + pb) ** 2)
+
+        with pytest.raises(InvariantViolation) as exc:
+            get_invariant("model.ipc_monotone")(InvertedModel())
+        assert exc.value.invariant == "model.ipc_monotone"
+
+
+class TestTamperDetection:
+    """Flipping a Table II constant must fail the invariant checker —
+    the acceptance demonstration for the oracle layer, done by patching
+    the arithmetic the way an accidental edit would."""
+
+    def test_flipped_table2_constant_fails_decode_invariant(self, monkeypatch):
+        import repro.smt.decode as decode_mod
+
+        real = decode_mod.decode_allocation
+
+        def tampered(a, b):
+            alloc = real(a, b)
+            # An off-by-one in the favoured thread's slice share.
+            if alloc.mode.value == "normal" and alloc.cycles_a > 1:
+                return dataclasses.replace(alloc, cycles_a=alloc.cycles_a - 1)
+            return alloc
+
+        import repro.oracle.invariants as inv_mod
+
+        monkeypatch.setattr(inv_mod, "decode_allocation", tampered)
+        monkeypatch.setattr(
+            inv_mod,
+            "enumerate_allocations",
+            lambda priorities=None: [
+                ((a, b), tampered(a, b)) for a in range(8) for b in range(8)
+            ],
+        )
+        with pytest.raises(InvariantViolation) as exc:
+            get_invariant("decode.table2")()
+        assert exc.value.invariant == "decode.table2"

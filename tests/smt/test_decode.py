@@ -6,10 +6,12 @@ from hypothesis import given, strategies as st
 from repro.smt.decode import (
     ArbitrationMode,
     OFF_VERY_LOW_SLICE,
+    OS_PRIORITY_RANGE,
     POWER_SAVE_SLICE,
     decode_allocation,
     decode_pattern,
     decode_share,
+    enumerate_allocations,
     slice_length,
 )
 
@@ -108,6 +110,71 @@ class TestTableIII:
     @given(any_prio, any_prio)
     def test_mode_symmetry(self, a, b):
         assert decode_allocation(a, b).mode is decode_allocation(b, a).mode
+
+
+#: Literal transcription of Tables II & III over the OS-visible priority
+#: range 1-6, independent of any arithmetic in ``repro.smt.decode`` (and
+#: of the oracle layer's own transcription): every pair's expected
+#: (mode, slice R, cycles_a, cycles_b). Priority 1 pairs follow Table
+#: III; both-above-1 pairs follow Table II with the favoured thread
+#: taking R-1.
+def _expected_os_pair(a: int, b: int):
+    if a == 1 and b == 1:
+        return (ArbitrationMode.POWER_SAVE, 64, 1, 1)
+    if a == 1:
+        return (ArbitrationMode.LEFTOVER, 1, 0, 1)
+    if b == 1:
+        return (ArbitrationMode.LEFTOVER, 1, 1, 0)
+    table2 = {0: (2, 1, 1), 1: (4, 3, 1), 2: (8, 7, 1), 3: (16, 15, 1),
+              4: (32, 31, 1), 5: (64, 63, 1)}
+    r, fav, other = table2[abs(a - b)]
+    if a == b:
+        return (ArbitrationMode.NORMAL, r, 1, 1)
+    if a > b:
+        return (ArbitrationMode.NORMAL, r, fav, other)
+    return (ArbitrationMode.NORMAL, r, other, fav)
+
+
+class TestExhaustiveOsRange:
+    """Every OS-settable pair (1-6 x 1-6), against the literal tables."""
+
+    OS_PAIRS = [(a, b) for a in OS_PRIORITY_RANGE for b in OS_PRIORITY_RANGE]
+
+    def test_covers_all_36_pairs(self):
+        allocs = enumerate_allocations(OS_PRIORITY_RANGE)
+        assert len(allocs) == len(self.OS_PAIRS) == 36
+        assert [pair for pair, _ in allocs] == self.OS_PAIRS
+
+    @pytest.mark.parametrize("a,b", OS_PAIRS)
+    def test_pair_matches_paper_tables(self, a, b):
+        mode, r, ca, cb = _expected_os_pair(a, b)
+        alloc = decode_allocation(a, b)
+        assert alloc.mode is mode
+        assert (alloc.cycles_a, alloc.cycles_b) == (ca, cb)
+        if mode is ArbitrationMode.NORMAL:
+            assert alloc.slice_cycles == r
+            assert alloc.cycles_a + alloc.cycles_b == r
+        elif mode is ArbitrationMode.POWER_SAVE:
+            assert alloc.slice_cycles == POWER_SAVE_SLICE == r
+
+    @pytest.mark.parametrize("a,b", OS_PAIRS)
+    def test_pattern_realises_every_pair(self, a, b):
+        alloc = decode_allocation(a, b)
+        pattern = decode_pattern(a, b)
+        assert pattern.count(0) == alloc.cycles_a
+        assert pattern.count(1) == alloc.cycles_b
+
+    def test_matches_oracle_transcription(self):
+        """The test's literal table and the oracle layer's independent one
+        agree — three statements of the law, pairwise consistent."""
+        from repro.oracle.invariants import PAPER_TABLE_II
+
+        for diff, (r, fav, other) in PAPER_TABLE_II.items():
+            if 2 + diff > 7:
+                continue
+            assert _expected_os_pair(2 + diff, 2)[1:] == (
+                (r, 1, 1) if diff == 0 else (r, fav, other)
+            )
 
 
 class TestDecodeShare:

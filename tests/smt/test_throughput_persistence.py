@@ -99,6 +99,33 @@ class TestInvalidation:
         with pytest.raises(PersistenceError):
             small_table().load(str(path))
 
+    def test_truncated_file_rejected_and_leaves_table_clean(self, tmp_path):
+        """A partially-written table (e.g. a crashed writer that bypassed
+        the atomic rename) must fail loudly, not half-load."""
+        path = tmp_path / "table.json"
+        t = small_table()
+        t.measure(HPC, HPC, 4, 6)
+        t.measure(MEM, None, 4, 4)
+        t.save(str(path))
+        full = path.read_text()
+        for cut in (len(full) // 4, len(full) // 2, len(full) - 2):
+            path.write_text(full[:cut])
+            fresh = small_table()
+            with pytest.raises(PersistenceError):
+                fresh.load(str(path))
+            assert fresh.cached_keys == 0  # nothing partially ingested
+
+    def test_entries_not_a_list_rejected(self, tmp_path):
+        path = tmp_path / "table.json"
+        t = small_table()
+        t.measure(HPC, HPC, 4, 6)
+        t.save(str(path))
+        doc = json.loads(path.read_text())
+        doc["entries"] = {"oops": 1}
+        path.write_text(json.dumps(doc))
+        with pytest.raises(PersistenceError):
+            small_table().load(str(path))
+
     def test_malformed_entry_rejected(self, tmp_path):
         path = str(tmp_path / "table.json")
         t = small_table()

@@ -2,9 +2,11 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, ValidationTypeError
 from repro.util.validation import (
+    check_choice,
     check_in_range,
+    check_int,
     check_non_negative,
     check_positive,
     check_probability,
@@ -25,6 +27,45 @@ class TestCheckType:
     def test_rejects_bool_where_number_expected(self):
         with pytest.raises(TypeError, match="got bool"):
             check_type("flag", True, (int, float))
+
+    def test_raises_typed_error_from_errors_module(self):
+        """The raised error derives from both the repo hierarchy and the
+        builtin TypeError, so old `except TypeError` call sites and new
+        `except ReproError` ones both catch it."""
+        with pytest.raises(ValidationTypeError):
+            check_type("x", "3", int)
+        err = ValidationTypeError("x must be int")
+        assert isinstance(err, ReproError)
+        assert isinstance(err, TypeError)
+
+
+class TestCheckInt:
+    def test_accepts_and_returns_ints(self):
+        assert check_int("n", 3) == 3
+        assert check_int("n", -7) == -7
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationTypeError, match="got bool"):
+            check_int("flag", True)
+
+    def test_rejects_float_and_str(self):
+        with pytest.raises(ValidationTypeError, match="n must be an int"):
+            check_int("n", 3.0)
+        with pytest.raises(ValidationTypeError, match="n must be an int"):
+            check_int("n", "3")
+
+
+class TestCheckChoice:
+    def test_accepts_member(self):
+        check_choice("mode", "spin", ("spin", "block"))
+
+    def test_rejects_non_member_with_choices_in_message(self):
+        with pytest.raises(ConfigurationError, match="spin"):
+            check_choice("mode", "sleep", ("spin", "block"))
+
+    def test_rejected_error_is_repro_error(self):
+        with pytest.raises(ReproError):
+            check_choice("mode", "sleep", ("spin", "block"))
 
 
 class TestNumericChecks:

@@ -90,13 +90,11 @@ class TestExecution:
         )
         assert result.imbalance_percent > 40.0
 
-    def test_neighbour_sync_not_global(self, system):
+    def test_neighbour_sync_not_global(self, system, small_btmz_programs):
         """Ranks synchronise with neighbours, not all ranks: comm stays a
         tiny share of the run (the paper reports ~0.10%)."""
-        works = [2e9] * 4
-        result = system.run(
-            bt_mz_programs(works, iterations=3), ProcessMapping.identity(4)
-        )
+        result = system.run(small_btmz_programs(iterations=3),
+                            ProcessMapping.identity(4))
         for r in result.stats.ranks:
             assert r.comm_fraction < 0.05
 
