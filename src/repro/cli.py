@@ -16,8 +16,15 @@ Commands
     The bundled load profiles and their model operating points.
 ``sweep [--profile P]``
     Victim/favoured throughput across priority gaps 0-4.
-``cache info|clear --table FILE``
-    Inspect or delete a persisted throughput table.
+``cache info|clear [--table FILE] [--service URL]``
+    Inspect or delete a persisted throughput table, and/or report a
+    running ``repro serve`` instance's result-cache stats (entries,
+    bytes, hit/miss/coalesced) from its ``/metrics`` endpoint.
+``serve [--host H] [--port P] [--workers N] [--queue-depth D]
+       [--cache-entries E] [--timeout S] [--table FILE] [--verbose]``
+    The scenario-serving HTTP JSON API: ``POST /v1/jobs``,
+    ``GET /v1/jobs/<id>``, ``GET /healthz``, ``GET /metrics``
+    (see ``docs/service.md``).
 ``oracle record|check|fuzz``
     The invariant/conformance oracle layer: record or replay golden
     traces under ``tests/golden/``, or fuzz randomized scenarios through
@@ -170,16 +177,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cache(args: argparse.Namespace) -> int:
-    path = args.table
-    if args.action == "clear":
-        if os.path.exists(path):
-            os.remove(path)
-            print(f"removed {path}")
-        else:
-            print(f"nothing to clear at {path}")
-        return 0
-    # info
+def _cache_table_info(path: str) -> int:
     probe = ThroughputTable()
     try:
         import json
@@ -205,6 +203,78 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     matches = "yes" if doc.get("fingerprint") == probe.fingerprint else "no"
     table.add_row(["matches default config", matches])
     print(table.render())
+    return 0
+
+
+def _cache_service_info(url: str) -> int:
+    """Render a running service's result-cache stats from /metrics."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    endpoint = url.rstrip("/") + "/metrics"
+    try:
+        with urllib.request.urlopen(endpoint, timeout=10.0) as resp:
+            doc = json.load(resp)
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"cannot read {endpoint}: {exc}", file=sys.stderr)
+        return 2
+    cache = doc.get("cache", {})
+    queue = doc.get("queue", {})
+    table = TextTable(
+        ["field", "value"], title=f"service result cache at {url}"
+    )
+    table.add_row(["entries", f"{cache.get('entries')} / {cache.get('max_entries')}"])
+    table.add_row(["bytes", cache.get("bytes")])
+    table.add_row(["hits", cache.get("hits")])
+    table.add_row(["misses", cache.get("misses")])
+    table.add_row(["hit rate", f"{cache.get('hit_rate', 0.0):.1%}"])
+    table.add_row(["coalesced", cache.get("coalesced")])
+    table.add_row(["inserts", cache.get("inserts")])
+    table.add_row(["in flight", cache.get("in_flight")])
+    table.add_row(["queue depth", f"{queue.get('depth')} / {queue.get('max_depth')}"])
+    table.add_row(["jobs done", doc.get("jobs", {}).get("done")])
+    print(table.render())
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.table is None and args.service is None:
+        print("cache: need --table FILE and/or --service URL", file=sys.stderr)
+        return 2
+    if args.action == "clear":
+        if args.table is None:
+            print("cache clear: needs --table FILE", file=sys.stderr)
+            return 2
+        if os.path.exists(args.table):
+            os.remove(args.table)
+            print(f"removed {args.table}")
+        else:
+            print(f"nothing to clear at {args.table}")
+        return 0
+    # info: report whichever sources were named, alongside each other.
+    rc = 0
+    if args.table is not None:
+        rc = _cache_table_info(args.table)
+    if args.service is not None:
+        rc = max(rc, _cache_service_info(args.service))
+    return rc
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.executor import ScenarioService, ServiceConfig
+    from repro.service.server import serve
+
+    service = ScenarioService(
+        ServiceConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            cache_entries=args.cache_entries,
+            default_timeout_s=args.timeout if args.timeout > 0 else None,
+            throughput_table_path=args.table,
+        )
+    )
+    serve(service, host=args.host, port=args.port, quiet=not args.verbose)
     return 0
 
 
@@ -318,11 +388,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--profile", default="hpc")
     p_sweep.set_defaults(func=_cmd_sweep)
 
-    p_cache = sub.add_parser("cache", help="persisted throughput tables")
+    p_cache = sub.add_parser(
+        "cache", help="persisted throughput tables / service result cache"
+    )
     p_cache.add_argument("action", choices=("info", "clear"))
-    p_cache.add_argument("--table", required=True,
-                         help="path of the persisted table")
+    p_cache.add_argument("--table", default=None,
+                         help="path of the persisted throughput table")
+    p_cache.add_argument("--service", default=None,
+                         help="base URL of a running `repro serve` "
+                         "(reports its result-cache stats)")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve", help="scenario-serving HTTP JSON API (docs/service.md)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="0 picks a free port")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="simulation worker threads")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="admission bound before 429 backpressure")
+    p_serve.add_argument("--cache-entries", type=int, default=1024,
+                         help="result-cache LRU capacity")
+    p_serve.add_argument("--timeout", type=float, default=300.0,
+                         help="default per-attempt seconds; 0 disables")
+    p_serve.add_argument("--table", default=None,
+                         help="shared persistent throughput table for "
+                         "model=cycle jobs")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_oracle = sub.add_parser(
         "oracle", help="invariant / conformance / golden-trace oracle"

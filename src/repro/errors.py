@@ -105,3 +105,52 @@ class InvariantViolation(OracleError):
 
 class GoldenMismatchError(OracleError):
     """A replayed run disagrees with its recorded golden-trace snapshot."""
+
+
+class ServiceError(ReproError):
+    """Base class for the scenario-serving service layer."""
+
+
+class QueueFullError(ServiceError):
+    """The job queue rejected an admission (backpressure).
+
+    Carries ``retry_after`` — the server's estimate, in seconds, of when
+    capacity will free up — which the HTTP layer surfaces as a 429 with
+    a ``Retry-After`` header so well-behaved clients back off instead of
+    hammering a saturated service.
+    """
+
+    def __init__(self, depth: int, max_depth: int, retry_after: float) -> None:
+        self.depth = depth
+        self.max_depth = max_depth
+        self.retry_after = retry_after
+        super().__init__(
+            f"job queue full ({depth}/{max_depth}); retry after "
+            f"{retry_after:.1f}s"
+        )
+
+
+class JobTimeoutError(ServiceError):
+    """A job exceeded its per-attempt timeout or total deadline."""
+
+    def __init__(self, job_id: str, limit: float, kind: str = "timeout") -> None:
+        self.job_id = job_id
+        self.limit = limit
+        super().__init__(f"job {job_id} exceeded its {kind} of {limit:.1f}s")
+
+
+class JobCancelledError(ServiceError):
+    """A job was cancelled before (or while) running."""
+
+
+class UnknownJobError(ServiceError):
+    """A job id that the service has never issued (or has evicted)."""
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        super().__init__(f"unknown job id {job_id!r}")
+
+
+class TransientWorkerError(ServiceError):
+    """A worker failed in a way worth retrying (the retry-with-backoff
+    class; deterministic configuration errors are *not* retried)."""

@@ -1,0 +1,548 @@
+"""The worker pool that turns queued :class:`JobSpec` s into results.
+
+:class:`ScenarioService` owns the three pieces the rest of the package
+provides — a :class:`~repro.service.queue.JobQueue`, a
+:class:`~repro.service.cache.ResultCache`, and N worker threads — and
+adds the execution policy: cache-first admission (a stored fingerprint
+is served without a queue slot; an in-flight one coalesces), per-attempt
+timeouts, total deadlines, and retry-with-backoff for transient worker
+failures.
+
+Execution itself reuses the existing stack unchanged:
+:func:`repro.experiments.runner.run_case` for paper-suite cases and a
+:class:`~repro.machine.system.System` built exactly like
+:func:`repro.oracle.differential.run_fluid` for oracle scenarios, so a
+served digest is bit-identical to a direct run of the same spec. Cycle
+-model jobs share the persistent
+:class:`~repro.smt.throughput.ThroughputTable` at
+``ServiceConfig.throughput_table_path`` (merge-then-save under a lock,
+so concurrent workers accumulate measurements instead of clobbering).
+
+Timeout caveat: Python threads cannot be killed, so a timed-out attempt
+is *abandoned* — the job fails with
+:class:`~repro.errors.JobTimeoutError` immediately, while the stray
+simulation thread winds down on its own (bounded by the runtime's
+``time_limit``/``max_events`` walls).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.errors import (
+    ConfigurationError,
+    JobTimeoutError,
+    ServiceError,
+    TransientWorkerError,
+    UnknownJobError,
+)
+from repro.service.cache import ResultCache
+from repro.service.jobs import (
+    Job,
+    JobResult,
+    JobSpec,
+    JobState,
+    RetryPolicy,
+    jobs_by_state,
+)
+from repro.service.queue import JobQueue
+
+__all__ = ["ServiceConfig", "ScenarioService", "execute_spec", "percentile"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment knobs of one :class:`ScenarioService`."""
+
+    workers: int = 2
+    queue_depth: int = 64
+    cache_entries: int = 1024
+    #: Per-attempt wall-clock limit for jobs that don't set their own;
+    #: None disables (attempts run inline on the worker thread, which
+    #: also lets its Systems stay warm across jobs).
+    default_timeout_s: Optional[float] = 300.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Shared on-disk cycle-model measurement table (model="cycle" jobs).
+    throughput_table_path: Optional[str] = None
+    #: Terminal jobs kept addressable by id before eviction.
+    max_jobs_tracked: int = 10_000
+    #: Completed-job latencies kept for the percentile metrics.
+    latency_window: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ConfigurationError(f"workers must be > 0, got {self.workers}")
+        if self.queue_depth <= 0:
+            raise ConfigurationError(
+                f"queue_depth must be > 0, got {self.queue_depth}"
+            )
+        if self.default_timeout_s is not None and self.default_timeout_s <= 0:
+            raise ConfigurationError("default_timeout_s must be > 0 or None")
+        if self.max_jobs_tracked <= 0 or self.latency_window <= 0:
+            raise ConfigurationError(
+                "max_jobs_tracked/latency_window must be > 0"
+            )
+
+
+# -- spec execution (module-level so tests can call it directly) ----------------
+
+_suite_lock = threading.Lock()
+_suite_cache: Dict[tuple, object] = {}
+
+
+def _build_suite(suite_name: str, iterations: Optional[int]):
+    """Paper suite for a case-kind spec, with the CLI's iteration defaults
+    (so a served digest matches `repro case` exactly). Suites are frozen
+    and their calibration is deterministic — cache them across jobs."""
+    key = (suite_name, iterations)
+    with _suite_lock:
+        cached = _suite_cache.get(key)
+        if cached is not None:
+            return cached
+    from repro.experiments.cases import btmz_suite, metbench_suite, siesta_suite
+
+    if suite_name == "metbench":
+        suite = metbench_suite(iterations=iterations or 10)
+    elif suite_name == "btmz":
+        suite = btmz_suite(iterations=iterations or 50)
+    else:
+        suite = siesta_suite(n_iterations=iterations or 40)
+    with _suite_lock:
+        _suite_cache.setdefault(key, suite)
+    return suite
+
+
+_local = threading.local()
+_table_io_lock = threading.Lock()
+
+
+def _system_for(spec: JobSpec, table_path: Optional[str]):
+    """A thread-cached System matching the spec's physics options."""
+    from repro.machine.system import System, SystemConfig
+    from repro.mpi.runtime import RuntimeConfig
+
+    seed = spec.scenario.seed if spec.scenario is not None else 0
+    path = table_path if spec.model == "cycle" else None
+    key = (spec.model, seed, path)
+    systems: Optional[Dict[tuple, object]] = getattr(_local, "systems", None)
+    if systems is None:
+        systems = _local.systems = {}
+    system = systems.get(key)
+    if system is None:
+        config = SystemConfig(
+            model=spec.model,
+            seed=seed,
+            runtime=RuntimeConfig(),
+            throughput_table_path=path,
+        )
+        if path is not None:
+            with _table_io_lock:
+                system = System(config)
+        else:
+            system = System(config)
+        systems[key] = system
+    return system
+
+
+def execute_spec(
+    spec: JobSpec, table_path: Optional[str] = None
+) -> JobResult:
+    """Run one spec to a :class:`JobResult` (the default worker runner).
+
+    Deterministic by construction: the same spec always produces the
+    same trace digest as a direct :func:`~repro.experiments.runner.run_case`
+    / :func:`~repro.oracle.differential.run_fluid` of the same request.
+    """
+    from repro.experiments.runner import run_case
+
+    t0 = time.perf_counter()
+    system = _system_for(spec, table_path)
+    if spec.scenario is not None:
+        scenario = spec.scenario
+        run = system.run(
+            scenario.programs(),
+            mapping=scenario.mapping_obj(),
+            priorities=scenario.priority_dict(),
+            label=f"service.{scenario.name}",
+        )
+        if spec.check_invariants:
+            from repro.oracle.checker import verify_run
+
+            verify_run(run)
+    else:
+        suite = _build_suite(spec.suite, spec.iterations)
+        case = suite.case(spec.case)
+        run = run_case(
+            system, suite, case, check_invariants=spec.check_invariants
+        ).run
+    if spec.model == "cycle" and table_path:
+        # Merge-then-save: pick up entries concurrent workers persisted
+        # since we loaded, so the shared table only ever grows.
+        with _table_io_lock:
+            system.model.load(table_path)
+            system.save_throughput_table()
+    return JobResult.from_run(spec, run, time.perf_counter() - t0)
+
+
+def percentile(sample: List[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample (q in [0, 100])."""
+    if not sample:
+        raise ConfigurationError("percentile of an empty sample")
+    ordered = sorted(sample)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[int(rank)]
+
+
+# -- the service ----------------------------------------------------------------
+
+
+class ScenarioService:
+    """Job intake, worker pool, and metrics — the serving facade.
+
+    ``runner`` defaults to :func:`execute_spec`; tests inject a stub to
+    exercise timeout/retry paths without real simulations.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        runner: Optional[Callable[[JobSpec], JobResult]] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._runner = runner or (
+            lambda spec: execute_spec(
+                spec, table_path=self.config.throughput_table_path
+            )
+        )
+        self.queue = JobQueue(max_depth=self.config.queue_depth)
+        self.cache = ResultCache(max_entries=self.config.cache_entries)
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._job_order: Deque[str] = deque()
+        self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
+        self._computes: Deque[float] = deque(maxlen=self.config.latency_window)
+        self._counters = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "cache_hits": 0,
+            "retries": 0,
+            "timeouts": 0,
+        }
+        self._started_at = time.time()
+        self._closed = False
+        self._service_time_ewma = 1.0
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            for i in range(self.config.workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- intake ----------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one request; returns its :class:`Job` immediately.
+
+        A fingerprint already in the result cache completes the job on
+        the spot (``source="cache"``); one currently in flight attaches
+        it to the running computation (``source="coalesced"``, no queue
+        slot). Otherwise the job takes a queue slot or the queue's
+        backpressure (:class:`~repro.errors.QueueFullError`) propagates
+        to the caller.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is shut down")
+            job = Job(spec=spec)
+            self._track(job)
+            self._counters["submitted"] += 1
+            role, cached = self.cache.claim(job)
+            if role == "cache":
+                self._counters["cache_hits"] += 1
+                job.finish(JobState.DONE, result=cached, source="cache")
+                self._note_latency(job)
+                return job
+            if role == "follower":
+                return job
+            try:
+                self.queue.put(job)
+            except ServiceError:
+                # Undo the leadership claim; any follower that raced in
+                # shares the rejection rather than hanging forever.
+                _, followers = self.cache.settle(spec.fingerprint, None)
+                for follower in followers:
+                    if not follower.state.terminal:
+                        follower.finish(
+                            JobState.FAILED,
+                            error="leader admission rejected (queue full)",
+                            source="coalesced",
+                        )
+                self._forget(job)
+                self._counters["submitted"] -= 1
+                raise
+            return job
+
+    def run(self, spec: JobSpec, timeout: Optional[float] = None) -> Job:
+        """Submit and wait; the blocking convenience the CLI/tests use."""
+        job = self.submit(spec)
+        return self.wait(job.id, timeout=timeout)
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        return job
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until the job is terminal (or ``timeout`` passes); returns
+        the job either way — callers inspect ``job.state``."""
+        job = self.get(job_id)
+        job.done.wait(timeout=timeout)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job (running attempts cannot be interrupted)."""
+        job = self.get(job_id)
+        with self._lock:
+            if job.state is JobState.QUEUED:
+                self._counters["cancelled"] += 1
+                job.finish(JobState.CANCELLED, error="cancelled by client")
+        return job
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop admissions and the workers; idempotent.
+
+        ``drain=True`` lets workers finish everything already queued;
+        ``drain=False`` cancels still-queued jobs first.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                for job in self._jobs.values():
+                    if job.state is JobState.QUEUED:
+                        self._counters["cancelled"] += 1
+                        job.finish(
+                            JobState.CANCELLED, error="service shutdown"
+                        )
+        self.queue.close()
+        for thread in self._workers:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ScenarioService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- metrics ---------------------------------------------------------------
+
+    def metrics(self) -> dict:
+        with self._lock:
+            jobs = list(self._jobs.values())
+            latencies = list(self._latencies)
+            computes = list(self._computes)
+            counters = dict(self._counters)
+        doc = {
+            "uptime_s": time.time() - self._started_at,
+            "workers": self.config.workers,
+            "jobs": jobs_by_state(jobs),
+            "queue": self.queue.stats(),
+            "cache": self.cache.stats(),
+            "counters": counters,
+        }
+        for name, sample in (("latency", latencies), ("compute", computes)):
+            if sample:
+                doc[name] = {
+                    "count": len(sample),
+                    "mean_s": sum(sample) / len(sample),
+                    "p50_s": percentile(sample, 50.0),
+                    "p99_s": percentile(sample, 99.0),
+                }
+            else:
+                doc[name] = {"count": 0}
+        return doc
+
+    # -- internals -------------------------------------------------------------
+
+    def _track(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        self._job_order.append(job.id)
+        while len(self._job_order) > self.config.max_jobs_tracked:
+            oldest_id = self._job_order[0]
+            oldest = self._jobs.get(oldest_id)
+            if oldest is not None and not oldest.state.terminal:
+                break  # never evict live jobs; registry shrinks later
+            self._job_order.popleft()
+            self._jobs.pop(oldest_id, None)
+
+    def _forget(self, job: Job) -> None:
+        self._jobs.pop(job.id, None)
+        try:
+            self._job_order.remove(job.id)
+        except ValueError:
+            pass
+
+    def _note_latency(self, job: Job) -> None:
+        if job.latency_s is not None:
+            self._latencies.append(job.latency_s)
+        if job.result is not None and job.source == "computed":
+            self._computes.append(job.result.compute_seconds)
+            # EWMA of per-job compute cost feeds the queue's Retry-After.
+            self._service_time_ewma = (
+                0.8 * self._service_time_ewma
+                + 0.2 * job.result.compute_seconds
+            )
+            self.queue.set_load_hints(
+                self._service_time_ewma, self.config.workers
+            )
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self.queue.get()
+            if job is None:
+                return
+            self._process(job)
+
+    def _process(self, job: Job) -> None:
+        fp = job.spec.fingerprint
+        if job.state.terminal:
+            # Cancelled while queued. If identical requests coalesced
+            # behind it, the computation is still wanted — run for them.
+            leader, followers = self.cache.settle(fp, None)
+            live = [f for f in followers if not f.state.terminal]
+            if not live:
+                return
+            promoted = live[0]
+            self.cache.claim(promoted)
+            for follower in live[1:]:
+                self.cache.claim(follower)
+            job = promoted
+            fp = job.spec.fingerprint
+
+        if job.deadline_exceeded():
+            self._settle_failure(
+                fp, job,
+                JobTimeoutError(job.id, job.spec.deadline_s, kind="deadline"),
+            )
+            return
+
+        job.state = JobState.RUNNING
+        job.started_at = time.time()
+        retry = self.config.retry
+        max_retries = (
+            job.spec.max_retries
+            if job.spec.max_retries is not None
+            else retry.max_retries
+        )
+        while True:
+            job.attempts += 1
+            try:
+                result = self._run_attempt(job)
+            except Exception as exc:  # noqa: BLE001 — classified below
+                if isinstance(exc, JobTimeoutError):
+                    with self._lock:
+                        self._counters["timeouts"] += 1
+                transient = isinstance(exc, (TransientWorkerError, OSError))
+                retries_used = job.attempts - 1
+                if (
+                    transient
+                    and retries_used < max_retries
+                    and not job.deadline_exceeded()
+                ):
+                    with self._lock:
+                        self._counters["retries"] += 1
+                    time.sleep(self._bounded_backoff(job, retry))
+                    continue
+                self._settle_failure(fp, job, exc)
+                return
+            self._settle_success(fp, job, result)
+            return
+
+    def _bounded_backoff(self, job: Job, retry: RetryPolicy) -> float:
+        delay = retry.delay(job.attempts - 1)
+        if job.spec.deadline_s is not None:
+            remaining = (
+                job.submitted_at + job.spec.deadline_s - time.time()
+            )
+            delay = max(0.0, min(delay, remaining))
+        return delay
+
+    def _attempt_timeout(self, job: Job) -> Optional[float]:
+        timeout = (
+            job.spec.timeout_s
+            if job.spec.timeout_s is not None
+            else self.config.default_timeout_s
+        )
+        if job.spec.deadline_s is not None:
+            remaining = max(
+                0.01, job.submitted_at + job.spec.deadline_s - time.time()
+            )
+            timeout = remaining if timeout is None else min(timeout, remaining)
+        return timeout
+
+    def _run_attempt(self, job: Job) -> JobResult:
+        timeout = self._attempt_timeout(job)
+        if timeout is None:
+            return self._runner(job.spec)
+        box: dict = {}
+
+        def target() -> None:
+            try:
+                box["result"] = self._runner(job.spec)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                box["error"] = exc
+
+        thread = threading.Thread(
+            target=target, name=f"attempt-{job.id}", daemon=True
+        )
+        thread.start()
+        thread.join(timeout)
+        if thread.is_alive():
+            raise JobTimeoutError(job.id, timeout)
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def _settle_success(self, fp: str, job: Job, result: JobResult) -> None:
+        _, followers = self.cache.settle(fp, result)
+        with self._lock:
+            job.finish(JobState.DONE, result=result, source="computed")
+            self._counters["completed"] += 1
+            self._note_latency(job)
+            for follower in followers:
+                if follower.state.terminal:
+                    continue
+                follower.finish(
+                    JobState.DONE, result=result, source="coalesced"
+                )
+                self._counters["completed"] += 1
+                self._note_latency(follower)
+
+    def _settle_failure(self, fp: str, job: Job, exc: Exception) -> None:
+        _, followers = self.cache.settle(fp, None)
+        error = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            job.finish(JobState.FAILED, error=error)
+            self._counters["failed"] += 1
+            self._note_latency(job)
+            for follower in followers:
+                if follower.state.terminal:
+                    continue
+                follower.finish(
+                    JobState.FAILED, error=error, source="coalesced"
+                )
+                self._counters["failed"] += 1
+                self._note_latency(follower)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Generic, Hashable, Optional, TypeVar
+from typing import Callable, Generic, Hashable, Optional, TypeVar
 
 from repro.errors import ConfigurationError
 
@@ -35,6 +35,9 @@ class CacheStats:
     misses: int
     size: int
     max_size: int
+    #: Total weight of the stored entries, as measured by the cache's
+    #: ``sizeof`` weigher; 0 for unweighed caches.
+    bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -52,6 +55,7 @@ class CacheStats:
             misses=self.misses + other.misses,
             size=self.size + other.size,
             max_size=self.max_size + other.max_size,
+            bytes=self.bytes + other.bytes,
         )
 
 
@@ -62,13 +66,23 @@ class LruCache(Generic[V]):
     to pickle, so models carrying one can cross a process-pool boundary.
     """
 
-    def __init__(self, max_size: int = 65536) -> None:
+    def __init__(
+        self,
+        max_size: int = 65536,
+        sizeof: Optional[Callable[[V], int]] = None,
+    ) -> None:
         if max_size < 0:
             raise ConfigurationError(f"max_size must be >= 0, got {max_size}")
         self.max_size = int(max_size)
         self._data: "OrderedDict[Hashable, V]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Optional weigher: called once per insert, its results summed
+        #: into :attr:`bytes` (and subtracted on eviction/replacement) so
+        #: result caches can report how much payload they hold.
+        self._sizeof = sizeof
+        self._weights: "OrderedDict[Hashable, int]" = OrderedDict()
+        self.bytes = 0
 
     @property
     def enabled(self) -> bool:
@@ -96,9 +110,17 @@ class LruCache(Generic[V]):
             return
         if key in self._data:
             self._data.move_to_end(key)
+            if self._sizeof is not None:
+                self.bytes -= self._weights.pop(key, 0)
         self._data[key] = value
+        if self._sizeof is not None:
+            weight = int(self._sizeof(value))
+            self._weights[key] = weight
+            self.bytes += weight
         if len(self._data) > self.max_size:
-            self._data.popitem(last=False)
+            evicted, _ = self._data.popitem(last=False)
+            if self._sizeof is not None:
+                self.bytes -= self._weights.pop(evicted, 0)
 
     def stats(self) -> CacheStats:
         return CacheStats(
@@ -106,11 +128,14 @@ class LruCache(Generic[V]):
             misses=self.misses,
             size=len(self._data),
             max_size=self.max_size,
+            bytes=self.bytes,
         )
 
     def clear(self) -> None:
         """Drop all entries (keeps the hit/miss history)."""
         self._data.clear()
+        self._weights.clear()
+        self.bytes = 0
 
     def reset_stats(self) -> None:
         self.hits = 0

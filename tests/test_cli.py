@@ -93,3 +93,47 @@ class TestCacheCommand:
         bad = tmp_path / "bad.json"
         bad.write_text("{}")
         assert main(["cache", "info", "--table", str(bad)]) == 2
+
+    def test_cache_needs_a_source(self, capsys):
+        assert main(["cache", "info"]) == 2
+        assert "--table" in capsys.readouterr().err
+
+    def test_cache_clear_needs_table(self, capsys):
+        assert main(["cache", "clear", "--service", "http://localhost:1"]) == 2
+
+    def test_cache_info_unreachable_service(self, capsys):
+        # Port 1 is never listening; the fetch fails cleanly with rc 2.
+        assert main(["cache", "info", "--service", "http://127.0.0.1:1"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_parser_knows_serve(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "3", "--queue-depth", "9"]
+        )
+        assert callable(args.func)
+        assert args.workers == 3 and args.queue_depth == 9
+
+    def test_serve_and_cache_info_service_round_trip(self, capsys):
+        """`repro cache info --service` against a live in-process server."""
+        import threading
+
+        from repro.service.executor import ScenarioService, ServiceConfig
+        from repro.service.server import make_server
+
+        service = ScenarioService(ServiceConfig(workers=1))
+        server = make_server(service, host="127.0.0.1", port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            rc = main(["cache", "info", "--service", f"http://{host}:{port}"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "service result cache" in out
+            assert "coalesced" in out and "bytes" in out
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown()

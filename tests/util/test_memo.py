@@ -76,3 +76,32 @@ class TestCacheStats:
 
     def test_hit_rate_empty(self):
         assert CacheStats(hits=0, misses=0, size=0, max_size=0).hit_rate == 0.0
+
+
+class TestSizeofWeigher:
+    def test_bytes_tracked_on_insert_replace_evict(self):
+        c = LruCache(max_size=2, sizeof=len)
+        c.put("a", "xxxx")
+        c.put("b", "yy")
+        assert c.stats().bytes == 6
+        c.put("a", "x")  # replacement re-weighs
+        assert c.stats().bytes == 3
+        c.put("c", "zzz")  # evicts the LRU entry ("b")
+        assert c.get("b") is None
+        assert c.stats().bytes == 4
+
+    def test_clear_resets_bytes(self):
+        c = LruCache(max_size=4, sizeof=len)
+        c.put("a", "xxxx")
+        c.clear()
+        assert c.stats().bytes == 0
+
+    def test_unweighed_cache_reports_zero(self):
+        c = LruCache(max_size=4)
+        c.put("a", "xxxx")
+        assert c.stats().bytes == 0
+
+    def test_stats_addition_includes_bytes(self):
+        a = CacheStats(hits=0, misses=0, size=1, max_size=2, bytes=10)
+        b = CacheStats(hits=0, misses=0, size=1, max_size=2, bytes=5)
+        assert (a + b).bytes == 15
