@@ -28,8 +28,11 @@ Commands
 ``oracle record|check|fuzz``
     The invariant/conformance oracle layer: record or replay golden
     traces under ``tests/golden/``, or fuzz randomized scenarios through
-    the fluid/analytic/cycle model paths (``--budget N --seed S``;
+    every registered execution engine (``--budget N --seed S``;
     failing scenarios are written as JSON for CI artifacts).
+``engines list``
+    The registered scenario execution engines (name, options, what each
+    backend is), from the :mod:`repro.scenarios` registry.
 """
 
 from __future__ import annotations
@@ -352,6 +355,26 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    del args
+    from repro.scenarios import all_engines
+
+    table = TextTable(
+        ["engine", "options", "description"],
+        title="Registered scenario execution engines",
+    )
+    for engine in all_engines():
+        table.add_row(
+            [
+                engine.name,
+                ", ".join(engine.option_names) or "-",
+                engine.description,
+            ]
+        )
+    print(table.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -437,6 +460,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fuzz: write failing scenarios to this JSON "
                           "path (CI artifact)")
     p_oracle.set_defaults(func=_cmd_oracle)
+
+    p_engines = sub.add_parser(
+        "engines", help="registered scenario execution engines"
+    )
+    p_engines.add_argument("action", choices=("list",))
+    p_engines.set_defaults(func=_cmd_engines)
 
     return parser
 

@@ -79,6 +79,17 @@ class PersistenceError(ReproError):
     not match the configuration that is trying to load it."""
 
 
+class ValidationError(ReproError, ValueError):
+    """A serialised document failed schema validation.
+
+    Raised by the strict ``from_doc`` deserialisers (scenario specs and
+    their envelopes) for unknown fields, missing required fields, or
+    values that cannot be coerced to the declared shape. Derives from
+    ``ValueError`` so generic callers that catch the builtin keep
+    working, and from :class:`ReproError` so the HTTP layer maps it to a
+    400 like every other library error."""
+
+
 class ValidationTypeError(ReproError, TypeError):
     """A value has the wrong type.
 

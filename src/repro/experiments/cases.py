@@ -9,45 +9,65 @@ Every suite (MetBench / BT-MZ / SIESTA) is built the same way:
 * cases B-D rerun the *same* workload under the paper's mappings and
   priorities — those outcomes are genuine predictions of the simulator.
 
-Paper-reported numbers ride along on each case for the comparison
-tables in EXPERIMENTS.md.
+Each case is a :class:`~repro.scenarios.ScenarioSpec` — the canonical,
+fingerprintable run description the engine registry executes — with the
+paper-reported numbers riding along for the comparison tables in
+EXPERIMENTS.md. The suite factories here are exactly the calibration
+step: they turn paper percentages into concrete spec works/params.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.machine.mapping import ProcessMapping, paper_mapping
+from repro.machine.mapping import ProcessMapping
 from repro.mpi.process import RankProgram
+from repro.scenarios.spec import ScenarioSpec
 from repro.smt.analytic import AnalyticThroughputModel
 from repro.smt.instructions import BASE_PROFILES
 from repro.util.units import POWER5_FREQ_HZ
 from repro.workloads.base import works_for_targets
-from repro.workloads.bt_mz import BtMzConfig, bt_mz_programs
-from repro.workloads.metbench import MetBenchConfig, metbench_programs
-from repro.workloads.siesta import SiestaConfig, siesta_programs
+from repro.workloads.siesta import SiestaConfig
 
 __all__ = ["ExperimentCase", "Suite", "metbench_suite", "btmz_suite", "siesta_suite"]
 
 
+def _prio_tuple(
+    priorities: Optional[Mapping[int, int]],
+) -> Tuple[Tuple[int, int], ...]:
+    return tuple(sorted(priorities.items())) if priorities else ()
+
+
 @dataclass(frozen=True)
 class ExperimentCase:
-    """One row group of a paper table: a configuration plus paper values."""
+    """One row group of a paper table: a runnable spec plus paper values.
+
+    The configuration itself (workload, mapping, priorities) lives in
+    ``spec``; the legacy ``mapping``/``priorities``/``n_ranks`` accessors
+    are views over it so report/benchmark code reads one source of truth.
+    """
 
     name: str  # "A", "B", "C", "D", "ST"
-    mapping: ProcessMapping
-    #: rank -> priority; None = defaults (all MEDIUM).
-    priorities: Optional[Dict[int, int]]
+    spec: ScenarioSpec
     paper_exec_seconds: float
     paper_imbalance_percent: float
     paper_comp_percent: Tuple[float, ...] = ()
     description: str = ""
 
     @property
+    def mapping(self) -> ProcessMapping:
+        return self.spec.mapping_obj()
+
+    #: rank -> priority; None = defaults (all MEDIUM).
+    @property
+    def priorities(self) -> Optional[Dict[int, int]]:
+        return self.spec.priority_dict()
+
+    @property
     def n_ranks(self) -> int:
-        return self.mapping.n_ranks
+        return self.spec.n_ranks
 
 
 @dataclass(frozen=True)
@@ -56,8 +76,6 @@ class Suite:
 
     name: str
     cases: Tuple[ExperimentCase, ...]
-    #: Builds fresh rank programs for an n_ranks-sized case.
-    factory: Callable[[ExperimentCase], List[RankProgram]]
     reference_case: str = "A"
 
     def case(self, name: str) -> ExperimentCase:
@@ -67,7 +85,11 @@ class Suite:
         raise ConfigurationError(f"suite {self.name!r} has no case {name!r}")
 
     def programs(self, case: ExperimentCase) -> List[RankProgram]:
-        return self.factory(case)
+        """Fresh (single-use) rank programs for one run of ``case``."""
+        return case.spec.programs()
+
+    def specs(self) -> Tuple[ScenarioSpec, ...]:
+        return tuple(c.spec for c in self.cases)
 
 
 def _pair_rate(profile_name: str, model: Optional[AnalyticThroughputModel]) -> float:
@@ -141,32 +163,37 @@ def metbench_suite(
     comp = [c / 100.0 for c in METBENCH_PAPER_COMP_A]
     rates = _corun_rates(load, comp, model)
     totals = works_for_targets(comp, METBENCH_PAPER_EXEC_A, rates)
-    works = [w / iterations for w in totals]
-    identity = ProcessMapping.identity(4)
+    works = tuple(w / iterations for w in totals)
 
-    def factory(case: ExperimentCase) -> List[RankProgram]:
-        cfg = MetBenchConfig(works=works, iterations=iterations, load=load)
-        return metbench_programs(config=cfg)
+    def spec(case: str, priorities: Optional[Dict[int, int]]) -> ScenarioSpec:
+        return ScenarioSpec(
+            name=f"metbench-{case}",
+            kind="metbench",
+            works=works,
+            iterations=iterations,
+            profile=load,
+            priorities=_prio_tuple(priorities),
+        )
 
     cases = (
         ExperimentCase(
-            "A", identity, None, 81.64, 75.69, METBENCH_PAPER_COMP_A,
+            "A", spec("A", None), 81.64, 75.69, METBENCH_PAPER_COMP_A,
             "reference: default priorities",
         ),
         ExperimentCase(
-            "B", identity, {0: 5, 1: 6, 2: 5, 3: 6}, 76.98, 48.82,
+            "B", spec("B", {0: 5, 1: 6, 2: 5, 3: 6}), 76.98, 48.82,
             (51.16, 99.82, 51.18, 99.98), "gap 1 toward the heavy workers",
         ),
         ExperimentCase(
-            "C", identity, {0: 4, 1: 6, 2: 4, 3: 6}, 74.90, 1.96,
+            "C", spec("C", {0: 4, 1: 6, 2: 4, 3: 6}), 74.90, 1.96,
             (98.96, 98.56, 97.01, 98.37), "gap 2: the paper's best MetBench case",
         ),
         ExperimentCase(
-            "D", identity, {0: 3, 1: 6, 2: 3, 3: 6}, 95.71, 26.62,
+            "D", spec("D", {0: 3, 1: 6, 2: 3, 3: 6}), 95.71, 26.62,
             (99.87, 73.25, 99.72, 73.25), "gap 3: imbalance reversed, slower than A",
         ),
     )
-    return Suite("metbench", cases, factory)
+    return Suite("metbench", cases)
 
 
 # --------------------------------------------------------------------------------
@@ -199,55 +226,62 @@ def btmz_suite(
     comp4 = [max(0.01, c / 100.0 - BTMZ_INIT_SHARE) for c in BTMZ_PAPER_COMP_A]
     rates4 = _corun_rates(profile, comp4, model)
     totals4 = works_for_targets(comp4, BTMZ_PAPER_EXEC_A, rates4)
-    works4 = [w / iterations for w in totals4]
+    works4 = tuple(w / iterations for w in totals4)
     init4 = BTMZ_INIT_SHARE * BTMZ_PAPER_EXEC_A * _pair_rate(profile, model)
 
     rate_st = _solo_rate(profile, model)
     comp2 = [max(0.01, c / 100.0 - BTMZ_INIT_SHARE) for c in BTMZ_PAPER_COMP_ST]
     totals2 = works_for_targets(comp2, BTMZ_PAPER_EXEC_ST, rate_st)
-    works2 = [w / iterations for w in totals2]
+    works2 = tuple(w / iterations for w in totals2)
     init2 = BTMZ_INIT_SHARE * BTMZ_PAPER_EXEC_ST * rate_st
 
-    identity = ProcessMapping.identity(4)
-    remapped = paper_mapping("btmz")
-    st_mapping = ProcessMapping.from_dict({0: 0, 1: 2})  # one rank per core
-
-    def factory(case: ExperimentCase) -> List[RankProgram]:
-        works, init_work = (works2, init2) if case.n_ranks == 2 else (works4, init4)
-        mean_iter_work = sum(works) / len(works)
-        cfg = BtMzConfig(
+    def spec(
+        case: str,
+        mapping: str,
+        priorities: Optional[Dict[int, int]],
+        works: Tuple[float, ...],
+        init_work: float,
+    ) -> ScenarioSpec:
+        return ScenarioSpec(
+            name=f"btmz-{case}",
+            kind="btmz",
             works=works,
             iterations=iterations,
             profile=profile,
-            init_factor=init_work / mean_iter_work,
+            mapping=mapping,
+            priorities=_prio_tuple(priorities),
+            params={"init_factor": init_work / (sum(works) / len(works))},
         )
-        return bt_mz_programs(config=cfg)
+
+    def spec4(case, mapping, priorities):
+        return spec(case, mapping, priorities, works4, init4)
 
     cases = (
         ExperimentCase(
-            "ST", st_mapping, None, BTMZ_PAPER_EXEC_ST, 50.27, BTMZ_PAPER_COMP_ST,
+            "ST", spec("ST", "st", None, works2, init2),
+            BTMZ_PAPER_EXEC_ST, 50.27, BTMZ_PAPER_COMP_ST,
             "single-thread mode: 2 ranks, one per core",
         ),
         ExperimentCase(
-            "A", identity, None, 81.64, 82.23, BTMZ_PAPER_COMP_A,
+            "A", spec4("A", "identity", None), 81.64, 82.23, BTMZ_PAPER_COMP_A,
             "reference: default priorities, Pi on CPUi",
         ),
         ExperimentCase(
-            "B", remapped, {0: 3, 1: 3, 2: 6, 3: 6}, 127.91, 70.93,
+            "B", spec4("B", "btmz", {0: 3, 1: 3, 2: 6, 3: 6}), 127.91, 70.93,
             (52.33, 99.64, 28.87, 46.26),
             "gap 3 on the P1/P4 core: overshoots, P2 becomes the bottleneck",
         ),
         ExperimentCase(
-            "C", remapped, {0: 4, 1: 4, 2: 6, 3: 6}, 75.62, 45.99,
+            "C", spec4("C", "btmz", {0: 4, 1: 4, 2: 6, 3: 6}), 75.62, 45.99,
             (65.32, 99.68, 53.78, 85.88), "gap 2 on both cores",
         ),
         ExperimentCase(
-            "D", remapped, {0: 4, 1: 4, 2: 5, 3: 6}, 66.88, 33.38,
+            "D", spec4("D", "btmz", {0: 4, 1: 4, 2: 5, 3: 6}), 66.88, 33.38,
             (82.73, 73.68, 66.40, 99.72),
             "the paper's best: gap 2 for P4/P1, gap 1 for P3/P2 (-18.08%)",
         ),
     )
-    return Suite("btmz", cases, factory)
+    return Suite("btmz", cases)
 
 
 # --------------------------------------------------------------------------------
@@ -332,49 +366,51 @@ def siesta_suite(
     )
     mean2 = [w / n_iterations for w in body2]
 
-    identity = ProcessMapping.identity(4)
-    remapped = paper_mapping("siesta")
-    st_mapping = ProcessMapping.from_dict({0: 0, 1: 2})
-
-    def factory(case: ExperimentCase) -> List[RankProgram]:
-        if case.n_ranks == 2:
-            cfg = SiestaConfig(
-                mean_works=mean2, init_works=init2, final_works=final2,
-                n_iterations=n_iterations, profile=profile, seed=seed,
-                jitter_sigma=jitter_sigma, rotate_prob=rotate_prob,
-            )
+    def spec(case: str, mapping: str, priorities: Optional[Dict[int, int]]) -> ScenarioSpec:
+        if mapping == "st":
+            works, init_w, final_w = mean2, init2, final2
         else:
-            cfg = SiestaConfig(
-                mean_works=mean_works, init_works=init_works,
-                final_works=final_works, n_iterations=n_iterations,
-                profile=profile, seed=seed,
-                jitter_sigma=jitter_sigma, rotate_prob=rotate_prob,
-            )
-        return siesta_programs(cfg)
+            works, init_w, final_w = mean_works, init_works, final_works
+        return ScenarioSpec(
+            name=f"siesta-{case}",
+            kind="siesta",
+            works=tuple(works),
+            iterations=n_iterations,
+            profile=profile,
+            mapping=mapping,
+            priorities=_prio_tuple(priorities),
+            params={
+                "init_works": tuple(init_w),
+                "final_works": tuple(final_w),
+                "jitter_sigma": jitter_sigma,
+                "rotate_prob": rotate_prob,
+                "workload_seed": seed,
+            },
+        )
 
     cases = (
         ExperimentCase(
-            "ST", st_mapping, None, SIESTA_PAPER_EXEC_ST * time_scale, 8.88,
+            "ST", spec("ST", "st", None), SIESTA_PAPER_EXEC_ST * time_scale, 8.88,
             SIESTA_PAPER_COMP_ST, "single-thread mode: 2 ranks, one per core",
         ),
         ExperimentCase(
-            "A", identity, None, SIESTA_PAPER_EXEC_A * time_scale, 14.43,
-            SIESTA_PAPER_COMP_A, "reference: default priorities",
+            "A", spec("A", "identity", None), SIESTA_PAPER_EXEC_A * time_scale,
+            14.43, SIESTA_PAPER_COMP_A, "reference: default priorities",
         ),
         ExperimentCase(
-            "B", remapped, {0: 4, 1: 4, 2: 5, 3: 5}, 847.91 * time_scale, 5.99,
-            (79.57, 87.06, 72.04, 77.73),
+            "B", spec("B", "siesta", {0: 4, 1: 4, 2: 5, 3: 5}),
+            847.91 * time_scale, 5.99, (79.57, 87.06, 72.04, 77.73),
             "re-paired (P2+P3, P1+P4); P3 and P4 favoured by 1",
         ),
         ExperimentCase(
-            "C", remapped, {0: 4, 1: 4, 2: 4, 3: 5}, 789.20 * time_scale, 1.46,
-            (83.04, 79.66, 80.78, 78.74),
+            "C", spec("C", "siesta", {0: 4, 1: 4, 2: 4, 3: 5}),
+            789.20 * time_scale, 1.46, (83.04, 79.66, 80.78, 78.74),
             "the paper's best: equal P2/P3, P4 favoured by 1 (-8.1%)",
         ),
         ExperimentCase(
-            "D", remapped, {0: 4, 1: 4, 2: 4, 3: 6}, 976.35 * time_scale, 16.64,
-            (90.76, 65.74, 68.08, 63.95),
+            "D", spec("D", "siesta", {0: 4, 1: 4, 2: 4, 3: 6}),
+            976.35 * time_scale, 16.64, (90.76, 65.74, 68.08, 63.95),
             "gap 2 for P4: P1 starves, imbalance reversed (+13.7%)",
         ),
     )
-    return Suite("siesta", cases, factory)
+    return Suite("siesta", cases)

@@ -9,6 +9,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.cases import ExperimentCase, Suite
 from repro.machine.system import System, SystemConfig
 from repro.mpi.runtime import RunResult
+from repro.scenarios.registry import engine_for_model, get_engine
 from repro.util.stats import percent_change
 from repro.util.tables import TextTable
 
@@ -44,22 +45,28 @@ def run_case(
 ) -> CaseResult:
     """Execute one case of a suite on ``system``.
 
+    The case's :class:`~repro.scenarios.ScenarioSpec` is dispatched to
+    the engine that realises ``system``'s model knob (analytic model ->
+    "fluid", cycle model -> "cycle"), running on the caller's ``system``
+    so warm model caches and loaded throughput tables are reused across
+    a suite.
+
     ``check_invariants=True`` sweeps the oracle layer's run/trace
     invariants over the finished result (strict: the first violation
     raises) — the cheap post-hoc mode, independent of the runtime's own
     ``RuntimeConfig.check_invariants`` live hooks.
     """
-    run = system.run(
-        suite.programs(case),
-        mapping=case.mapping,
-        priorities=case.priorities,
+    engine = get_engine(engine_for_model(system.config.model))
+    result = engine.run(
+        case.spec,
         label=f"{suite.name}.{case.name}",
+        system=system,
     )
     if check_invariants:
         from repro.oracle.checker import verify_run
 
-        verify_run(run)
-    return CaseResult(suite.name, case, run)
+        verify_run(result.run)
+    return CaseResult(suite.name, case, result.run)
 
 
 def run_suite(

@@ -6,9 +6,11 @@ Three pillars, one package:
   the paper fixes (Table II/III decode arbitration, IPC monotonicity,
   trace conservation) plus :mod:`repro.oracle.checker`, which attaches
   them to live runs and finished results.
-* :mod:`repro.oracle.differential` — the same scenario pushed through
-  the fluid runtime, the analytic model and the cycle model, compared
-  under declared tolerances; includes the seeded fuzz driver.
+* :mod:`repro.oracle.differential` — the same
+  :class:`~repro.scenarios.ScenarioSpec` pushed through every engine in
+  the :mod:`repro.scenarios` registry and compared under declared
+  tolerances; includes the seeded fuzz driver. (``Scenario`` and
+  ``ScenarioGenerator`` are re-exports kept for compatibility.)
 * :mod:`repro.oracle.golden` — versioned golden-trace snapshots under
   ``tests/golden/`` with ``record``/``check`` replay.
 """

@@ -1,47 +1,37 @@
-"""Differential cross-model conformance: one scenario, three models.
+"""Differential cross-model conformance: one scenario, every engine.
 
 The reproduction ships three ways of answering "how long does this MPI
-application take on the balanced machine":
-
-1. the **fluid runtime** driven by the analytic throughput model (the
-   default simulator — every experiment table comes from it),
-2. the same runtime driven by the **cycle model**
-   (:class:`~repro.smt.throughput.ThroughputTable` over the pipeline
-   simulator — the decode mechanism's ground truth), and
-3. a **closed-form analytic estimate** that never runs an event loop at
-   all (per-rank work over the steady-state chip IPC).
-
+application take on the balanced machine" — the registered execution
+engines of :mod:`repro.scenarios` (``fluid``, ``cycle``, ``analytic``).
 After PR 1's fast-path layer (memoized solves, incremental rates,
 persisted tables) these paths can drift apart silently. This module
-makes the drift measurable: a :class:`Scenario` is a declarative,
-sha256-fingerprintable description of one run; :func:`check_conformance`
-pushes it through all three paths and compares within declared
-tolerances, plus two *exact* cross-checks (incremental-rates on/off and
-the cache-equality model invariant). :class:`ScenarioGenerator` draws
-random scenarios from seeded :mod:`repro.util.rng` streams for
-property-style fuzzing (``repro oracle fuzz``).
+makes the drift measurable: :func:`check_conformance` pushes one
+:class:`~repro.scenarios.ScenarioSpec` through **every engine in the
+registry** and compares within declared tolerances, plus two *exact*
+cross-checks (incremental-rates on/off trace digests and the
+cache-equality model invariant). Register a fourth engine and it is
+cross-checked against the incumbents with no oracle change.
+
+The spec type, the generator and the digest helper all live in
+:mod:`repro.scenarios` now; this module re-exports them (and keeps
+``run_fluid``/``run_cycle``/``analytic_estimate`` as deprecated shims)
+so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ConfigurationError, OracleError
-from repro.machine.mapping import ProcessMapping, paper_mapping
-from repro.machine.system import System, SystemConfig
-from repro.mpi.runtime import RunResult, RuntimeConfig
+from repro.mpi.runtime import RunResult
 from repro.oracle.checker import verify_model, verify_run
+from repro.scenarios.engines import fast_cycle_table, trace_digest
+from repro.scenarios.generator import ScenarioGenerator
+from repro.scenarios.registry import all_engines, get_engine
+from repro.scenarios.spec import ScenarioSpec
 from repro.smt.analytic import AnalyticThroughputModel
-from repro.smt.instructions import BASE_PROFILES
 from repro.smt.throughput import ThroughputTable
-from repro.util.rng import RngStreams
-from repro.util.validation import check_choice, check_positive
-from repro.workloads.bt_mz import bt_mz_programs
-from repro.workloads.generators import barrier_loop_programs
-from repro.workloads.metbench import metbench_programs
+from repro.util.validation import check_positive
 
 __all__ = [
     "Scenario",
@@ -58,220 +48,51 @@ __all__ = [
     "fast_cycle_table",
 ]
 
-_KINDS = ("barrier_loop", "metbench", "btmz")
-_MAPPINGS = ("identity", "btmz", "siesta")
+#: Deprecated alias — the oracle's ``Scenario`` grew into the canonical
+#: :class:`repro.scenarios.ScenarioSpec`. Import that instead.
+Scenario = ScenarioSpec
 
 
-@dataclass(frozen=True)
-class Scenario:
-    """A declarative, serialisable description of one simulated run.
-
-    Everything that determines the physics is here — workload shape,
-    per-rank work, mapping, static priorities, seed — so a scenario can
-    be fingerprinted, persisted next to a golden trace, and replayed by
-    a later revision of the simulator.
-    """
-
-    name: str
-    kind: str  # "barrier_loop" | "metbench" | "btmz"
-    works: Tuple[float, ...]
-    iterations: int
-    profile: str = "hpc"
-    mapping: str = "identity"
-    #: rank -> OS-settable hardware priority; empty = defaults (MEDIUM).
-    priorities: Tuple[Tuple[int, int], ...] = ()
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        check_choice("scenario.kind", self.kind, _KINDS)
-        check_choice("scenario.mapping", self.mapping, _MAPPINGS)
-        check_positive("scenario.iterations", self.iterations)
-        if not self.works:
-            raise ConfigurationError(f"scenario {self.name!r} has no works")
-        if self.profile not in BASE_PROFILES:
-            raise ConfigurationError(
-                f"scenario {self.name!r}: unknown profile {self.profile!r}"
-            )
-        for rank, prio in self.priorities:
-            if not 1 <= prio <= 6:
-                raise ConfigurationError(
-                    f"scenario {self.name!r}: rank {rank} priority {prio} "
-                    "is not OS-settable (1-6)"
-                )
-
-    @property
-    def n_ranks(self) -> int:
-        return len(self.works)
-
-    def mapping_obj(self) -> ProcessMapping:
-        if self.mapping == "identity":
-            return ProcessMapping.identity(self.n_ranks)
-        return paper_mapping(self.mapping)
-
-    def priority_dict(self) -> Optional[Dict[int, int]]:
-        return dict(self.priorities) if self.priorities else None
-
-    def programs(self):
-        """Fresh (single-use) rank generator programs for one run."""
-        if self.kind == "barrier_loop":
-            return barrier_loop_programs(
-                list(self.works), iterations=self.iterations, profile=self.profile
-            )
-        if self.kind == "metbench":
-            return metbench_programs(
-                list(self.works), iterations=self.iterations, load=self.profile
-            )
-        return bt_mz_programs(
-            list(self.works), iterations=self.iterations, profile=self.profile
-        )
-
-    # -- serialisation ---------------------------------------------------------
-
-    def to_doc(self) -> dict:
-        return {
-            "name": self.name,
-            "kind": self.kind,
-            "works": list(self.works),
-            "iterations": self.iterations,
-            "profile": self.profile,
-            "mapping": self.mapping,
-            "priorities": [list(p) for p in self.priorities],
-            "seed": self.seed,
-        }
-
-    @classmethod
-    def from_doc(cls, doc: dict) -> "Scenario":
-        try:
-            return cls(
-                name=str(doc["name"]),
-                kind=str(doc["kind"]),
-                works=tuple(float(w) for w in doc["works"]),
-                iterations=int(doc["iterations"]),
-                profile=str(doc.get("profile", "hpc")),
-                mapping=str(doc.get("mapping", "identity")),
-                priorities=tuple(
-                    (int(r), int(p)) for r, p in doc.get("priorities", ())
-                ),
-                seed=int(doc.get("seed", 0)),
-            )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise OracleError(f"malformed scenario document: {exc}") from exc
-
-    @property
-    def fingerprint(self) -> str:
-        """sha256 over the canonical JSON form — the golden-file key."""
-        payload = json.dumps(self.to_doc(), sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
-def trace_digest(result: RunResult) -> str:
-    """sha256 over the full-precision interval stream of a finished run.
-
-    ``repr(float)`` round-trips exactly, so two runs share a digest iff
-    their traces are bit-identical — the equality the determinism and
-    incremental-rates guarantees promise.
-    """
-    h = hashlib.sha256()
-    for tl in result.trace:
-        for iv in tl.intervals:
-            h.update(
-                f"{tl.rank}:{iv.state.value}:{iv.start!r}:{iv.end!r}\n".encode()
-            )
-    return h.hexdigest()
-
-
-# -- the three model paths -------------------------------------------------------
+# -- deprecated single-path shims -------------------------------------------------
+#
+# The three hard-wired model paths are now engines; these wrappers keep
+# the historical signatures (returning a raw RunResult / float) for old
+# callers and tests. New code should resolve an engine from the registry.
 
 
 def run_fluid(
-    scenario: Scenario,
+    scenario: ScenarioSpec,
     incremental_rates: bool = True,
     check_invariants: bool = False,
 ) -> RunResult:
-    """The default simulator: fluid runtime + analytic model."""
-    config = SystemConfig(
-        seed=scenario.seed,
-        runtime=RuntimeConfig(
-            incremental_rates=incremental_rates,
-            check_invariants=check_invariants,
-        ),
-    )
-    return System(config).run(
-        scenario.programs(),
-        mapping=scenario.mapping_obj(),
-        priorities=scenario.priority_dict(),
+    """Deprecated: use ``get_engine("fluid").run(spec)``."""
+    return get_engine("fluid").run(
+        scenario,
         label=f"oracle.{scenario.name}",
-    )
-
-
-def fast_cycle_table(seed: int = 0) -> ThroughputTable:
-    """A cycle model with short measurement windows (oracle-speed).
-
-    IPC from an 8k-cycle window is stable to a few percent for the
-    bundled profiles — plenty under the cross-model tolerances, and an
-    order of magnitude faster than the production windows. Share one
-    table across a fuzz campaign so repeated (loads, priorities) keys
-    are measured once.
-    """
-    return ThroughputTable(warmup_cycles=2_000, measure_cycles=8_000, seed=seed)
+        options={
+            "incremental_rates": incremental_rates,
+            "check_invariants": check_invariants,
+        },
+    ).run
 
 
 def run_cycle(
-    scenario: Scenario, table: Optional[ThroughputTable] = None
+    scenario: ScenarioSpec, table: Optional[ThroughputTable] = None
 ) -> RunResult:
-    """The same scenario through the cycle-level throughput model."""
-    system = System(SystemConfig(model="cycle", seed=scenario.seed))
-    # Swap in the (possibly shared, short-window) measurement table; the
-    # System built its own production-window table we never query.
-    system.model = table if table is not None else fast_cycle_table(scenario.seed)
-    return system.run(
-        scenario.programs(),
-        mapping=scenario.mapping_obj(),
-        priorities=scenario.priority_dict(),
+    """Deprecated: use ``get_engine("cycle").run(spec)``."""
+    return get_engine("cycle").run(
+        scenario,
         label=f"oracle.{scenario.name}.cycle",
-    )
+        options={"table": table if table is not None else fast_cycle_table(scenario.seed)},
+    ).run
 
 
 def analytic_estimate(
-    scenario: Scenario, model: Optional[AnalyticThroughputModel] = None
+    scenario: ScenarioSpec, model: Optional[AnalyticThroughputModel] = None
 ) -> float:
-    """Closed-form execution-time estimate, no event loop.
-
-    Steady state: every mapped context runs its profile at its static
-    priority; the bottleneck rank's total work over its chip-coupled IPC
-    bounds the run. Communication, init phases and spin-wait rate shifts
-    are deliberately ignored — the conformance tolerance absorbs them.
-    """
-    model = model or AnalyticThroughputModel()
-    mapping = scenario.mapping_obj()
-    prios = scenario.priority_dict() or {}
-    profile = BASE_PROFILES[scenario.profile]
-
-    n_cores = max(mapping.cpu_of(r) for r in range(scenario.n_ranks)) // 2 + 1
-    loads: List[List[Optional[object]]] = [[None, None] for _ in range(n_cores)]
-    priolist = [[4, 4] for _ in range(n_cores)]
-    for rank in range(scenario.n_ranks):
-        cpu = mapping.cpu_of(rank)
-        loads[cpu // 2][cpu % 2] = profile
-        priolist[cpu // 2][cpu % 2] = prios.get(rank, 4)
-    core_states = tuple(
-        (loads[c][0], loads[c][1], priolist[c][0], priolist[c][1])
-        for c in range(n_cores)
-    )
-    ipcs = model.chip_ipc(core_states)
-
-    freq = SystemConfig().chip.freq_hz
-    worst = 0.0
-    for rank in range(scenario.n_ranks):
-        cpu = mapping.cpu_of(rank)
-        ipc = ipcs[cpu // 2][cpu % 2]
-        if ipc <= 0.0:
-            raise OracleError(
-                f"scenario {scenario.name!r}: rank {rank} has zero steady-state IPC"
-            )
-        total_work = scenario.works[rank] * scenario.iterations
-        worst = max(worst, total_work / (ipc * freq))
-    return worst
+    """Deprecated: use ``get_engine("analytic").run(spec)``."""
+    options = {"model": model} if model is not None else None
+    return get_engine("analytic").run(scenario, options=options).total_time
 
 
 # -- conformance ----------------------------------------------------------------
@@ -279,19 +100,21 @@ def analytic_estimate(
 
 @dataclass(frozen=True)
 class Tolerances:
-    """Declared agreement bands between the model paths.
+    """Declared agreement bands between the engine classes.
 
     The analytic and cycle models sit at different abstraction levels;
     the regime-agreement tests (``tests/smt/test_model_agreement.py``)
     bound their IPC ratio to well under 3x across the priority gaps the
-    experiments use, and the estimate ignores communication entirely —
-    hence the asymmetric band on the estimate side.
+    experiments use, and the closed-form estimate ignores communication
+    entirely — hence the asymmetric band on the estimate side.
+    ``model_time_ratio`` applies to every trace-producing engine,
+    ``estimate_lower``/``estimate_upper`` to every closed-form one.
     """
 
-    #: Max ratio between fluid-analytic and fluid-cycle total times.
+    #: Max total-time ratio between fluid and any trace-producing engine.
     model_time_ratio: float = 3.0
-    #: Fluid total time must be >= estimate * lower (estimate is an
-    #: optimistic compute-only bound) and <= estimate * upper.
+    #: Fluid total time must be >= estimate * lower (estimates are
+    #: optimistic compute-only bounds) and <= estimate * upper.
     estimate_lower: float = 0.5
     estimate_upper: float = 4.0
 
@@ -305,38 +128,62 @@ class Tolerances:
 class ConformanceResult:
     """Everything :func:`check_conformance` measured for one scenario."""
 
-    scenario: Scenario
+    scenario: ScenarioSpec
     fluid_time: float
     cycle_time: float
     estimate_time: float
     incremental_digest_equal: bool
     disagreements: Tuple[str, ...] = ()
+    #: Total time per registered engine, in registry (name) order.
+    engine_times: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def ok(self) -> bool:
         return not self.disagreements
 
 
+def _engine_options(
+    name: str,
+    scenario: ScenarioSpec,
+    table: Optional[ThroughputTable],
+    model: Optional[AnalyticThroughputModel],
+) -> Optional[dict]:
+    """Steering knobs for the engines the oracle knows how to speed up."""
+    if name == "cycle":
+        return {"table": table if table is not None else fast_cycle_table(scenario.seed)}
+    if name == "analytic" and model is not None:
+        return {"model": model}
+    return None
+
+
 def check_conformance(
-    scenario: Scenario,
+    scenario: ScenarioSpec,
     tolerances: Optional[Tolerances] = None,
     table: Optional[ThroughputTable] = None,
     model: Optional[AnalyticThroughputModel] = None,
     run_invariants: bool = True,
 ) -> ConformanceResult:
-    """Run ``scenario`` through every model path and compare.
+    """Run ``scenario`` through every registered engine and compare.
 
     Exact checks (any mismatch is a disagreement regardless of
     tolerances): incremental-rates on/off trace digests, and the run
-    invariants over the fluid result. Tolerance checks: fluid vs cycle
-    total time, fluid vs closed-form estimate.
+    invariants over the fluid result. Tolerance checks, against the
+    fluid reference: total time of every other trace-producing engine
+    (``model_time_ratio`` band) and of every closed-form engine
+    (``estimate_lower``/``estimate_upper`` band).
     """
     tol = tolerances or Tolerances()
     disagreements: List[str] = []
 
-    fluid = run_fluid(scenario, incremental_rates=True)
-    full = run_fluid(scenario, incremental_rates=False)
-    digest_equal = trace_digest(fluid) == trace_digest(full)
+    fluid_engine = get_engine("fluid")
+    label = f"oracle.{scenario.name}"
+    fluid = fluid_engine.run(
+        scenario, label=label, options={"incremental_rates": True}
+    )
+    full = fluid_engine.run(
+        scenario, label=label, options={"incremental_rates": False}
+    )
+    digest_equal = fluid.digest == full.digest
     if not digest_equal:
         disagreements.append(
             "incremental_rates=True and =False produced different traces "
@@ -345,91 +192,61 @@ def check_conformance(
 
     if run_invariants:
         try:
-            verify_run(fluid)
+            verify_run(fluid.run)
             verify_model(model or AnalyticThroughputModel())
         except Exception as exc:  # InvariantViolation, surfaced as text
             disagreements.append(f"invariant sweep failed: {exc}")
 
-    cycle = run_cycle(scenario, table=table)
-    ratio = fluid.total_time / cycle.total_time if cycle.total_time else float("inf")
-    if not (1.0 / tol.model_time_ratio <= ratio <= tol.model_time_ratio):
-        disagreements.append(
-            f"fluid/cycle total-time ratio {ratio:.3f} outside "
-            f"±{tol.model_time_ratio}x (fluid {fluid.total_time:.4f}s, "
-            f"cycle {cycle.total_time:.4f}s)"
+    times: Dict[str, float] = {"fluid": fluid.total_time}
+    for engine in all_engines():
+        if engine.name == "fluid":
+            continue
+        result = engine.run(
+            scenario,
+            label=f"{label}.{engine.name}",
+            options=_engine_options(engine.name, scenario, table, model),
         )
-
-    estimate = analytic_estimate(scenario, model=model)
-    if not (
-        estimate * tol.estimate_lower
-        <= fluid.total_time
-        <= estimate * tol.estimate_upper
-    ):
-        disagreements.append(
-            f"fluid time {fluid.total_time:.4f}s outside "
-            f"[{tol.estimate_lower}, {tol.estimate_upper}]x of the "
-            f"closed-form estimate {estimate:.4f}s"
-        )
+        times[engine.name] = result.total_time
+        if result.digest is not None:
+            # Trace-producing engine: symmetric total-time ratio band.
+            ratio = (
+                fluid.total_time / result.total_time
+                if result.total_time
+                else float("inf")
+            )
+            if not (1.0 / tol.model_time_ratio <= ratio <= tol.model_time_ratio):
+                disagreements.append(
+                    f"fluid/{engine.name} total-time ratio {ratio:.3f} "
+                    f"outside ±{tol.model_time_ratio}x (fluid "
+                    f"{fluid.total_time:.4f}s, {engine.name} "
+                    f"{result.total_time:.4f}s)"
+                )
+        else:
+            # Closed-form engine: asymmetric band around the estimate.
+            estimate = result.total_time
+            if not (
+                estimate * tol.estimate_lower
+                <= fluid.total_time
+                <= estimate * tol.estimate_upper
+            ):
+                disagreements.append(
+                    f"fluid time {fluid.total_time:.4f}s outside "
+                    f"[{tol.estimate_lower}, {tol.estimate_upper}]x of the "
+                    f"{engine.name} closed-form estimate {estimate:.4f}s"
+                )
 
     return ConformanceResult(
         scenario=scenario,
         fluid_time=fluid.total_time,
-        cycle_time=cycle.total_time,
-        estimate_time=estimate,
+        cycle_time=times.get("cycle", 0.0),
+        estimate_time=times.get("analytic", 0.0),
         incremental_digest_equal=digest_equal,
         disagreements=tuple(disagreements),
+        engine_times=tuple(sorted(times.items())),
     )
 
 
-# -- randomized scenario generation ---------------------------------------------
-
-
-class ScenarioGenerator:
-    """Seeded random scenarios for property-style fuzzing.
-
-    Determinism contract: ``ScenarioGenerator(seed)`` yields the same
-    scenario sequence forever (draws come from a named
-    :class:`~repro.util.rng.RngStreams` stream, so adding other
-    consumers of randomness elsewhere cannot perturb it).
-    """
-
-    def __init__(self, seed: int = 0) -> None:
-        self.seed = int(seed)
-        self._rng = RngStreams(self.seed).get("oracle.fuzz")
-        self._count = 0
-
-    def draw(self) -> Scenario:
-        rng = self._rng
-        self._count += 1
-        kind = _KINDS[int(rng.integers(0, len(_KINDS)))]
-        n_ranks = int(rng.choice((2, 4)))
-        mapping = "identity"
-        if n_ranks == 4 and rng.random() < 0.4:
-            mapping = str(rng.choice(("btmz", "siesta")))
-        works = tuple(
-            float(w)
-            for w in rng.lognormal(mean=0.0, sigma=0.6, size=n_ranks) * 1.5e9
-        )
-        iterations = int(rng.integers(2, 5))
-        profile = str(rng.choice(("hpc", "mem", "fpu", "int")))
-        priorities: Tuple[Tuple[int, int], ...] = ()
-        if rng.random() < 0.7:
-            priorities = tuple(
-                (r, int(rng.integers(2, 7))) for r in range(n_ranks)
-            )
-        return Scenario(
-            name=f"fuzz-{self.seed}-{self._count}",
-            kind=kind,
-            works=works,
-            iterations=iterations,
-            profile=profile,
-            mapping=mapping,
-            priorities=priorities,
-            seed=self.seed,
-        )
-
-    def take(self, n: int) -> List[Scenario]:
-        return [self.draw() for _ in range(n)]
+# -- randomized fuzzing ----------------------------------------------------------
 
 
 @dataclass

@@ -1,6 +1,7 @@
 """Golden-trace snapshots: recorded physics future PRs are diffed against.
 
-A golden file under ``tests/golden/`` pins one :class:`Scenario` to the
+A golden file under ``tests/golden/`` pins one
+:class:`~repro.scenarios.ScenarioSpec` to the
 exact physics the simulator produced when the file was recorded: the
 sha256 digest of the full-precision trace interval stream, the paper's
 two metrics, the per-rank state breakdown, and the scenario's own
@@ -26,7 +27,7 @@ from typing import List, Tuple
 
 from repro.errors import GoldenMismatchError, OracleError
 from repro.mpi.runtime import RunResult
-from repro.oracle.differential import Scenario, run_fluid, trace_digest
+from repro.scenarios import ScenarioSpec, get_engine, trace_digest
 
 __all__ = [
     "GOLDEN_FORMAT",
@@ -45,24 +46,24 @@ GOLDEN_FORMAT = "repro-golden-trace"
 GOLDEN_VERSION = 1
 
 
-def default_scenarios() -> List[Scenario]:
+def default_scenarios() -> List[ScenarioSpec]:
     """The canonical recorded set: one per workload family, covering the
     identity and paper mappings and a static priority assignment."""
     return [
-        Scenario(
+        ScenarioSpec(
             name="barrier-skewed",
             kind="barrier_loop",
             works=(1.0e9, 3.0e9, 2.0e9, 4.0e9),
             iterations=3,
         ),
-        Scenario(
+        ScenarioSpec(
             name="metbench-prio",
             kind="metbench",
             works=(8.0e8, 2.4e9, 1.2e9, 2.4e9),
             iterations=3,
             priorities=((0, 4), (1, 6), (2, 4), (3, 6)),
         ),
-        Scenario(
+        ScenarioSpec(
             name="btmz-paper-mapping",
             kind="btmz",
             works=(6.0e8, 1.1e9, 1.9e9, 3.4e9),
@@ -73,7 +74,18 @@ def default_scenarios() -> List[Scenario]:
     ]
 
 
-def snapshot(scenario: Scenario, result: RunResult) -> dict:
+def _replay(scenario: ScenarioSpec) -> RunResult:
+    """One recording/replay path: the fluid engine with live invariant
+    checking, labelled exactly as the oracle always labelled it (labels
+    do not enter the digest, but keep logs continuous)."""
+    return get_engine("fluid").run(
+        scenario,
+        label=f"oracle.{scenario.name}",
+        options={"check_invariants": True},
+    ).run
+
+
+def snapshot(scenario: ScenarioSpec, result: RunResult) -> dict:
     """The JSON document pinning ``result``'s physics to ``scenario``."""
     return {
         "format": GOLDEN_FORMAT,
@@ -99,13 +111,14 @@ def snapshot(scenario: Scenario, result: RunResult) -> dict:
     }
 
 
-def _golden_path(directory: str, scenario: Scenario) -> str:
+def _golden_path(directory: str, scenario: ScenarioSpec) -> str:
     return os.path.join(directory, f"{scenario.name}.golden.json")
 
 
-def record(scenario: Scenario, path: str) -> dict:
-    """Run ``scenario`` fresh and write its snapshot to ``path``."""
-    result = run_fluid(scenario, check_invariants=True)
+def record(scenario: ScenarioSpec, path: str) -> dict:
+    """Run ``scenario`` fresh (fluid engine, live invariant checking)
+    and write its snapshot to ``path``."""
+    result = _replay(scenario)
     doc = snapshot(scenario, result)
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
     tmp = path + ".tmp"
@@ -136,7 +149,7 @@ class GoldenCheck:
     """One golden file's replay outcome."""
 
     path: str
-    scenario: Scenario
+    scenario: ScenarioSpec
     digest_equal: bool
     recorded_time: float
     replayed_time: float
@@ -175,7 +188,7 @@ def check(path: str, tolerance: float = 0.0, strict: bool = True) -> GoldenCheck
     raises :class:`~repro.errors.GoldenMismatchError` on any mismatch.
     """
     doc = _load_doc(path)
-    scenario = Scenario.from_doc(doc["scenario"])
+    scenario = ScenarioSpec.from_doc(doc["scenario"])
     mismatches: List[str] = []
 
     if scenario.fingerprint != doc.get("scenario_fingerprint"):
@@ -184,7 +197,7 @@ def check(path: str, tolerance: float = 0.0, strict: bool = True) -> GoldenCheck
             "edited after recording; re-record instead of editing"
         )
 
-    result = run_fluid(scenario, check_invariants=True)
+    result = _replay(scenario)
     digest = trace_digest(result)
     digest_equal = digest == doc.get("trace_digest")
     if not digest_equal and tolerance <= 0.0:

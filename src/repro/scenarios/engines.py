@@ -1,0 +1,400 @@
+"""Execution engines: the pluggable backends a :class:`ScenarioSpec` runs on.
+
+One spec, three physics paths — the same split the differential oracle
+checks and the service serves, now behind a single interface:
+
+``fluid``
+    The default simulator: the discrete-event MPI runtime driven by the
+    analytic throughput model. Produces a full trace (and therefore a
+    digest).
+``cycle``
+    The same runtime driven by cycle-level pipeline measurements
+    (:class:`~repro.smt.throughput.ThroughputTable`) — the decode
+    mechanism's ground truth. Optionally shares a persisted table.
+``analytic``
+    A closed-form execution-time estimate that never runs an event loop:
+    the bottleneck rank's total work over its steady-state chip-coupled
+    IPC. No trace, no digest — a bound, not a simulation.
+
+Every engine returns an :class:`ExecutionResult` carrying the spec's
+fingerprint, the engine's name, the paper's two metrics where defined,
+and the sha256 trace digest for trace-producing engines — the provenance
+the golden-trace layer pins and the service caches.
+
+Engines own their warm-state reuse: trace-producing engines keep
+per-thread ``System`` caches (the model's memo cache warms across runs,
+the cycle table accumulates measurements) keyed by everything that
+changes construction, so the service's worker threads get the same
+warm-path behaviour the old executor hand-rolled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.machine.system import System, SystemConfig
+from repro.mpi.runtime import RunResult, RuntimeConfig
+from repro.scenarios.spec import ScenarioSpec
+from repro.smt.analytic import AnalyticThroughputModel
+from repro.smt.instructions import BASE_PROFILES
+from repro.smt.throughput import ThroughputTable
+
+__all__ = [
+    "ExecutionResult",
+    "Engine",
+    "FluidEngine",
+    "CycleEngine",
+    "AnalyticEngine",
+    "trace_digest",
+    "fast_cycle_table",
+]
+
+
+def trace_digest(result: RunResult) -> str:
+    """sha256 over the full-precision interval stream of a finished run.
+
+    ``repr(float)`` round-trips exactly, so two runs share a digest iff
+    their traces are bit-identical — the equality the determinism and
+    incremental-rates guarantees promise.
+    """
+    h = hashlib.sha256()
+    for tl in result.trace:
+        for iv in tl.intervals:
+            h.update(
+                f"{tl.rank}:{iv.state.value}:{iv.start!r}:{iv.end!r}\n".encode()
+            )
+    return h.hexdigest()
+
+
+def fast_cycle_table(seed: int = 0) -> ThroughputTable:
+    """A cycle model with short measurement windows (oracle-speed).
+
+    IPC from an 8k-cycle window is stable to a few percent for the
+    bundled profiles — plenty under the cross-model tolerances, and an
+    order of magnitude faster than the production windows. Share one
+    table across a fuzz campaign so repeated (loads, priorities) keys
+    are measured once.
+    """
+    return ThroughputTable(warmup_cycles=2_000, measure_cycles=8_000, seed=seed)
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """What every engine returns for one executed spec.
+
+    ``digest`` is the sha256 trace digest for trace-producing engines
+    and ``None`` for closed-form ones; ``run`` keeps the raw
+    :class:`~repro.mpi.runtime.RunResult` for callers that need the
+    trace itself (excluded from equality and serialisation).
+    """
+
+    engine: str
+    spec_fingerprint: str
+    label: str
+    total_time: float
+    compute_seconds: float
+    digest: Optional[str] = None
+    imbalance_percent: Optional[float] = None
+    events_processed: int = 0
+    final_priorities: Tuple[int, ...] = ()
+    ranks: Tuple[dict, ...] = ()
+    run: Optional[RunResult] = field(default=None, compare=False, repr=False)
+
+    @classmethod
+    def from_run(
+        cls,
+        engine: str,
+        spec: ScenarioSpec,
+        run: RunResult,
+        compute_seconds: float,
+    ) -> "ExecutionResult":
+        return cls(
+            engine=engine,
+            spec_fingerprint=spec.fingerprint,
+            label=run.label,
+            total_time=run.total_time,
+            compute_seconds=compute_seconds,
+            digest=trace_digest(run),
+            imbalance_percent=run.imbalance_percent,
+            events_processed=run.events_processed,
+            final_priorities=tuple(int(p) for p in run.final_priorities),
+            ranks=tuple(
+                {
+                    "rank": r.rank,
+                    "compute": r.compute_fraction,
+                    "sync": r.sync_fraction,
+                    "comm": r.comm_fraction,
+                    "noise": r.noise_fraction,
+                    "idle": r.idle_fraction,
+                }
+                for r in run.stats.ranks
+            ),
+            run=run,
+        )
+
+    def to_doc(self) -> dict:
+        doc: dict = {
+            "engine": self.engine,
+            "spec_fingerprint": self.spec_fingerprint,
+            "label": self.label,
+            "total_time": self.total_time,
+            "compute_seconds": self.compute_seconds,
+            "events_processed": self.events_processed,
+            "final_priorities": list(self.final_priorities),
+            "ranks": [dict(r) for r in self.ranks],
+        }
+        if self.digest is not None:
+            doc["digest"] = self.digest
+        if self.imbalance_percent is not None:
+            doc["imbalance_percent"] = self.imbalance_percent
+        return doc
+
+
+class Engine:
+    """The execution interface every backend implements.
+
+    ``run(spec)`` is the whole contract: deterministic for a given
+    (spec, options) pair, returning an :class:`ExecutionResult`.
+    ``options`` carries engine-specific knobs (declared in
+    :attr:`option_names`; unknown keys raise) so callers — notably the
+    conformance oracle — can iterate the registry generically while
+    still steering individual backends.
+    """
+
+    name: str = ""
+    description: str = ""
+    #: Engine-specific ``options`` keys :meth:`run` accepts.
+    option_names: Tuple[str, ...] = ()
+
+    def run(
+        self,
+        spec: ScenarioSpec,
+        label: Optional[str] = None,
+        system: Optional[System] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> ExecutionResult:
+        raise NotImplementedError
+
+    def _opts(self, options: Optional[Mapping[str, object]]) -> dict:
+        opts = dict(options or {})
+        unknown = set(opts) - set(self.option_names)
+        if unknown:
+            raise ConfigurationError(
+                f"engine {self.name!r} does not accept options "
+                f"{sorted(unknown)} (allowed: {sorted(self.option_names)})"
+            )
+        return opts
+
+
+class FluidEngine(Engine):
+    """The default simulator: fluid MPI runtime + analytic model."""
+
+    name = "fluid"
+    description = ("discrete-event MPI runtime driven by the analytic "
+                   "throughput model (the default simulator)")
+    option_names = ("incremental_rates", "check_invariants")
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _system(self, seed: int, incremental: bool, invariants: bool) -> System:
+        """Per-thread warm Systems: the shared analytic model's memo
+        cache warms across runs on the same worker."""
+        cache: Optional[Dict[tuple, System]] = getattr(
+            self._local, "systems", None
+        )
+        if cache is None:
+            cache = self._local.systems = {}
+        key = (seed, incremental, invariants)
+        system = cache.get(key)
+        if system is None:
+            system = cache[key] = System(
+                SystemConfig(
+                    seed=seed,
+                    runtime=RuntimeConfig(
+                        incremental_rates=incremental,
+                        check_invariants=invariants,
+                    ),
+                )
+            )
+        return system
+
+    def run(
+        self,
+        spec: ScenarioSpec,
+        label: Optional[str] = None,
+        system: Optional[System] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> ExecutionResult:
+        opts = self._opts(options)
+        t0 = time.perf_counter()
+        if system is None:
+            system = self._system(
+                spec.seed,
+                bool(opts.get("incremental_rates", True)),
+                bool(opts.get("check_invariants", False)),
+            )
+        run = system.run(
+            spec.programs(),
+            mapping=spec.mapping_obj(),
+            priorities=spec.priority_dict(),
+            label=label if label is not None else f"scenario.{spec.name}",
+        )
+        return ExecutionResult.from_run(
+            self.name, spec, run, time.perf_counter() - t0
+        )
+
+
+class CycleEngine(Engine):
+    """The fluid runtime driven by cycle-level pipeline measurements."""
+
+    name = "cycle"
+    description = ("MPI runtime driven by measured pipeline IPC "
+                   "(ThroughputTable — the decode mechanism's ground truth)")
+    option_names = ("table", "table_path")
+
+    #: Serialises load/construct/save of shared on-disk tables across
+    #: worker threads (merge-then-save: the table only ever grows).
+    _table_io_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _system(self, seed: int, table_path: Optional[str]) -> System:
+        cache: Optional[Dict[tuple, System]] = getattr(
+            self._local, "systems", None
+        )
+        if cache is None:
+            cache = self._local.systems = {}
+        key = (seed, table_path)
+        system = cache.get(key)
+        if system is None:
+            config = SystemConfig(
+                model="cycle", seed=seed, throughput_table_path=table_path
+            )
+            if table_path is not None:
+                with self._table_io_lock:
+                    system = System(config)
+            else:
+                system = System(config)
+            cache[key] = system
+        return system
+
+    def run(
+        self,
+        spec: ScenarioSpec,
+        label: Optional[str] = None,
+        system: Optional[System] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> ExecutionResult:
+        opts = self._opts(options)
+        table: Optional[ThroughputTable] = opts.get("table")
+        table_path: Optional[str] = opts.get("table_path")
+        if table is not None and table_path is not None:
+            raise ConfigurationError(
+                "cycle engine takes table= or table_path=, not both"
+            )
+        t0 = time.perf_counter()
+        persist = False
+        if system is None:
+            if table is not None:
+                # Oracle fast path: a fresh system whose production
+                # table is swapped for the (possibly shared,
+                # short-window) measurement table. Never cached — the
+                # override must not leak into later runs.
+                system = System(SystemConfig(model="cycle", seed=spec.seed))
+                system.model = table
+            else:
+                system = self._system(spec.seed, table_path)
+                persist = table_path is not None
+        run = system.run(
+            spec.programs(),
+            mapping=spec.mapping_obj(),
+            priorities=spec.priority_dict(),
+            label=label if label is not None else f"scenario.{spec.name}",
+        )
+        if persist:
+            # Merge-then-save: pick up entries concurrent workers
+            # persisted since we loaded, so the shared table only grows.
+            with self._table_io_lock:
+                system.model.load(table_path)
+                system.save_throughput_table()
+        return ExecutionResult.from_run(
+            self.name, spec, run, time.perf_counter() - t0
+        )
+
+
+class AnalyticEngine(Engine):
+    """Closed-form execution-time estimate, no event loop.
+
+    Steady state: every mapped context runs its profile at its static
+    priority; the bottleneck rank's total work over its chip-coupled IPC
+    bounds the run. Communication, init phases and spin-wait rate shifts
+    are deliberately ignored — the conformance tolerance absorbs them.
+    """
+
+    name = "analytic"
+    description = ("closed-form steady-state estimate (bottleneck rank's "
+                   "work over its chip-coupled IPC; no event loop)")
+    option_names = ("model",)
+
+    def __init__(self) -> None:
+        self._model = AnalyticThroughputModel()
+
+    def run(
+        self,
+        spec: ScenarioSpec,
+        label: Optional[str] = None,
+        system: Optional[System] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> ExecutionResult:
+        if system is not None:
+            raise ConfigurationError(
+                "the analytic engine runs no System; drop the system= arg"
+            )
+        opts = self._opts(options)
+        model: AnalyticThroughputModel = opts.get("model") or self._model
+        t0 = time.perf_counter()
+        mapping = spec.mapping_obj()
+        prios = spec.priority_dict() or {}
+        profile = BASE_PROFILES[spec.profile]
+
+        n_cores = max(mapping.cpu_of(r) for r in range(spec.n_ranks)) // 2 + 1
+        loads: List[List[Optional[object]]] = [
+            [None, None] for _ in range(n_cores)
+        ]
+        priolist = [[4, 4] for _ in range(n_cores)]
+        for rank in range(spec.n_ranks):
+            cpu = mapping.cpu_of(rank)
+            loads[cpu // 2][cpu % 2] = profile
+            priolist[cpu // 2][cpu % 2] = prios.get(rank, 4)
+        core_states = tuple(
+            (loads[c][0], loads[c][1], priolist[c][0], priolist[c][1])
+            for c in range(n_cores)
+        )
+        ipcs = model.chip_ipc(core_states)
+
+        freq = SystemConfig().chip.freq_hz
+        worst = 0.0
+        for rank in range(spec.n_ranks):
+            cpu = mapping.cpu_of(rank)
+            ipc = ipcs[cpu // 2][cpu % 2]
+            if ipc <= 0.0:
+                raise SimulationError(
+                    f"scenario {spec.name!r}: rank {rank} has zero "
+                    "steady-state IPC"
+                )
+            total_work = spec.works[rank] * spec.iterations
+            worst = max(worst, total_work / (ipc * freq))
+        return ExecutionResult(
+            engine=self.name,
+            spec_fingerprint=spec.fingerprint,
+            label=label if label is not None else f"scenario.{spec.name}",
+            total_time=worst,
+            compute_seconds=time.perf_counter() - t0,
+        )

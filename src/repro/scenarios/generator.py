@@ -1,0 +1,70 @@
+"""Seeded random scenario specs for property-style fuzzing.
+
+Moved here from the oracle layer (the generator describes runs, it
+doesn't judge them); ``repro.oracle`` re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.scenarios.spec import ScenarioSpec
+from repro.util.rng import RngStreams
+
+__all__ = ["ScenarioGenerator"]
+
+#: The generator's draw space. Deliberately narrower than
+#: ``spec.KINDS``/``spec.MAPPINGS`` and frozen in this order: the draw
+#: *sequence* for a given seed is a compatibility contract (nightly fuzz
+#: campaigns and recorded failures reference ``fuzz-<seed>-<n>`` names),
+#: so widening these tuples is a new-generator event, not an edit.
+_KINDS = ("barrier_loop", "metbench", "btmz")
+_MAPPINGS = ("btmz", "siesta")
+
+
+class ScenarioGenerator:
+    """Seeded random scenarios for property-style fuzzing.
+
+    Determinism contract: ``ScenarioGenerator(seed)`` yields the same
+    scenario sequence forever (draws come from a named
+    :class:`~repro.util.rng.RngStreams` stream, so adding other
+    consumers of randomness elsewhere cannot perturb it).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._rng = RngStreams(self.seed).get("oracle.fuzz")
+        self._count = 0
+
+    def draw(self) -> ScenarioSpec:
+        rng = self._rng
+        self._count += 1
+        kind = _KINDS[int(rng.integers(0, len(_KINDS)))]
+        n_ranks = int(rng.choice((2, 4)))
+        mapping = "identity"
+        if n_ranks == 4 and rng.random() < 0.4:
+            mapping = str(rng.choice(_MAPPINGS))
+        works = tuple(
+            float(w)
+            for w in rng.lognormal(mean=0.0, sigma=0.6, size=n_ranks) * 1.5e9
+        )
+        iterations = int(rng.integers(2, 5))
+        profile = str(rng.choice(("hpc", "mem", "fpu", "int")))
+        priorities: Tuple[Tuple[int, int], ...] = ()
+        if rng.random() < 0.7:
+            priorities = tuple(
+                (r, int(rng.integers(2, 7))) for r in range(n_ranks)
+            )
+        return ScenarioSpec(
+            name=f"fuzz-{self.seed}-{self._count}",
+            kind=kind,
+            works=works,
+            iterations=iterations,
+            profile=profile,
+            mapping=mapping,
+            priorities=priorities,
+            seed=self.seed,
+        )
+
+    def take(self, n: int) -> List[ScenarioSpec]:
+        return [self.draw() for _ in range(n)]

@@ -1,0 +1,375 @@
+"""The canonical, versioned description of one simulated run.
+
+Every layer of the repo used to carry its own copy of "a workload with a
+mapping, priorities and model knobs": the oracle's ``Scenario``, the
+service's scenario-kind ``JobSpec`` and the experiment suites'
+``ExperimentCase``. :class:`ScenarioSpec` is the one shape they all
+share now — a frozen, hashable, strictly-validated value object with a
+single canonical serialisation (:meth:`to_doc`/:meth:`from_doc`) and a
+single sha256 content address (:attr:`fingerprint`, via
+:mod:`repro.util.fingerprint`).
+
+Wire-format stability
+---------------------
+The document form is **append-only versioned**. ``SPEC_VERSION`` names
+the current schema; :meth:`from_doc` accepts an optional
+``spec_version`` key (and rejects any other version), while
+:meth:`to_doc` deliberately omits it — and omits ``params`` when empty —
+so the canonical JSON of every pre-existing scenario is byte-identical
+to what the oracle layer recorded before this module existed. Golden
+traces under ``tests/golden/`` and service cache keys both hash this
+form; changing it is a recorded, re-golden-ing event, not a refactor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.machine.mapping import ProcessMapping, paper_mapping
+from repro.smt.instructions import BASE_PROFILES
+from repro.util.fingerprint import fingerprint_doc
+from repro.util.validation import check_choice, check_positive
+
+__all__ = ["SPEC_VERSION", "KINDS", "MAPPINGS", "ScenarioSpec"]
+
+#: Schema version of the document form. Bump only with a migration note
+#: in CHANGES.md and re-recorded goldens.
+SPEC_VERSION = 1
+
+#: Workload families a spec may name (each maps to a program factory).
+KINDS = ("barrier_loop", "metbench", "btmz", "siesta")
+
+#: Named rank-to-CPU layouts. "identity" and the two paper re-pairings
+#: are 4-rank; "st" is the papers' single-thread mode (2 ranks, one per
+#: core, sibling contexts idle).
+MAPPINGS = ("identity", "btmz", "siesta", "st")
+
+#: Extra workload knobs each kind accepts in ``params``. A "works"
+#: parameter is a per-rank tuple the same length as ``works``.
+_PARAM_SCHEMA: Dict[str, Dict[str, str]] = {
+    "barrier_loop": {},
+    "metbench": {},
+    "btmz": {"init_factor": "number"},
+    "siesta": {
+        "init_works": "works",
+        "final_works": "works",
+        "jitter_sigma": "number",
+        "rotate_prob": "probability",
+        "workload_seed": "int",
+        "allreduce_bytes": "int",
+    },
+}
+
+#: ``params`` keys the siesta program factory cannot default.
+_SIESTA_REQUIRED = ("init_works", "final_works")
+
+_ParamValue = Union[int, float, Tuple[float, ...]]
+
+
+def _freeze_params(
+    params: Union[Mapping[str, object], Tuple[Tuple[str, object], ...]],
+) -> Tuple[Tuple[str, _ParamValue], ...]:
+    """Canonical params form: key-sorted tuple of pairs, lists tuple-ised."""
+    items = params.items() if isinstance(params, Mapping) else params
+    frozen = []
+    for key, value in items:
+        if isinstance(value, (list, tuple)):
+            value = tuple(float(v) for v in value)
+        frozen.append((str(key), value))
+    return tuple(sorted(frozen))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative, serialisable description of one simulated run.
+
+    Everything that determines the physics is here — workload shape,
+    per-rank work, mapping, static priorities, seed and workload-specific
+    knobs — so a spec can be fingerprinted, persisted next to a golden
+    trace, cached by the service, and replayed by a later revision of
+    the simulator through any registered engine.
+    """
+
+    name: str
+    kind: str  # one of KINDS
+    works: Tuple[float, ...]
+    iterations: int
+    profile: str = "hpc"
+    mapping: str = "identity"
+    #: rank -> OS-settable hardware priority; empty = defaults (MEDIUM).
+    priorities: Tuple[Tuple[int, int], ...] = ()
+    seed: int = 0
+    #: Kind-specific workload knobs (see ``_PARAM_SCHEMA``), canonically
+    #: key-sorted. Empty for every scenario the generator draws.
+    params: Tuple[Tuple[str, _ParamValue], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "works", tuple(float(w) for w in self.works))
+        object.__setattr__(
+            self,
+            "priorities",
+            tuple((int(r), int(p)) for r, p in self.priorities),
+        )
+        object.__setattr__(self, "params", _freeze_params(self.params))
+        check_choice("scenario.kind", self.kind, KINDS)
+        check_choice("scenario.mapping", self.mapping, MAPPINGS)
+        check_positive("scenario.iterations", self.iterations)
+        if not self.works:
+            raise ConfigurationError(f"scenario {self.name!r} has no works")
+        if self.profile not in BASE_PROFILES:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: unknown profile {self.profile!r}"
+            )
+        if self.mapping in ("btmz", "siesta") and self.n_ranks != 4:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: mapping {self.mapping!r} needs "
+                f"4 ranks, got {self.n_ranks}"
+            )
+        if self.mapping == "st" and self.n_ranks != 2:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: mapping 'st' needs 2 ranks, "
+                f"got {self.n_ranks}"
+            )
+        seen = set()
+        for rank, prio in self.priorities:
+            if not 0 <= rank < self.n_ranks:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: priority names rank {rank} "
+                    f"outside 0..{self.n_ranks - 1}"
+                )
+            if rank in seen:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: rank {rank} has two priorities"
+                )
+            seen.add(rank)
+            if not 1 <= prio <= 6:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: rank {rank} priority {prio} "
+                    "is not OS-settable (1-6)"
+                )
+        self._check_params()
+
+    def _check_params(self) -> None:
+        schema = _PARAM_SCHEMA[self.kind]
+        for key, value in self.params:
+            shape = schema.get(key)
+            if shape is None:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: kind {self.kind!r} does not "
+                    f"accept param {key!r} (allowed: {sorted(schema) or '[]'})"
+                )
+            if shape == "works":
+                if not isinstance(value, tuple) or len(value) != self.n_ranks:
+                    raise ConfigurationError(
+                        f"scenario {self.name!r}: param {key!r} must be a "
+                        f"{self.n_ranks}-long work tuple, got {value!r}"
+                    )
+                if any(w <= 0 for w in value):
+                    raise ConfigurationError(
+                        f"scenario {self.name!r}: param {key!r} has "
+                        "non-positive work"
+                    )
+            elif isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: param {key!r} must be a "
+                    f"number, got {value!r}"
+                )
+            elif shape == "probability" and not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: param {key!r} must be in "
+                    f"[0, 1], got {value!r}"
+                )
+            elif shape == "int" and not isinstance(value, int):
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: param {key!r} must be an "
+                    f"int, got {value!r}"
+                )
+            elif shape == "number" and value < 0:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: param {key!r} must be >= 0, "
+                    f"got {value!r}"
+                )
+        if self.kind == "siesta":
+            have = {k for k, _ in self.params}
+            missing = [k for k in _SIESTA_REQUIRED if k not in have]
+            if missing:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: siesta needs params {missing}"
+                )
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.works)
+
+    def params_dict(self) -> Dict[str, _ParamValue]:
+        return dict(self.params)
+
+    def param(self, key: str, default: _ParamValue = None):
+        return self.params_dict().get(key, default)
+
+    def mapping_obj(self) -> ProcessMapping:
+        if self.mapping == "identity":
+            return ProcessMapping.identity(self.n_ranks)
+        if self.mapping == "st":
+            # One rank per core: ranks 0/1 on the even context of cores 0/1.
+            return ProcessMapping.from_dict({0: 0, 1: 2})
+        return paper_mapping(self.mapping)
+
+    def priority_dict(self) -> Optional[Dict[int, int]]:
+        return dict(self.priorities) if self.priorities else None
+
+    def programs(self):
+        """Fresh (single-use) rank generator programs for one run."""
+        if self.kind == "barrier_loop":
+            from repro.workloads.generators import barrier_loop_programs
+
+            return barrier_loop_programs(
+                list(self.works), iterations=self.iterations, profile=self.profile
+            )
+        if self.kind == "metbench":
+            from repro.workloads.metbench import metbench_programs
+
+            return metbench_programs(
+                list(self.works), iterations=self.iterations, load=self.profile
+            )
+        if self.kind == "btmz":
+            from repro.workloads.bt_mz import BtMzConfig, bt_mz_programs
+
+            init_factor = self.param("init_factor")
+            if init_factor is None:
+                return bt_mz_programs(
+                    list(self.works),
+                    iterations=self.iterations,
+                    profile=self.profile,
+                )
+            return bt_mz_programs(
+                config=BtMzConfig(
+                    works=list(self.works),
+                    iterations=self.iterations,
+                    profile=self.profile,
+                    init_factor=float(init_factor),
+                )
+            )
+        from repro.workloads.siesta import SiestaConfig, siesta_programs
+
+        p = self.params_dict()
+        cfg = SiestaConfig(
+            mean_works=list(self.works),
+            init_works=list(p["init_works"]),
+            final_works=list(p["final_works"]),
+            n_iterations=self.iterations,
+            profile=self.profile,
+            jitter_sigma=float(p.get("jitter_sigma", 0.30)),
+            rotate_prob=float(p.get("rotate_prob", 0.35)),
+            allreduce_bytes=int(p.get("allreduce_bytes", 64)),
+            seed=int(p.get("workload_seed", 2008)),
+        )
+        return siesta_programs(cfg)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_doc(self) -> dict:
+        """The canonical document form fingerprints are computed over.
+
+        ``params`` (and ``spec_version``) are omitted when at their
+        defaults so pre-existing recorded scenarios keep their exact
+        canonical bytes (and therefore their fingerprints).
+        """
+        doc = {
+            "name": self.name,
+            "kind": self.kind,
+            "works": list(self.works),
+            "iterations": self.iterations,
+            "profile": self.profile,
+            "mapping": self.mapping,
+            "priorities": [list(p) for p in self.priorities],
+            "seed": self.seed,
+        }
+        if self.params:
+            doc["params"] = {
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in self.params
+            }
+        return doc
+
+    _REQUIRED = ("name", "kind", "works", "iterations")
+    _OPTIONAL = ("profile", "mapping", "priorities", "seed", "params",
+                 "spec_version")
+
+    @classmethod
+    def from_doc(cls, doc: object) -> "ScenarioSpec":
+        """Strict deserialisation: the exact inverse of :meth:`to_doc`.
+
+        Unlike the three lax ``from_doc`` s this class replaced, unknown
+        fields, missing required fields, an unsupported ``spec_version``
+        and uncoercible values all raise a typed
+        :class:`~repro.errors.ValidationError` — a scenario document
+        that round-trips is bit-identical to its source.
+        """
+        if not isinstance(doc, dict):
+            raise ValidationError(
+                f"scenario document must be a JSON object, got {doc!r}"
+            )
+        unknown = set(doc) - set(cls._REQUIRED) - set(cls._OPTIONAL)
+        if unknown:
+            raise ValidationError(
+                f"unknown scenario fields: {sorted(unknown)}"
+            )
+        missing = [k for k in cls._REQUIRED if k not in doc]
+        if missing:
+            raise ValidationError(f"missing scenario fields: {missing}")
+        version = doc.get("spec_version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValidationError(
+                f"unsupported spec_version {version!r} "
+                f"(this build reads version {SPEC_VERSION})"
+            )
+        priorities = doc.get("priorities", ())
+        if not isinstance(priorities, (list, tuple)) or any(
+            not isinstance(p, (list, tuple)) or len(p) != 2 for p in priorities
+        ):
+            raise ValidationError(
+                f"priorities must be [rank, priority] pairs, got {priorities!r}"
+            )
+        params = doc.get("params", {})
+        if not isinstance(params, (dict, list, tuple)):
+            raise ValidationError(
+                f"params must be an object, got {params!r}"
+            )
+        try:
+            return cls(
+                name=str(doc["name"]),
+                kind=str(doc["kind"]),
+                works=tuple(float(w) for w in doc["works"]),
+                iterations=int(doc["iterations"]),
+                profile=str(doc.get("profile", "hpc")),
+                mapping=str(doc.get("mapping", "identity")),
+                priorities=tuple((int(r), int(p)) for r, p in priorities),
+                seed=int(doc.get("seed", 0)),
+                params=_freeze_params(params),
+            )
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, ValidationError):
+                raise
+            raise ValidationError(
+                f"malformed scenario document: {exc}"
+            ) from exc
+
+    @property
+    def fingerprint(self) -> str:
+        """sha256 over the canonical JSON form — the one content address
+        shared by golden traces, the service cache and the oracle.
+
+        Memoised: the spec is frozen, and the hash is taken once per
+        spec even when the service fingerprints the job at submission
+        and the engine stamps the result.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = fingerprint_doc(self.to_doc())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached

@@ -8,15 +8,17 @@ is served without a queue slot; an in-flight one coalesces), per-attempt
 timeouts, total deadlines, and retry-with-backoff for transient worker
 failures.
 
-Execution itself reuses the existing stack unchanged:
-:func:`repro.experiments.runner.run_case` for paper-suite cases and a
-:class:`~repro.machine.system.System` built exactly like
-:func:`repro.oracle.differential.run_fluid` for oracle scenarios, so a
-served digest is bit-identical to a direct run of the same spec. Cycle
--model jobs share the persistent
+Execution itself goes through the :mod:`repro.scenarios` engine
+registry: the spec's model knob resolves to a registered engine
+(:attr:`JobSpec.engine`), which runs the request's
+:class:`~repro.scenarios.ScenarioSpec` — the scenario it embeds, or the
+named paper case's spec — so a served digest is bit-identical to a
+direct run of the same spec through the same engine. Warm per-thread
+Systems and the shared persistent
 :class:`~repro.smt.throughput.ThroughputTable` at
-``ServiceConfig.throughput_table_path`` (merge-then-save under a lock,
-so concurrent workers accumulate measurements instead of clobbering).
+``ServiceConfig.throughput_table_path`` (merge-then-save, so concurrent
+workers accumulate measurements instead of clobbering) are owned by the
+engines themselves now, not hand-rolled here.
 
 Timeout caveat: Python threads cannot be killed, so a timed-out attempt
 is *abandoned* — the job fails with
@@ -116,76 +118,37 @@ def _build_suite(suite_name: str, iterations: Optional[int]):
     return suite
 
 
-_local = threading.local()
-_table_io_lock = threading.Lock()
-
-
-def _system_for(spec: JobSpec, table_path: Optional[str]):
-    """A thread-cached System matching the spec's physics options."""
-    from repro.machine.system import System, SystemConfig
-    from repro.mpi.runtime import RuntimeConfig
-
-    seed = spec.scenario.seed if spec.scenario is not None else 0
-    path = table_path if spec.model == "cycle" else None
-    key = (spec.model, seed, path)
-    systems: Optional[Dict[tuple, object]] = getattr(_local, "systems", None)
-    if systems is None:
-        systems = _local.systems = {}
-    system = systems.get(key)
-    if system is None:
-        config = SystemConfig(
-            model=spec.model,
-            seed=seed,
-            runtime=RuntimeConfig(),
-            throughput_table_path=path,
-        )
-        if path is not None:
-            with _table_io_lock:
-                system = System(config)
-        else:
-            system = System(config)
-        systems[key] = system
-    return system
-
-
 def execute_spec(
     spec: JobSpec, table_path: Optional[str] = None
 ) -> JobResult:
     """Run one spec to a :class:`JobResult` (the default worker runner).
 
-    Deterministic by construction: the same spec always produces the
-    same trace digest as a direct :func:`~repro.experiments.runner.run_case`
-    / :func:`~repro.oracle.differential.run_fluid` of the same request.
+    Deterministic by construction: the request's scenario (embedded, or
+    the named paper case's spec) is dispatched to the engine
+    ``spec.engine`` names, so the served digest is bit-identical to a
+    direct ``get_engine(...).run(...)`` — or a
+    :func:`~repro.experiments.runner.run_case` — of the same request.
     """
-    from repro.experiments.runner import run_case
+    from repro.scenarios.registry import get_engine
 
-    t0 = time.perf_counter()
-    system = _system_for(spec, table_path)
+    engine = get_engine(spec.engine)
+    options = None
+    if engine.name == "cycle" and table_path:
+        options = {"table_path": table_path}
     if spec.scenario is not None:
         scenario = spec.scenario
-        run = system.run(
-            scenario.programs(),
-            mapping=scenario.mapping_obj(),
-            priorities=scenario.priority_dict(),
-            label=f"service.{scenario.name}",
-        )
-        if spec.check_invariants:
-            from repro.oracle.checker import verify_run
-
-            verify_run(run)
+        label = f"service.{scenario.name}"
     else:
         suite = _build_suite(spec.suite, spec.iterations)
         case = suite.case(spec.case)
-        run = run_case(
-            system, suite, case, check_invariants=spec.check_invariants
-        ).run
-    if spec.model == "cycle" and table_path:
-        # Merge-then-save: pick up entries concurrent workers persisted
-        # since we loaded, so the shared table only ever grows.
-        with _table_io_lock:
-            system.model.load(table_path)
-            system.save_throughput_table()
-    return JobResult.from_run(spec, run, time.perf_counter() - t0)
+        scenario = case.spec
+        label = f"{suite.name}.{case.name}"
+    result = engine.run(scenario, label=label, options=options)
+    if spec.check_invariants:
+        from repro.oracle.checker import verify_run
+
+        verify_run(result.run)
+    return JobResult.from_execution(spec, result)
 
 
 def percentile(sample: List[float], q: float) -> float:

@@ -1,14 +1,17 @@
 """The service layer's request/outcome language.
 
-A :class:`JobSpec` is the wire-level description of one simulation
-request — either an oracle-layer :class:`~repro.oracle.differential.Scenario`
+A :class:`JobSpec` is a thin wire envelope around one simulation
+request — either a canonical :class:`~repro.scenarios.ScenarioSpec`
 (the declarative, fingerprintable form) or one of the paper suites' named
 cases (``metbench``/``btmz``/``siesta`` + ``A``..``D``/``ST``) — plus the
 options that change its physics (throughput model, invariant checking)
 and the options that only change its handling (lane, timeout, deadline,
 retries). The split matters: :attr:`JobSpec.fingerprint` hashes exactly
-the physics-determining fields, so two requests that must produce
-bit-identical traces share a cache key no matter how they were queued.
+the physics-determining fields (via the shared
+:mod:`repro.util.fingerprint` canonical form), so two requests that must
+produce bit-identical traces share a cache key no matter how they were
+queued — and the key lives in the same namespace as golden-trace keys,
+because a scenario-kind envelope embeds the scenario's own fingerprint.
 
 A :class:`Job` is one submission's lifecycle (queued → running → done /
 failed / cancelled, with timestamps and attempt accounting); a
@@ -20,8 +23,6 @@ same provenance a golden-trace snapshot pins.
 from __future__ import annotations
 
 import enum
-import hashlib
-import json
 import threading
 import time
 import uuid
@@ -30,7 +31,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, ServiceError
 from repro.mpi.runtime import RunResult
-from repro.oracle.differential import Scenario, trace_digest
+from repro.scenarios.engines import ExecutionResult, trace_digest
+from repro.scenarios.registry import engine_for_model
+from repro.scenarios.spec import ScenarioSpec
+from repro.util.fingerprint import fingerprint_doc
 from repro.util.validation import check_choice, check_positive
 
 __all__ = [
@@ -108,7 +112,7 @@ class JobSpec:
     scheduling and are not.
     """
 
-    scenario: Optional[Scenario] = None
+    scenario: Optional[ScenarioSpec] = None
     suite: Optional[str] = None
     case: Optional[str] = None
     iterations: Optional[int] = None
@@ -154,6 +158,11 @@ class JobSpec:
         return "scenario" if self.scenario is not None else "case"
 
     @property
+    def engine(self) -> str:
+        """The registered engine that realises this request's model knob."""
+        return engine_for_model(self.model)
+
+    @property
     def label(self) -> str:
         if self.scenario is not None:
             return f"scenario.{self.scenario.name}"
@@ -166,8 +175,8 @@ class JobSpec:
         doc: dict = {"model": self.model,
                      "check_invariants": self.check_invariants}
         if self.scenario is not None:
-            # The oracle layer's own sha256 fingerprint is the scenario's
-            # content address; reusing it keeps service cache keys and
+            # The scenario's own sha256 fingerprint is its content
+            # address; reusing it keeps service cache keys and
             # golden-trace keys in one namespace.
             doc["scenario_fingerprint"] = self.scenario.fingerprint
         else:
@@ -178,9 +187,16 @@ class JobSpec:
 
     @property
     def fingerprint(self) -> str:
-        """sha256 content address of the request's physics."""
-        payload = json.dumps(self.physics_doc(), sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        """sha256 content address of the request's physics.
+
+        Memoised (the spec is frozen): the cache claims it at
+        submission, the settle path and the result all reuse it.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = fingerprint_doc(self.physics_doc())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     # -- serialisation ---------------------------------------------------------
 
@@ -216,7 +232,10 @@ class JobSpec:
             raise ServiceError(f"unknown job spec fields: {sorted(unknown)}")
         scenario = None
         if doc.get("scenario") is not None:
-            scenario = Scenario.from_doc(doc["scenario"])
+            # Strict: unknown/missing scenario fields raise the typed
+            # ValidationError (a ReproError, so the HTTP layer's 400
+            # mapping still applies).
+            scenario = ScenarioSpec.from_doc(doc["scenario"])
         try:
             return cls(
                 scenario=scenario,
@@ -253,6 +272,27 @@ class JobResult:
     ranks: Tuple[dict, ...]
     #: Wall-clock seconds the simulation itself took on the worker.
     compute_seconds: float
+
+    @classmethod
+    def from_execution(cls, spec: JobSpec, result: ExecutionResult) -> "JobResult":
+        """Adopt an engine's :class:`~repro.scenarios.ExecutionResult`."""
+        if result.digest is None or result.imbalance_percent is None:
+            raise ServiceError(
+                f"engine {result.engine!r} produced no trace; the service "
+                "serves trace-producing engines only"
+            )
+        return cls(
+            fingerprint=spec.fingerprint,
+            digest=result.digest,
+            label=result.label,
+            model=spec.model,
+            total_time=result.total_time,
+            imbalance_percent=result.imbalance_percent,
+            events_processed=result.events_processed,
+            final_priorities=result.final_priorities,
+            ranks=result.ranks,
+            compute_seconds=result.compute_seconds,
+        )
 
     @classmethod
     def from_run(

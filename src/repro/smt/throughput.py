@@ -14,7 +14,6 @@ prio_b) -> (ipc_a, ipc_b)`` method.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import dataclass
@@ -24,6 +23,7 @@ from repro.errors import PersistenceError
 from repro.smt.cache import CacheHierarchy
 from repro.smt.instructions import LoadProfile
 from repro.smt.pipeline import CorePipeline, PipelineConfig
+from repro.util.fingerprint import fingerprint_doc
 from repro.util.rng import RngStreams
 from repro.util.validation import check_positive
 
@@ -182,10 +182,7 @@ class ThroughputTable:
                 "rename_per_instr": pc.rename_per_instr,
             },
         }
-        digest = hashlib.sha256(
-            json.dumps(payload, sort_keys=True).encode("utf-8")
-        )
-        return digest.hexdigest()
+        return fingerprint_doc(payload)
 
     def save(self, path: str) -> int:
         """Persist every cached measurement to ``path`` (JSON).

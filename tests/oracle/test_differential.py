@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigurationError, OracleError
+from repro.errors import ConfigurationError, ValidationError
 from repro.oracle.differential import (
     Scenario,
     ScenarioGenerator,
@@ -40,9 +40,17 @@ class TestScenario:
                 priorities=((0, 7),),  # 7 is not OS-settable
             )
 
-    def test_malformed_doc_raises_oracle_error(self):
-        with pytest.raises(OracleError):
+    def test_malformed_doc_raises_validation_error(self):
+        # Migrated with the ScenarioSpec unification: malformed documents
+        # now raise the typed ValidationError (still a ValueError, and
+        # still a ReproError like OracleError was).
+        with pytest.raises(ValidationError):
             Scenario.from_doc({"name": "x"})
+
+    def test_scenario_is_the_canonical_spec(self):
+        from repro.scenarios import ScenarioSpec
+
+        assert Scenario is ScenarioSpec
 
 
 class TestTraceDigest:

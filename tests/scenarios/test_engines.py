@@ -1,0 +1,163 @@
+"""Engine registry and backend contracts.
+
+The cross-model *physics* agreement lives with the differential oracle
+(tests/oracle); here we pin the execution interface itself: registry
+lookup, option validation, result provenance, and the guarantee that
+every registered backend accepts every scenario the generator draws.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    Engine,
+    ScenarioGenerator,
+    ScenarioSpec,
+    all_engines,
+    engine_for_model,
+    engine_names,
+    fast_cycle_table,
+    get_engine,
+    register,
+)
+from repro.scenarios import registry as registry_module
+
+SPEC = ScenarioSpec(
+    name="engine-smoke",
+    kind="barrier_loop",
+    works=(1.0e9, 2.0e9),
+    iterations=2,
+    priorities=((0, 4), (1, 6)),
+)
+
+
+class TestRegistry:
+    def test_default_backends_registered(self):
+        assert engine_names() == ("analytic", "cycle", "fluid")
+        assert [e.name for e in all_engines()] == ["analytic", "cycle", "fluid"]
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            get_engine("quantum")
+
+    def test_duplicate_registration_requires_replace(self):
+        class Dupe(Engine):
+            name = "fluid"
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register(Dupe())
+        assert type(get_engine("fluid")).__name__ == "FluidEngine"
+
+    def test_register_and_replace(self):
+        class Custom(Engine):
+            name = "custom-test-engine"
+            description = "registry test stand-in"
+
+        try:
+            first = register(Custom())
+            assert get_engine("custom-test-engine") is first
+            second = register(Custom(), replace=True)
+            assert get_engine("custom-test-engine") is second
+        finally:
+            # No public unregister (production engines are permanent);
+            # tests clean their stand-in out of the module table.
+            with registry_module._LOCK:
+                registry_module._ENGINES.pop("custom-test-engine", None)
+        assert "custom-test-engine" not in engine_names()
+
+    def test_nameless_engine_rejected(self):
+        with pytest.raises(ConfigurationError, match="no name"):
+            register(Engine())
+
+    def test_model_knob_maps_to_engine(self):
+        # The "analytic" System *model* drives the fluid runtime; the
+        # closed-form "analytic" engine has no System model at all.
+        assert engine_for_model("analytic") == "fluid"
+        assert engine_for_model("cycle") == "cycle"
+        with pytest.raises(ConfigurationError):
+            engine_for_model("fluid")
+
+
+class TestOptionValidation:
+    @pytest.mark.parametrize("name", ["fluid", "cycle", "analytic"])
+    def test_unknown_option_rejected(self, name):
+        engine = get_engine(name)
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            engine.run(SPEC, options={"turbo": True})
+
+    def test_analytic_rejects_system_arg(self):
+        with pytest.raises(ConfigurationError, match="system"):
+            get_engine("analytic").run(SPEC, system=object())
+
+    def test_cycle_rejects_table_and_table_path_together(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            get_engine("cycle").run(
+                SPEC,
+                options={"table": fast_cycle_table(), "table_path": "x.json"},
+            )
+
+
+class TestResultProvenance:
+    def test_fluid_result_carries_trace_provenance(self):
+        result = get_engine("fluid").run(SPEC)
+        assert result.engine == "fluid"
+        assert result.spec_fingerprint == SPEC.fingerprint
+        assert result.label == "scenario.engine-smoke"
+        assert result.digest is not None
+        assert result.imbalance_percent is not None
+        assert result.events_processed > 0
+        assert len(result.ranks) == SPEC.n_ranks
+        assert result.run is not None
+        doc = result.to_doc()
+        assert doc["digest"] == result.digest
+
+    def test_fluid_is_deterministic(self):
+        a = get_engine("fluid").run(SPEC)
+        b = get_engine("fluid").run(SPEC)
+        assert a.digest == b.digest
+        assert a.total_time == b.total_time
+
+    def test_analytic_result_is_closed_form(self):
+        result = get_engine("analytic").run(SPEC, label="custom-label")
+        assert result.engine == "analytic"
+        assert result.label == "custom-label"
+        assert result.digest is None
+        assert result.run is None
+        assert result.total_time > 0.0
+        assert "digest" not in result.to_doc()
+
+
+class TestEveryBackendAcceptsEveryDraw:
+    """The registry contract the conformance oracle leans on: any spec
+    the generator can draw runs on every registered backend."""
+
+    DRAWS = 3
+
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return ScenarioGenerator(seed=11).take(self.DRAWS)
+
+    @pytest.fixture(scope="class")
+    def cycle_table(self):
+        # Shared short-window table: repeated (loads, prios) keys are
+        # measured once across the whole draw set.
+        return fast_cycle_table(seed=11)
+
+    def test_all_engines_run_all_draws(self, specs, cycle_table):
+        for spec in specs:
+            for engine in all_engines():
+                options = (
+                    {"table": cycle_table} if engine.name == "cycle" else None
+                )
+                result = engine.run(spec, options=options)
+                assert result.engine == engine.name
+                assert result.spec_fingerprint == spec.fingerprint
+                assert result.total_time > 0.0
+                if engine.name == "analytic":
+                    assert result.digest is None
+                else:
+                    assert result.digest is not None
+
+    def test_generator_draws_round_trip(self, specs):
+        for spec in specs:
+            assert ScenarioSpec.from_doc(spec.to_doc()) == spec

@@ -1,0 +1,170 @@
+"""ScenarioSpec: validation, strict serialisation, fingerprint stability."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.scenarios import KINDS, MAPPINGS, ScenarioSpec
+from repro.util.fingerprint import fingerprint_doc
+
+
+def spec_for(kind: str, **overrides) -> ScenarioSpec:
+    """A small valid spec of every workload kind (the property corpus)."""
+    base = dict(
+        name=f"t-{kind}",
+        kind=kind,
+        works=(1.0e9, 2.0e9, 1.5e9, 3.0e9),
+        iterations=2,
+        priorities=((0, 4), (1, 6), (2, 4), (3, 6)),
+        seed=3,
+    )
+    if kind == "btmz":
+        base["params"] = {"init_factor": 2.5}
+    if kind == "siesta":
+        base["params"] = {
+            "init_works": (1e8, 2e8, 1.5e8, 3e8),
+            "final_works": (2e8, 1e8, 2.5e8, 1e8),
+            "jitter_sigma": 0.18,
+            "rotate_prob": 0.25,
+            "workload_seed": 2008,
+        }
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_doc_round_trip_every_kind(self, kind):
+        spec = spec_for(kind)
+        doc = spec.to_doc()
+        again = ScenarioSpec.from_doc(doc)
+        assert again == spec
+        assert again.fingerprint == spec.fingerprint
+        # The canonical JSON itself round-trips byte-identically.
+        assert json.dumps(again.to_doc(), sort_keys=True) == json.dumps(
+            doc, sort_keys=True
+        )
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_json_wire_round_trip(self, kind):
+        spec = spec_for(kind)
+        wire = json.dumps(spec.to_doc())
+        assert ScenarioSpec.from_doc(json.loads(wire)) == spec
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_programs_build_for_every_kind(self, kind):
+        programs = spec_for(kind).programs()
+        assert len(programs) == 4
+
+    def test_fingerprint_matches_legacy_canonical_form(self):
+        """The wire-format contract: sha256 over sort_keys json of the
+        8 legacy keys, with params/spec_version absent at defaults —
+        pre-existing golden and cache fingerprints must not move."""
+        spec = spec_for("barrier_loop")
+        doc = spec.to_doc()
+        assert sorted(doc) == [
+            "iterations", "kind", "mapping", "name",
+            "priorities", "profile", "seed", "works",
+        ]
+        assert spec.fingerprint == fingerprint_doc(doc)
+
+    def test_params_omitted_when_empty(self):
+        assert "params" not in spec_for("metbench").to_doc()
+        assert "params" in spec_for("siesta").to_doc()
+
+    def test_fingerprint_is_content_addressed(self):
+        a = spec_for("btmz")
+        b = dataclasses.replace(a, params={"init_factor": 2.6})
+        assert a.fingerprint != b.fingerprint
+
+
+class TestStrictFromDoc:
+    def test_unknown_field_rejected(self):
+        doc = spec_for("metbench").to_doc()
+        doc["workz"] = [1.0]
+        with pytest.raises(ValidationError, match="workz"):
+            ScenarioSpec.from_doc(doc)
+
+    def test_missing_required_field_rejected(self):
+        doc = spec_for("metbench").to_doc()
+        del doc["works"]
+        with pytest.raises(ValidationError, match="works"):
+            ScenarioSpec.from_doc(doc)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValidationError):
+            ScenarioSpec.from_doc(["not", "a", "dict"])
+
+    def test_future_spec_version_rejected(self):
+        doc = spec_for("metbench").to_doc()
+        doc["spec_version"] = 99
+        with pytest.raises(ValidationError, match="spec_version"):
+            ScenarioSpec.from_doc(doc)
+
+    def test_current_spec_version_accepted(self):
+        doc = spec_for("metbench").to_doc()
+        doc["spec_version"] = 1
+        assert ScenarioSpec.from_doc(doc) == spec_for("metbench")
+
+    def test_malformed_priorities_rejected(self):
+        doc = spec_for("metbench").to_doc()
+        doc["priorities"] = [[0, 4, 9]]
+        with pytest.raises(ValidationError, match="priorities"):
+            ScenarioSpec.from_doc(doc)
+
+    def test_uncoercible_value_rejected(self):
+        doc = spec_for("metbench").to_doc()
+        doc["works"] = ["a lot", "even more"]
+        with pytest.raises(ValidationError):
+            ScenarioSpec.from_doc(doc)
+
+    def test_validation_error_is_a_value_error(self):
+        # Generic callers that caught ValueError keep working.
+        with pytest.raises(ValueError):
+            ScenarioSpec.from_doc({"name": "x"})
+
+
+class TestValidation:
+    def test_kind_and_mapping_choices(self):
+        with pytest.raises(ConfigurationError):
+            spec_for("quantum")
+        with pytest.raises(ConfigurationError):
+            spec_for("metbench", mapping="torus")
+        assert set(MAPPINGS) >= {"identity", "btmz", "siesta", "st"}
+
+    def test_paper_mappings_need_four_ranks(self):
+        with pytest.raises(ConfigurationError):
+            spec_for("metbench", works=(1e9, 2e9), mapping="btmz")
+
+    def test_st_mapping_needs_two_ranks(self):
+        with pytest.raises(ConfigurationError):
+            spec_for("metbench", mapping="st")
+        st = spec_for(
+            "metbench", works=(1e9, 2e9), mapping="st",
+            priorities=((0, 4), (1, 6)),
+        )
+        assert st.mapping_obj().as_dict() == {0: 0, 1: 2}
+
+    def test_priority_rank_bounds_and_uniqueness(self):
+        with pytest.raises(ConfigurationError):
+            spec_for("metbench", priorities=((7, 4),))
+        with pytest.raises(ConfigurationError):
+            spec_for("metbench", priorities=((0, 4), (0, 5)))
+        with pytest.raises(ConfigurationError):
+            spec_for("metbench", priorities=((0, 7),))
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_for("metbench", params={"init_factor": 2.0})
+
+    def test_siesta_requires_phase_works(self):
+        with pytest.raises(ConfigurationError, match="init_works"):
+            spec_for("siesta", params={"final_works": (1e8,) * 4})
+
+    def test_siesta_phase_works_length_checked(self):
+        params = dict(spec_for("siesta").params)
+        params["init_works"] = (1e8, 2e8)
+        with pytest.raises(ConfigurationError):
+            spec_for("siesta", params=params)

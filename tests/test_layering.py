@@ -1,0 +1,65 @@
+"""The import-layering contract, enforced as a tier-1 test.
+
+Mirrors ``tools/check_layering.py`` (which CI also runs standalone):
+the physics core and the shared scenario vocabulary must stay
+importable without the layers that consume them.
+"""
+
+import os
+import sys
+import textwrap
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+from check_layering import FORBIDDEN, check_tree  # noqa: E402
+
+
+class TestRepoLayering:
+    def test_no_lower_layer_imports_an_upper_layer(self):
+        violations = check_tree(os.path.join(REPO_ROOT, "src"))
+        assert violations == [], "\n".join(violations)
+
+    def test_physics_layers_are_covered(self):
+        for layer in ("smt", "mpi", "kernel", "machine", "scenarios"):
+            assert layer in FORBIDDEN
+        for upper in ("service", "oracle", "experiments"):
+            assert upper in FORBIDDEN["smt"]
+
+
+class TestCheckerDetects:
+    def _tree(self, tmp_path, body: str):
+        pkg = tmp_path / "src" / "repro" / "smt"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(textwrap.dedent(body))
+        return str(tmp_path / "src")
+
+    def test_flags_module_level_upper_import(self, tmp_path):
+        src = self._tree(tmp_path, "from repro.service.jobs import JobSpec\n")
+        violations = check_tree(src)
+        assert len(violations) == 1
+        assert "repro/smt/bad.py:1" in violations[0].replace(os.sep, "/")
+        assert "'service'" in violations[0]
+
+    def test_flags_plain_import_form(self, tmp_path):
+        src = self._tree(tmp_path, "import repro.oracle.checker\n")
+        assert len(check_tree(src)) == 1
+
+    def test_function_level_import_is_sanctioned(self, tmp_path):
+        src = self._tree(
+            tmp_path,
+            """
+            def hook(run):
+                from repro.oracle.checker import verify_run
+
+                return verify_run(run)
+            """,
+        )
+        assert check_tree(src) == []
+
+    def test_lower_or_stdlib_imports_pass(self, tmp_path):
+        src = self._tree(
+            tmp_path,
+            "import json\nfrom repro.util.rng import RngStreams\n",
+        )
+        assert check_tree(src) == []

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Import-layering check: lower layers must not import upper layers.
+
+The repo's layer graph (see ``docs/architecture.md``) only works in one
+direction: the physics core (``kernel``/``smt``/``mpi``/``machine``/
+``trace``/``workloads`` and the ``util`` helpers) must stay importable
+without dragging in the layers that *consume* it (``scenarios``, then
+``oracle``/``experiments``/``service``/``cli``), and the ``scenarios``
+package — the shared spec/engine vocabulary — must likewise not depend
+on any of its consumers.
+
+Only **module-level** imports are violations: a function-level import of
+an upper layer (e.g. the MPI runtime's optional live invariant hooks
+pulling in ``repro.oracle.checker`` on demand) is a sanctioned inversion
+precisely because it keeps module import acyclic.
+
+Run directly (CI does) or via ``tests/test_layering.py``::
+
+    python tools/check_layering.py [src-root]
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+#: repro.<package> -> the upper layers it must never module-level import.
+_UPPER = ("scenarios", "oracle", "experiments", "service", "cli")
+FORBIDDEN = {
+    "util": _UPPER,
+    "kernel": _UPPER,
+    "smt": _UPPER,
+    "mpi": _UPPER,
+    "machine": _UPPER,
+    "trace": _UPPER,
+    "workloads": _UPPER,
+    "core": _UPPER,
+    "cluster": _UPPER,
+    # The shared vocabulary must not depend on its consumers.
+    "scenarios": ("oracle", "experiments", "service", "cli"),
+}
+
+
+def _walk_module_scope(tree: ast.Module) -> Iterator[ast.AST]:
+    """ast.walk, pruned at function boundaries."""
+    stack: List[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _imports_with_lines(tree: ast.Module) -> Iterator[Tuple[str, int]]:
+    for node in _walk_module_scope(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            yield node.module, node.lineno
+
+
+def _target_package(dotted: str) -> str:
+    parts = dotted.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return ""
+    return parts[1]
+
+
+def check_tree(src_root: str) -> List[str]:
+    """All layering violations under ``src_root`` (repo's ``src/``)."""
+    violations: List[str] = []
+    pkg_root = os.path.join(src_root, "repro")
+    for dirpath, _dirnames, filenames in os.walk(pkg_root):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, pkg_root)
+            layer = rel.split(os.sep)[0]
+            if layer.endswith(".py"):  # top-level module (cli.py, errors.py)
+                layer = layer[:-3]
+            forbidden = FORBIDDEN.get(layer)
+            if not forbidden:
+                continue
+            with open(path, "r", encoding="utf-8") as fh:
+                tree = ast.parse(fh.read(), filename=path)
+            for dotted, lineno in _imports_with_lines(tree):
+                target = _target_package(dotted)
+                if target in forbidden:
+                    violations.append(
+                        f"{os.path.relpath(path, src_root)}:{lineno}: "
+                        f"layer {layer!r} imports upper layer "
+                        f"{target!r} ({dotted}) at module level"
+                    )
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    src_root = argv[1] if len(argv) > 1 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    violations = check_tree(src_root)
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} layering violation(s)", file=sys.stderr)
+        return 1
+    print("layering ok: no lower layer imports an upper layer")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
