@@ -355,6 +355,54 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    """Dump a telemetry snapshot — this process's default registry, or a
+    running service's /metrics when --url is given."""
+    from repro.telemetry import default_registry, render_prometheus
+
+    if args.url is not None:
+        import urllib.error
+        import urllib.request
+
+        fmt = "json" if args.format == "json" else "prometheus"
+        endpoint = args.url.rstrip("/") + f"/metrics?format={fmt}"
+        try:
+            with urllib.request.urlopen(endpoint, timeout=10.0) as resp:
+                body = resp.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"cannot read {endpoint}: {exc}", file=sys.stderr)
+            return 2
+        sys.stdout.write(body if body.endswith("\n") else body + "\n")
+        return 0
+
+    reg = default_registry()
+    if args.format == "prom":
+        sys.stdout.write(render_prometheus(reg))
+        return 0
+    snapshot = reg.snapshot()
+    if args.format == "json":
+        import json
+
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    table = TextTable(
+        ["metric", "kind", "labels", "value"],
+        title="process telemetry snapshot",
+    )
+    for name, doc in sorted(snapshot.items()):
+        for sample in doc["samples"]:
+            labels = ",".join(
+                f"{k}={v}" for k, v in sample["labels"].items()
+            ) or "-"
+            if "value" in sample:
+                value = sample["value"]
+            else:
+                value = f"count={sample['count']} sum={sample['sum']:.6g}"
+            table.add_row([name, doc["kind"], labels, value])
+    print(table.render())
+    return 0
+
+
 def _cmd_engines(args: argparse.Namespace) -> int:
     del args
     from repro.scenarios import all_engines
@@ -380,6 +428,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Balancing HPC Applications Through "
         "Smart Allocation of Resources in MT Processors' (IPDPS 2008).",
+    )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="attach a stderr handler to the repro.* loggers at LEVEL "
+        "(DEBUG, INFO, WARNING, ...); off by default",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -467,11 +520,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_engines.add_argument("action", choices=("list",))
     p_engines.set_defaults(func=_cmd_engines)
 
+    p_tele = sub.add_parser(
+        "telemetry",
+        help="dump a telemetry snapshot (docs/observability.md)",
+    )
+    p_tele.add_argument(
+        "--format", choices=("table", "json", "prom"), default="table",
+        help="table (default), json snapshot, or Prometheus text",
+    )
+    p_tele.add_argument(
+        "--url", default=None,
+        help="base URL of a running `repro serve`; reads its /metrics "
+        "instead of this process's registry",
+    )
+    p_tele.set_defaults(func=_cmd_telemetry)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        from repro.telemetry import configure_logging
+
+        configure_logging(args.log_level)
     return args.func(args)
 
 

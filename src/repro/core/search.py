@@ -12,6 +12,7 @@ practical with the analytic model.
 from __future__ import annotations
 
 import itertools
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -21,6 +22,7 @@ from repro.errors import ConfigurationError
 from repro.machine.mapping import ProcessMapping
 from repro.machine.system import System
 from repro.mpi.process import RankProgram
+from repro.telemetry import default_registry
 
 __all__ = [
     "SearchStats",
@@ -135,6 +137,36 @@ def _model_cache_stats(system: System):
     return getter() if callable(getter) else None
 
 
+def _record_search(kind: str, stats: SearchStats, elapsed_s: float) -> None:
+    """Publish one search's accounting into the default registry.
+
+    One event per whole search — far off any hot path — so these are
+    always on. :class:`SearchStats` stays the returned public shape;
+    the registry is the cross-surface aggregate.
+    """
+    reg = default_registry()
+    reg.counter(
+        "repro_search_evaluations_total",
+        "Candidate assignments actually simulated, by search kind.",
+        labelnames=("kind",),
+    ).labels(kind).inc(stats.evaluations)
+    reg.counter(
+        "repro_search_cache_hits_total",
+        "Throughput-model memo hits during searches.",
+        labelnames=("kind",),
+    ).labels(kind).inc(max(0, stats.cache_hits))
+    reg.counter(
+        "repro_search_cache_misses_total",
+        "Throughput-model memo misses during searches.",
+        labelnames=("kind",),
+    ).labels(kind).inc(max(0, stats.cache_misses))
+    reg.histogram(
+        "repro_search_seconds",
+        "Wall seconds per search invocation.",
+        labelnames=("kind",),
+    ).labels(kind).observe(elapsed_s)
+
+
 def _evaluate_assignment(
     system: System,
     program_factory: Callable[[], Sequence[RankProgram]],
@@ -183,6 +215,7 @@ def exhaustive_priority_search(
     if not candidates:
         raise ConfigurationError("search evaluated no candidates")
     before = _model_cache_stats(system)
+    t0 = time.perf_counter()
 
     outcomes: Optional[List[Tuple[float, float]]] = None
     used_workers = 1
@@ -221,6 +254,7 @@ def exhaustive_priority_search(
         cache_misses=misses,
         workers=used_workers,
     )
+    _record_search("exhaustive", stats, time.perf_counter() - t0)
     entries.sort(key=lambda e: e[1])
     if keep_top > 0:
         entries = entries[:keep_top]
@@ -247,6 +281,7 @@ def greedy_priority_search(
         )
 
     before = _model_cache_stats(system)
+    t0 = time.perf_counter()
 
     def evaluate(assignment: PriorityAssignment) -> Tuple[float, float]:
         return _evaluate_assignment(system, program_factory, assignment)
@@ -281,8 +316,9 @@ def greedy_priority_search(
         hits = after.hits - before.hits
         misses = after.misses - before.misses
     evaluations = len(history)
-    history.sort(key=lambda e: e[1])
-    return SearchResult(
-        tuple(history),
-        stats=SearchStats(evaluations=evaluations, cache_hits=hits, cache_misses=misses),
+    stats = SearchStats(
+        evaluations=evaluations, cache_hits=hits, cache_misses=misses
     )
+    _record_search("greedy", stats, time.perf_counter() - t0)
+    history.sort(key=lambda e: e[1])
+    return SearchResult(tuple(history), stats=stats)

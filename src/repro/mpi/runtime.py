@@ -32,6 +32,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -73,6 +74,8 @@ from repro.mpi.request import Request
 from repro.mpi.status import Status
 from repro.smt.chip import Power5Chip
 from repro.smt.instructions import BASE_PROFILES, LoadProfile
+from repro.telemetry import default_registry as _telemetry_registry
+from repro.telemetry import enabled as _telemetry_enabled
 from repro.trace.events import RankState
 from repro.trace.stats import TraceStats, compute_stats
 from repro.trace.trace import Trace
@@ -328,6 +331,40 @@ class MpiRuntime:
             from repro.oracle.checker import RuntimeChecker
 
             self._oracle = RuntimeChecker(self)
+        #: Coarse phase-timing instruments, or None. Checked once, at
+        #: construction — the ``check_invariants`` discipline: when
+        #: telemetry is off the run loop pays a single ``is None`` test
+        #: per *run* (not per event), and all observations happen after
+        #: the loop ends, so traces are byte-identical either way.
+        self._telemetry = None
+        if _telemetry_enabled():
+            reg = _telemetry_registry()
+            self._telemetry = {
+                "launch": reg.histogram(
+                    "repro_runtime_launch_seconds",
+                    "Wall seconds spent launching ranks (pin + start + "
+                    "first advance), per run.",
+                ),
+                "loop": reg.histogram(
+                    "repro_runtime_loop_seconds",
+                    "Wall seconds spent in the event loop, per run.",
+                ),
+                "runs": reg.counter(
+                    "repro_runtime_runs_total", "Completed runtime runs."
+                ),
+                "events": reg.counter(
+                    "repro_runtime_events_total",
+                    "Discrete events processed across runs.",
+                ),
+                "recomputes": reg.counter(
+                    "repro_runtime_rate_recomputes_total",
+                    "Per-group IPC re-solves across runs.",
+                ),
+                "simulated": reg.counter(
+                    "repro_runtime_simulated_seconds_total",
+                    "Simulated seconds across runs.",
+                ),
+            }
 
     # -- helpers ---------------------------------------------------------------
 
@@ -709,6 +746,8 @@ class MpiRuntime:
     def run(self) -> RunResult:
         """Run all rank programs to completion and return the result."""
         cfg = self.config
+        telemetry = self._telemetry
+        t_run0 = _time.perf_counter() if telemetry is not None else 0.0
         # Process launch: pin + default priorities.
         for proc in self._procs:
             self.kernel.scheduler.pin(proc.rank, proc.cpu)
@@ -721,6 +760,7 @@ class MpiRuntime:
             self._push(interval, "ctrl", i)
         for proc in self._procs:
             self._advance(proc)
+        t_launched = _time.perf_counter() if telemetry is not None else 0.0
 
         eps = cfg.epsilon
         max_events = cfg.max_events
@@ -830,4 +870,12 @@ class MpiRuntime:
         )
         if oracle is not None:
             oracle.on_finish(result)
+        if telemetry is not None:
+            t_end = _time.perf_counter()
+            telemetry["launch"].observe(t_launched - t_run0)
+            telemetry["loop"].observe(t_end - t_launched)
+            telemetry["runs"].inc()
+            telemetry["events"].inc(self.events_processed)
+            telemetry["recomputes"].inc(sum(self.group_recompute_counts))
+            telemetry["simulated"].inc(self.now)
         return result

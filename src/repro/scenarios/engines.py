@@ -43,6 +43,7 @@ from repro.scenarios.spec import ScenarioSpec
 from repro.smt.analytic import AnalyticThroughputModel
 from repro.smt.instructions import BASE_PROFILES
 from repro.smt.throughput import ThroughputTable
+from repro.telemetry import CacheStats, default_registry, register_cache_metrics
 
 __all__ = [
     "ExecutionResult",
@@ -53,6 +54,23 @@ __all__ = [
     "trace_digest",
     "fast_cycle_table",
 ]
+
+
+def _observe_run(engine: str, elapsed_s: float) -> None:
+    """Publish one engine run into the default registry.
+
+    One event per whole run (the simulation inside is the expensive
+    part), so this is always on; the event loop itself is untouched.
+    """
+    reg = default_registry()
+    reg.counter(
+        "repro_engine_runs_total", "Executed scenario runs, by engine.",
+        labelnames=("engine",),
+    ).labels(engine).inc()
+    reg.histogram(
+        "repro_engine_run_seconds", "Wall seconds per engine run.",
+        labelnames=("engine",),
+    ).labels(engine).observe(elapsed_s)
 
 
 def trace_digest(result: RunResult) -> str:
@@ -201,6 +219,23 @@ class FluidEngine(Engine):
 
     def __init__(self) -> None:
         self._local = threading.local()
+        self._systems_lock = threading.Lock()
+        self._systems: List[System] = []
+        register_cache_metrics(
+            default_registry(), "fluid_models", self._model_cache_stats
+        )
+
+    def _model_cache_stats(self) -> CacheStats:
+        """Summed memo accounting across every warm System this engine
+        has built (pull-based; evaluated only at collection time)."""
+        with self._systems_lock:
+            systems = list(self._systems)
+        total = CacheStats(hits=0, misses=0, size=0, max_size=0)
+        for system in systems:
+            getter = getattr(system.model, "cache_stats", None)
+            if callable(getter):
+                total = total + getter()
+        return total
 
     def _system(self, seed: int, incremental: bool, invariants: bool) -> System:
         """Per-thread warm Systems: the shared analytic model's memo
@@ -222,6 +257,8 @@ class FluidEngine(Engine):
                     ),
                 )
             )
+            with self._systems_lock:
+                self._systems.append(system)
         return system
 
     def run(
@@ -245,9 +282,9 @@ class FluidEngine(Engine):
             priorities=spec.priority_dict(),
             label=label if label is not None else f"scenario.{spec.name}",
         )
-        return ExecutionResult.from_run(
-            self.name, spec, run, time.perf_counter() - t0
-        )
+        elapsed = time.perf_counter() - t0
+        _observe_run(self.name, elapsed)
+        return ExecutionResult.from_run(self.name, spec, run, elapsed)
 
 
 class CycleEngine(Engine):
@@ -324,9 +361,9 @@ class CycleEngine(Engine):
             with self._table_io_lock:
                 system.model.load(table_path)
                 system.save_throughput_table()
-        return ExecutionResult.from_run(
-            self.name, spec, run, time.perf_counter() - t0
-        )
+        elapsed = time.perf_counter() - t0
+        _observe_run(self.name, elapsed)
+        return ExecutionResult.from_run(self.name, spec, run, elapsed)
 
 
 class AnalyticEngine(Engine):
@@ -345,6 +382,9 @@ class AnalyticEngine(Engine):
 
     def __init__(self) -> None:
         self._model = AnalyticThroughputModel()
+        register_cache_metrics(
+            default_registry(), "analytic_model", self._model.cache_stats
+        )
 
     def run(
         self,
@@ -391,10 +431,12 @@ class AnalyticEngine(Engine):
                 )
             total_work = spec.works[rank] * spec.iterations
             worst = max(worst, total_work / (ipc * freq))
-        return ExecutionResult(
+        result = ExecutionResult(
             engine=self.name,
             spec_fingerprint=spec.fingerprint,
             label=label if label is not None else f"scenario.{spec.name}",
             total_time=worst,
             compute_seconds=time.perf_counter() - t0,
         )
+        _observe_run(self.name, result.compute_seconds)
+        return result

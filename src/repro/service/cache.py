@@ -125,6 +125,26 @@ class ResultCache:
 
     # -- accounting ------------------------------------------------------------
 
+    def bind_telemetry(self, registry) -> None:
+        """Expose the result cache through pull-based instruments: the
+        standard cache family (labelled ``cache="results"``) plus the
+        coalescing counters this cache uniquely has."""
+        from repro.telemetry import register_cache_metrics
+
+        register_cache_metrics(
+            registry, "results", lambda: self._lru.stats()
+        )
+        registry.counter(
+            "repro_cache_coalesced_total",
+            "Submissions attached to an identical in-flight computation.",
+        ).set_function(lambda: self.coalesced)
+        registry.counter(
+            "repro_cache_inserts_total", "Results stored into the cache."
+        ).set_function(lambda: self.inserts)
+        registry.gauge(
+            "repro_cache_in_flight", "Fingerprints currently being computed."
+        ).set_function(self.in_flight)
+
     def stats(self) -> dict:
         """Cache accounting in the shape ``repro cache info`` reports."""
         with self._lock:

@@ -33,7 +33,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, Optional
 
 from repro.errors import (
     ConfigurationError,
@@ -52,8 +52,20 @@ from repro.service.jobs import (
     jobs_by_state,
 )
 from repro.service.queue import JobQueue
+from repro.telemetry import MetricRegistry, get_logger
+# Re-exported for compatibility: percentile() lived here before moving
+# to repro.util.stats next to summarize().
+from repro.util.stats import percentile
 
 __all__ = ["ServiceConfig", "ScenarioService", "execute_spec", "percentile"]
+
+_log = get_logger("service")
+
+#: Lifecycle events the service counts, in reporting order.
+_EVENTS = (
+    "submitted", "completed", "failed", "cancelled",
+    "cache_hits", "retries", "timeouts",
+)
 
 
 @dataclass(frozen=True)
@@ -151,15 +163,6 @@ def execute_spec(
     return JobResult.from_execution(spec, result)
 
 
-def percentile(sample: List[float], q: float) -> float:
-    """Nearest-rank percentile of a non-empty sample (q in [0, 100])."""
-    if not sample:
-        raise ConfigurationError("percentile of an empty sample")
-    ordered = sorted(sample)
-    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
-    return ordered[int(rank)]
-
-
 # -- the service ----------------------------------------------------------------
 
 
@@ -168,12 +171,20 @@ class ScenarioService:
 
     ``runner`` defaults to :func:`execute_spec`; tests inject a stub to
     exercise timeout/retry paths without real simulations.
+
+    All accounting lives in a :class:`~repro.telemetry.MetricRegistry`
+    — by default a fresh one per service, so sequentially constructed
+    services (every test) start from zero; pass ``registry=`` to share
+    one. ``metrics()`` keeps serving the historical JSON document off
+    the same instruments, and the HTTP layer renders the registry as
+    Prometheus text when asked.
     """
 
     def __init__(
         self,
         config: Optional[ServiceConfig] = None,
         runner: Optional[Callable[[JobSpec], JobResult]] = None,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self._runner = runner or (
@@ -186,20 +197,11 @@ class ScenarioService:
         self._lock = threading.RLock()
         self._jobs: Dict[str, Job] = {}
         self._job_order: Deque[str] = deque()
-        self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
-        self._computes: Deque[float] = deque(maxlen=self.config.latency_window)
-        self._counters = {
-            "submitted": 0,
-            "completed": 0,
-            "failed": 0,
-            "cancelled": 0,
-            "cache_hits": 0,
-            "retries": 0,
-            "timeouts": 0,
-        }
         self._started_at = time.time()
         self._closed = False
         self._service_time_ewma = 1.0
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._init_telemetry()
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
@@ -208,6 +210,46 @@ class ScenarioService:
         ]
         for thread in self._workers:
             thread.start()
+
+    def _init_telemetry(self) -> None:
+        reg = self.registry
+        events = reg.counter(
+            "repro_service_events_total",
+            "Job lifecycle events by type.",
+            labelnames=("event",),
+        )
+        self._counters = {name: events.labels(name) for name in _EVENTS}
+        window = self.config.latency_window
+        self._latency_hist = reg.histogram(
+            "repro_service_job_latency_seconds",
+            "Submission-to-terminal job latency.",
+            sample_window=window,
+        )
+        self._compute_hist = reg.histogram(
+            "repro_service_job_compute_seconds",
+            "Worker compute seconds per computed job.",
+            sample_window=window,
+        )
+        reg.gauge(
+            "repro_service_workers", "Configured worker threads."
+        ).set(self.config.workers)
+        reg.gauge(
+            "repro_service_uptime_seconds", "Seconds since service start."
+        ).set_function(lambda: time.time() - self._started_at)
+        jobs_gauge = reg.gauge(
+            "repro_service_jobs", "Tracked jobs by lifecycle state.",
+            labelnames=("state",),
+        )
+        for state in JobState:
+            jobs_gauge.labels(state.value).set_function(
+                lambda s=state: self._count_state(s)
+            )
+        self.queue.bind_telemetry(reg)
+        self.cache.bind_telemetry(reg)
+
+    def _count_state(self, state: JobState) -> int:
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if job.state is state)
 
     # -- intake ----------------------------------------------------------------
 
@@ -226,14 +268,18 @@ class ScenarioService:
                 raise ServiceError("service is shut down")
             job = Job(spec=spec)
             self._track(job)
-            self._counters["submitted"] += 1
             role, cached = self.cache.claim(job)
+            # "submitted" counts *admitted* requests only, so the
+            # counter stays monotonic: a queue-full rejection below
+            # never increments it instead of incrementing-then-undoing.
             if role == "cache":
-                self._counters["cache_hits"] += 1
+                self._counters["submitted"].inc()
+                self._counters["cache_hits"].inc()
                 job.finish(JobState.DONE, result=cached, source="cache")
                 self._note_latency(job)
                 return job
             if role == "follower":
+                self._counters["submitted"].inc()
                 return job
             try:
                 self.queue.put(job)
@@ -249,8 +295,8 @@ class ScenarioService:
                             source="coalesced",
                         )
                 self._forget(job)
-                self._counters["submitted"] -= 1
                 raise
+            self._counters["submitted"].inc()
             return job
 
     def run(self, spec: JobSpec, timeout: Optional[float] = None) -> Job:
@@ -277,7 +323,7 @@ class ScenarioService:
         job = self.get(job_id)
         with self._lock:
             if job.state is JobState.QUEUED:
-                self._counters["cancelled"] += 1
+                self._counters["cancelled"].inc()
                 job.finish(JobState.CANCELLED, error="cancelled by client")
         return job
 
@@ -296,7 +342,7 @@ class ScenarioService:
             if not drain:
                 for job in self._jobs.values():
                     if job.state is JobState.QUEUED:
-                        self._counters["cancelled"] += 1
+                        self._counters["cancelled"].inc()
                         job.finish(
                             JobState.CANCELLED, error="service shutdown"
                         )
@@ -313,11 +359,19 @@ class ScenarioService:
     # -- metrics ---------------------------------------------------------------
 
     def metrics(self) -> dict:
+        """The historical JSON metrics document, read off the registry.
+
+        Counters and the latency/compute windows come from the same
+        instruments Prometheus scrapes, so the two views can never
+        disagree.
+        """
         with self._lock:
             jobs = list(self._jobs.values())
-            latencies = list(self._latencies)
-            computes = list(self._computes)
-            counters = dict(self._counters)
+        latencies = self._latency_hist.samples()
+        computes = self._compute_hist.samples()
+        counters = {
+            name: int(child.value) for name, child in self._counters.items()
+        }
         doc = {
             "uptime_s": time.time() - self._started_at,
             "workers": self.config.workers,
@@ -360,9 +414,9 @@ class ScenarioService:
 
     def _note_latency(self, job: Job) -> None:
         if job.latency_s is not None:
-            self._latencies.append(job.latency_s)
+            self._latency_hist.observe(job.latency_s)
         if job.result is not None and job.source == "computed":
-            self._computes.append(job.result.compute_seconds)
+            self._compute_hist.observe(job.result.compute_seconds)
             # EWMA of per-job compute cost feeds the queue's Retry-After.
             self._service_time_ewma = (
                 0.8 * self._service_time_ewma
@@ -417,7 +471,7 @@ class ScenarioService:
             except Exception as exc:  # noqa: BLE001 — classified below
                 if isinstance(exc, JobTimeoutError):
                     with self._lock:
-                        self._counters["timeouts"] += 1
+                        self._counters["timeouts"].inc()
                 transient = isinstance(exc, (TransientWorkerError, OSError))
                 retries_used = job.attempts - 1
                 if (
@@ -426,7 +480,11 @@ class ScenarioService:
                     and not job.deadline_exceeded()
                 ):
                     with self._lock:
-                        self._counters["retries"] += 1
+                        self._counters["retries"].inc()
+                    _log.info(
+                        "job %s: transient failure on attempt %d, "
+                        "retrying: %s", job.id, job.attempts, exc,
+                    )
                     time.sleep(self._bounded_backoff(job, retry))
                     continue
                 self._settle_failure(fp, job, exc)
@@ -436,10 +494,8 @@ class ScenarioService:
 
     def _bounded_backoff(self, job: Job, retry: RetryPolicy) -> float:
         delay = retry.delay(job.attempts - 1)
-        if job.spec.deadline_s is not None:
-            remaining = (
-                job.submitted_at + job.spec.deadline_s - time.time()
-            )
+        remaining = job.deadline_remaining()
+        if remaining is not None:
             delay = max(0.0, min(delay, remaining))
         return delay
 
@@ -449,10 +505,9 @@ class ScenarioService:
             if job.spec.timeout_s is not None
             else self.config.default_timeout_s
         )
-        if job.spec.deadline_s is not None:
-            remaining = max(
-                0.01, job.submitted_at + job.spec.deadline_s - time.time()
-            )
+        remaining = job.deadline_remaining()
+        if remaining is not None:
+            remaining = max(0.01, remaining)
             timeout = remaining if timeout is None else min(timeout, remaining)
         return timeout
 
@@ -483,7 +538,7 @@ class ScenarioService:
         _, followers = self.cache.settle(fp, result)
         with self._lock:
             job.finish(JobState.DONE, result=result, source="computed")
-            self._counters["completed"] += 1
+            self._counters["completed"].inc()
             self._note_latency(job)
             for follower in followers:
                 if follower.state.terminal:
@@ -491,15 +546,21 @@ class ScenarioService:
                 follower.finish(
                     JobState.DONE, result=result, source="coalesced"
                 )
-                self._counters["completed"] += 1
+                self._counters["completed"].inc()
                 self._note_latency(follower)
 
     def _settle_failure(self, fp: str, job: Job, exc: Exception) -> None:
         _, followers = self.cache.settle(fp, None)
         error = f"{type(exc).__name__}: {exc}"
+        if isinstance(exc, JobTimeoutError):
+            _log.warning("job %s timed out after %d attempt(s): %s",
+                         job.id, job.attempts, exc)
+        else:
+            _log.error("job %s failed after %d attempt(s): %s",
+                       job.id, job.attempts, error, exc_info=exc)
         with self._lock:
             job.finish(JobState.FAILED, error=error)
-            self._counters["failed"] += 1
+            self._counters["failed"].inc()
             self._note_latency(job)
             for follower in followers:
                 if follower.state.terminal:
@@ -507,5 +568,5 @@ class ScenarioService:
                 follower.finish(
                     JobState.FAILED, error=error, source="coalesced"
                 )
-                self._counters["failed"] += 1
+                self._counters["failed"].inc()
                 self._note_latency(follower)

@@ -364,9 +364,15 @@ class Job:
     spec: JobSpec
     id: str = field(default_factory=lambda: f"job-{uuid.uuid4().hex[:12]}")
     state: JobState = JobState.QUEUED
+    #: Wall-clock timestamps, for user-facing reporting only. All
+    #: duration and deadline arithmetic runs on the monotonic pair
+    #: below, so a wall-clock step (NTP, DST) cannot corrupt latency
+    #: samples or per-attempt budgets.
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    submitted_mono: float = field(default_factory=time.monotonic, repr=False)
+    finished_mono: Optional[float] = field(default=None, repr=False)
     attempts: int = 0
     error: Optional[str] = None
     result: Optional[JobResult] = None
@@ -378,15 +384,26 @@ class Job:
 
     @property
     def latency_s(self) -> Optional[float]:
-        """Submission-to-terminal wall time; None while in flight."""
-        if self.finished_at is None:
+        """Submission-to-terminal duration; None while in flight.
+
+        Measured on the monotonic clock, so it is immune to wall-clock
+        steps between submission and completion.
+        """
+        if self.finished_mono is None:
             return None
-        return self.finished_at - self.submitted_at
+        return self.finished_mono - self.submitted_mono
+
+    def deadline_remaining(self, now: Optional[float] = None) -> Optional[float]:
+        """Monotonic seconds left in the total budget; None if unbounded."""
+        if self.spec.deadline_s is None:
+            return None
+        now_mono = time.monotonic() if now is None else now
+        return self.submitted_mono + self.spec.deadline_s - now_mono
 
     def deadline_exceeded(self, now: Optional[float] = None) -> bool:
-        if self.spec.deadline_s is None:
-            return False
-        return (now or time.time()) - self.submitted_at > self.spec.deadline_s
+        """``now``, when given, is a ``time.monotonic()`` reading."""
+        remaining = self.deadline_remaining(now)
+        return remaining is not None and remaining < 0.0
 
     def finish(
         self,
@@ -403,6 +420,7 @@ class Job:
         self.error = error
         self.source = source
         self.finished_at = time.time()
+        self.finished_mono = time.monotonic()
         self.done.set()
 
     def to_doc(self) -> dict:

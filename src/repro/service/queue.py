@@ -114,6 +114,31 @@ class JobQueue:
 
     # -- introspection ---------------------------------------------------------
 
+    def bind_telemetry(self, registry) -> None:
+        """Expose the queue through pull-based instruments.
+
+        The queue's own accounting stays plain ints under its condition
+        variable; the registry reads them only at collection time, so
+        the put/get hot path gains nothing.
+        """
+        registry.gauge(
+            "repro_queue_depth", "Queued jobs, per lane.",
+            labelnames=("lane",),
+        )
+        for lane in self.lanes:
+            registry.get("repro_queue_depth").labels(lane).set_function(
+                lambda l=lane: self.depth(l)
+            )
+        registry.gauge(
+            "repro_queue_max_depth", "Configured queue capacity."
+        ).set(self.max_depth)
+        registry.counter(
+            "repro_queue_admitted_total", "Jobs admitted past backpressure."
+        ).set_function(lambda: self.admitted)
+        registry.counter(
+            "repro_queue_rejected_total", "Submissions rejected (queue full)."
+        ).set_function(lambda: self.rejected)
+
     def depth(self, lane: Optional[str] = None) -> int:
         with self._cond:
             if lane is not None:

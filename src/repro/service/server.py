@@ -15,9 +15,13 @@ Endpoints
 ``GET /healthz``
     Liveness: ``{"status": "ok", ...}`` while admissions are open.
 ``GET /metrics``
-    Queue depth, per-state job counts, cache accounting (entries, bytes,
-    hit/miss/coalesced), and latency percentiles — the document
-    ``repro cache info --service`` renders.
+    Content-negotiated. Default: the JSON document (queue depth,
+    per-state job counts, cache accounting, latency percentiles — what
+    ``repro cache info --service`` renders). With ``Accept:
+    text/plain`` / ``application/openmetrics-text`` or
+    ``?format=prometheus``: the Prometheus 0.0.4 text exposition of the
+    service's registry plus the process-default registry (engine and
+    runtime instruments). See ``docs/observability.md``.
 
 Uses :class:`http.server.ThreadingHTTPServer`, so slow pollers never
 block submissions; the simulation concurrency bound stays the service's
@@ -39,6 +43,11 @@ from repro.errors import (
 )
 from repro.service.executor import ScenarioService
 from repro.service.jobs import JobSpec
+from repro.telemetry import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    default_registry,
+    render_prometheus,
+)
 
 __all__ = ["make_server", "serve"]
 
@@ -81,6 +90,20 @@ def _make_handler(service: ScenarioService, quiet: bool = True):
             parsed = urlparse(self.path)
             return parsed.path.rstrip("/") or "/", parse_qs(parsed.query)
 
+        def _wants_prometheus(self, query: dict) -> bool:
+            """Content negotiation for /metrics: JSON stays the default
+            (existing consumers and tests); Prometheus text is chosen by
+            ``?format=prometheus`` or an Accept header preferring
+            text/plain or the OpenMetrics type."""
+            fmt = query.get("format", [None])[0]
+            if fmt is not None:
+                return fmt.lower() in ("prometheus", "text", "openmetrics")
+            accept = (self.headers.get("Accept") or "").lower()
+            return (
+                "text/plain" in accept
+                or "application/openmetrics-text" in accept
+            )
+
         # -- GET --------------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 — stdlib handler API
@@ -98,6 +121,17 @@ def _make_handler(service: ScenarioService, quiet: bool = True):
                 )
                 return
             if path == "/metrics":
+                if self._wants_prometheus(_query):
+                    text = render_prometheus(
+                        service.registry, default_registry()
+                    )
+                    payload = text.encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+                    self.send_header("Content-Length", str(len(payload)))
+                    self.end_headers()
+                    self.wfile.write(payload)
+                    return
                 self._send_json(200, service.metrics())
                 return
             if path.startswith("/v1/jobs/"):

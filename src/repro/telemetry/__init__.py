@@ -1,0 +1,72 @@
+"""Typed telemetry layer: one substrate every stats surface reports into.
+
+The four ad-hoc accounting schemes that used to live in the service
+executor, the analytic model's cache stats, ``core.search`` and the
+engines now share one vocabulary:
+
+- **Instruments** — :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram` (``repro.telemetry.metrics``), with labelled
+  children and pull-based ``set_function`` bindings.
+- **Registry** — :class:`MetricRegistry` name-spaces instruments;
+  :func:`default_registry` is the process-global one module-level
+  points report into, explicit registries give tests clean-room
+  accounting.
+- **Exposition** — :func:`render_prometheus` emits the 0.0.4 text
+  format served by ``GET /metrics``; ``MetricRegistry.snapshot()`` is
+  the JSON form.
+- **Timing** — :func:`timer` / :func:`span` context managers.
+- **Logging** — :func:`get_logger` / :func:`configure_logging` wire the
+  per-layer ``repro.*`` loggers.
+
+This package is a strict leaf: it imports only the stdlib and
+``repro.errors`` (enforced by ``tools/check_layering.py``), so every
+other layer may depend on it. See ``docs/observability.md``.
+"""
+
+from repro.telemetry.cache import CacheStats, register_cache_metrics
+from repro.telemetry.exposition import CONTENT_TYPE, render_prometheus
+from repro.telemetry.logconfig import (
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    Timer,
+    span,
+    timer,
+)
+from repro.telemetry.registry import (
+    MetricRegistry,
+    default_registry,
+    enabled,
+    set_default_registry,
+    set_enabled,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "CacheStats",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricRegistry",
+    "ROOT_LOGGER_NAME",
+    "Timer",
+    "configure_logging",
+    "default_registry",
+    "enabled",
+    "get_logger",
+    "register_cache_metrics",
+    "render_prometheus",
+    "set_default_registry",
+    "set_enabled",
+    "span",
+    "timer",
+]

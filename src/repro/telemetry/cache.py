@@ -1,0 +1,88 @@
+"""Cache accounting: the shared :class:`CacheStats` snapshot type and
+the registry binding that exposes any cache through it.
+
+:class:`CacheStats` used to live in ``repro.util.memo`` next to
+:class:`~repro.util.memo.LruCache`; it is the *reporting* half of cache
+accounting, so it now lives with the rest of the telemetry layer and is
+re-exported from its old home for compatibility.
+
+:func:`register_cache_metrics` is the pull-based bridge: the cache
+itself keeps counting with plain ints (zero new hot-path cost), and a
+set of ``set_function`` instruments read a :class:`CacheStats` snapshot
+only when somebody actually collects metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricRegistry
+
+__all__ = ["CacheStats", "register_cache_metrics"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of a cache's accounting."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: int
+    #: Total weight of the stored entries, as measured by the cache's
+    #: ``sizeof`` weigher; 0 for unweighed caches.
+    bytes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        n = self.lookups
+        return self.hits / n if n else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            size=self.size + other.size,
+            max_size=self.max_size + other.max_size,
+            bytes=self.bytes + other.bytes,
+        )
+
+
+def register_cache_metrics(
+    registry: "MetricRegistry",
+    cache: str,
+    stats_fn: Callable[[], CacheStats],
+    namespace: str = "repro_cache",
+) -> None:
+    """Expose ``stats_fn()`` as pull-based instruments labelled by cache.
+
+    Creates (or reuses) one labelled family per statistic under
+    ``namespace`` — ``<namespace>_hits_total{cache="..."}`` and so on —
+    and binds this cache's child samples to ``stats_fn``, which is only
+    invoked at collection time. Re-registering the same cache name
+    rebinds it (the previous ``stats_fn`` is replaced), so re-created
+    owners (a fresh model behind the same label) stay collectable.
+    """
+    registry.counter(
+        f"{namespace}_hits_total", "Cache lookups served from the cache.",
+        labelnames=("cache",),
+    ).labels(cache).set_function(lambda: stats_fn().hits)
+    registry.counter(
+        f"{namespace}_misses_total", "Cache lookups that missed.",
+        labelnames=("cache",),
+    ).labels(cache).set_function(lambda: stats_fn().misses)
+    registry.gauge(
+        f"{namespace}_entries", "Entries currently stored.",
+        labelnames=("cache",),
+    ).labels(cache).set_function(lambda: stats_fn().size)
+    registry.gauge(
+        f"{namespace}_bytes", "Total weighed payload bytes held (0 if unweighed).",
+        labelnames=("cache",),
+    ).labels(cache).set_function(lambda: stats_fn().bytes)

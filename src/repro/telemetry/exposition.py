@@ -1,0 +1,97 @@
+"""Prometheus text exposition (format version 0.0.4).
+
+Renders one or more registries into the plain-text format Prometheus
+scrapes: ``# HELP``/``# TYPE`` headers per family, one sample line per
+leaf, histogram families expanded into cumulative ``_bucket{le=...}``
+series plus ``_sum``/``_count``. Validated line-by-line against the
+published format rules in ``tests/telemetry/test_exposition.py``.
+
+When several registries are passed (the HTTP server concatenates the
+service's own registry with the process default), the first occurrence
+of a metric name wins — a name is never emitted twice, which the format
+forbids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List
+
+from repro.telemetry.metrics import Histogram, Metric
+from repro.telemetry.registry import MetricRegistry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: The Content-Type a 0.0.4 text exposition must be served with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    v = float(value)
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if math.isnan(v):
+        return "NaN"
+    if v.is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _label_str(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + body + "}"
+
+
+def _render_metric(metric: Metric, lines: List[str]) -> None:
+    if metric.help:
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+    lines.append(f"# TYPE {metric.name} {metric.kind}")
+    for leaf in metric.leaves():
+        labels = dict(zip(leaf.labelnames, leaf.labelvalues))
+        if isinstance(leaf, Histogram):
+            for bound, count in leaf.bucket_counts():
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(bound)
+                lines.append(
+                    f"{metric.name}_bucket{_label_str(bucket_labels)} {count}"
+                )
+            lines.append(
+                f"{metric.name}_sum{_label_str(labels)} "
+                f"{_format_value(leaf.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{_label_str(labels)} {leaf.count}"
+            )
+        else:
+            lines.append(
+                f"{metric.name}{_label_str(labels)} "
+                f"{_format_value(leaf.value)}"
+            )
+
+
+def render_prometheus(*registries: MetricRegistry) -> str:
+    """The text exposition of every metric across ``registries``."""
+    lines: List[str] = []
+    seen = set()
+    for registry in registries:
+        for metric in registry.metrics():
+            if metric.name in seen:
+                continue
+            seen.add(metric.name)
+            _render_metric(metric, lines)
+    return "\n".join(lines) + "\n" if lines else ""

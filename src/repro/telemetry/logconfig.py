@@ -1,0 +1,76 @@
+"""Stdlib-``logging`` integration: per-layer named loggers.
+
+The package had no logging at all before the telemetry layer; this
+module gives every layer one obvious way to get a logger
+(``get_logger("service")`` -> ``repro.service``) and the CLI one
+obvious knob (``--log-level`` -> :func:`configure_logging`).
+
+By default nothing is configured — library code logs into the void
+unless the application attaches a handler, exactly as stdlib intends.
+:func:`configure_logging` attaches a single stream handler to the
+``repro`` root logger (idempotently: calling it again only adjusts the
+level), so worker exceptions, retries and spans become visible without
+drowning pytest output by default.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ROOT_LOGGER_NAME", "configure_logging", "get_logger"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_DEFAULT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Marker attribute identifying the handler this module installed.
+_HANDLER_MARK = "_repro_telemetry_handler"
+
+
+def get_logger(layer: str = "") -> logging.Logger:
+    """The named logger of one layer: ``get_logger("mpi")`` ->
+    ``repro.mpi``. Already-qualified names pass through unchanged."""
+    if not layer:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if layer == ROOT_LOGGER_NAME or layer.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(layer)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{layer}")
+
+
+def _coerce_level(level: Union[int, str]) -> int:
+    if isinstance(level, int):
+        return level
+    numeric = logging.getLevelName(str(level).upper())
+    if not isinstance(numeric, int):
+        raise ConfigurationError(f"unknown log level {level!r}")
+    return numeric
+
+
+def configure_logging(
+    level: Union[int, str] = "INFO",
+    stream: Optional[IO[str]] = None,
+    fmt: str = _DEFAULT_FORMAT,
+) -> logging.Logger:
+    """Attach (once) a stream handler to the ``repro`` root logger.
+
+    Idempotent: a second call adjusts the level of the existing handler
+    instead of stacking another one, so every entry point (CLI, serve,
+    tests) can call it unconditionally.
+    """
+    numeric = _coerce_level(level)
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(numeric)
+    for handler in root.handlers:
+        if getattr(handler, _HANDLER_MARK, False):
+            handler.setLevel(numeric)
+            return root
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setLevel(numeric)
+    handler.setFormatter(logging.Formatter(fmt))
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    return root

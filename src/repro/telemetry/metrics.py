@@ -1,0 +1,378 @@
+"""Typed, thread-safe metric primitives: Counter, Gauge, Histogram.
+
+Three instrument kinds cover every stats surface in the repo:
+
+``Counter``
+    A monotonically increasing total (jobs completed, cache hits,
+    candidates evaluated). ``inc()`` only accepts non-negative amounts.
+``Gauge``
+    A value that goes both ways (queue depth, cache entries, bytes
+    held). Either pushed with ``set()``/``inc()``/``dec()`` or pulled at
+    collection time via ``set_function()`` — the pull form is how
+    pre-existing accounting (``JobQueue.admitted``, ``LruCache.hits``)
+    is exposed without adding a single instruction to its hot path.
+``Histogram``
+    A distribution over fixed, cumulative bucket boundaries (Prometheus
+    semantics: bucket ``le=b`` counts observations ``<= b``). An
+    optional bounded ``sample_window`` keeps the raw observations too,
+    so JSON consumers that want exact percentiles (the service's
+    ``/metrics`` document) are served from the same instrument.
+
+Labelled families: construct with ``labelnames`` and obtain per-label
+children with ``.labels(engine="fluid")``. Children are created on
+first use and live for the family's lifetime.
+
+Every mutation takes the instrument's own lock — totals are exact under
+thread hammering (see ``tests/telemetry/test_metrics.py``). For code
+that must be near-free when instrumentation is off, the discipline is
+the same as ``RuntimeConfig.check_invariants``: hold ``None`` instead
+of an instrument and pay one ``is None`` test per potential
+observation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import logging
+import math
+import re
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "Timer",
+    "span",
+    "timer",
+]
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram boundaries, in seconds: sub-millisecond engine
+#: runs up to minute-scale searches. Cumulative ``le`` semantics; an
+#: implicit ``+Inf`` bucket always closes the list.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Metric:
+    """Shared family/child machinery of the three instrument kinds.
+
+    A metric constructed with ``labelnames`` is a *family*: it holds no
+    value of its own and hands out per-label children via
+    :meth:`labels`. One constructed without labels is directly usable.
+    """
+
+    kind: str = ""
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        if not _METRIC_NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME_RE.match(label):
+                raise ConfigurationError(
+                    f"metric {name!r}: invalid label name {label!r}"
+                )
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        #: Set on children only; a family's own labelvalues stay empty.
+        self.labelvalues: Tuple[str, ...] = ()
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], "Metric"] = {}
+        self._func: Optional[Callable[[], float]] = None
+
+    # -- family/child plumbing -------------------------------------------------
+
+    @property
+    def is_family(self) -> bool:
+        return bool(self.labelnames) and not self.labelvalues
+
+    def _check_leaf(self) -> None:
+        if self.is_family:
+            raise ConfigurationError(
+                f"metric {self.name!r} is a labelled family; select a child "
+                f"with .labels({', '.join(self.labelnames)})"
+            )
+
+    def _child_kwargs(self) -> dict:
+        """Construction kwargs a child must inherit (buckets etc.)."""
+        return {}
+
+    def labels(self, *values: object, **labelkv: object) -> "Metric":
+        """The child for one label-value combination (created on first use)."""
+        if not self.labelnames:
+            raise ConfigurationError(f"metric {self.name!r} has no labels")
+        if self.labelvalues:
+            raise ConfigurationError(
+                f"metric {self.name!r}: labels() on an already-labelled child"
+            )
+        if labelkv:
+            if values:
+                raise ConfigurationError(
+                    f"metric {self.name!r}: pass labels positionally or by "
+                    "keyword, not both"
+                )
+            unknown = set(labelkv) - set(self.labelnames)
+            if unknown:
+                raise ConfigurationError(
+                    f"metric {self.name!r}: unknown labels {sorted(unknown)}"
+                )
+            try:
+                values = tuple(labelkv[name] for name in self.labelnames)
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"metric {self.name!r}: missing label {exc.args[0]!r}"
+                ) from None
+        key = tuple(str(v) for v in values)
+        if len(key) != len(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name!r} needs {len(self.labelnames)} label "
+                f"value(s) {self.labelnames}, got {len(key)}"
+            )
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = type(self)(
+                    self.name,
+                    self.help,
+                    labelnames=self.labelnames,
+                    **self._child_kwargs(),
+                )
+                child.labelvalues = key
+                self._children[key] = child
+            return child
+
+    def children(self) -> List["Metric"]:
+        """All live children, sorted by label values (empty for leaves)."""
+        with self._lock:
+            return [self._children[k] for k in sorted(self._children)]
+
+    def leaves(self) -> List["Metric"]:
+        """The sample-bearing instruments: children of a family, else self."""
+        return self.children() if self.is_family else [self]
+
+    def set_function(self, fn: Callable[[], float]) -> "Metric":
+        """Pull the value from ``fn()`` at collection time instead of
+        pushing. Existing accounting (plain ints under the owner's own
+        lock) gets exposed with zero hot-path cost this way."""
+        self._check_leaf()
+        self._func = fn
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        labels = dict(zip(self.labelnames, self.labelvalues))
+        return f"{type(self).__name__}({self.name!r}, labels={labels})"
+
+
+class Counter(Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._check_leaf()
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} can only increase (got {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        if self._func is not None:
+            return float(self._func())
+        with self._lock:
+            return self._value
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._check_leaf()
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._check_leaf()
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._func is not None:
+            return float(self._func())
+        with self._lock:
+            return self._value
+
+
+class Histogram(Metric):
+    """A distribution over fixed cumulative bucket boundaries.
+
+    ``sample_window > 0`` additionally keeps the most recent raw
+    observations in a bounded deque, so consumers that need exact
+    percentiles (the service's JSON metrics document) read them off the
+    same instrument that feeds the Prometheus buckets.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        sample_window: int = 0,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets if not math.isinf(float(b)))
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {self.name!r} needs at least one finite bucket"
+            )
+        if list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram {self.name!r}: buckets must strictly increase, "
+                f"got {bounds}"
+            )
+        if sample_window < 0:
+            raise ConfigurationError(
+                f"histogram {self.name!r}: sample_window must be >= 0"
+            )
+        self.buckets: Tuple[float, ...] = bounds
+        self.sample_window = int(sample_window)
+        # One slot per finite bound plus the +Inf overflow slot.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._window: Optional[deque] = (
+            deque(maxlen=self.sample_window) if self.sample_window else None
+        )
+
+    def _child_kwargs(self) -> dict:
+        return {"buckets": self.buckets, "sample_window": self.sample_window}
+
+    def observe(self, value: float) -> None:
+        self._check_leaf()
+        v = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += v
+            self._counts[bisect.bisect_left(self.buckets, v)] += 1
+            if self._window is not None:
+                self._window.append(v)
+
+    def time(self) -> "Timer":
+        """``with hist.time():`` — observe the block's wall seconds."""
+        self._check_leaf()
+        return Timer(self.observe)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def samples(self) -> List[float]:
+        """Copy of the raw-sample window (empty when ``sample_window=0``)."""
+        with self._lock:
+            return list(self._window) if self._window is not None else []
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        with self._lock:
+            out: List[Tuple[float, int]] = []
+            running = 0
+            for bound, n in zip(self.buckets, self._counts):
+                running += n
+                out.append((bound, running))
+            out.append((math.inf, self._count))
+            return out
+
+
+class Timer:
+    """Context manager that measures wall seconds with ``perf_counter``.
+
+    ``elapsed`` holds the measured duration after exit; an optional
+    callback (a histogram's ``observe``) receives it automatically.
+    """
+
+    __slots__ = ("elapsed", "_callback", "_t0")
+
+    def __init__(self, callback: Optional[Callable[[float], None]] = None) -> None:
+        self.elapsed = 0.0
+        self._callback = callback
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        if self._callback is not None:
+            self._callback(self.elapsed)
+
+
+def timer(histogram: Optional[Histogram] = None) -> Timer:
+    """A :class:`Timer`, optionally feeding ``histogram`` on exit."""
+    return Timer(histogram.observe if histogram is not None else None)
+
+
+@contextmanager
+def span(
+    name: str,
+    histogram: Optional[Histogram] = None,
+    logger: Optional[logging.Logger] = None,
+    level: int = logging.DEBUG,
+) -> Iterator[Timer]:
+    """Time a named block; observe it and/or log it on the way out.
+
+    The logging side is lazy — when the logger (default
+    ``repro.telemetry``) has the level disabled, the only cost beyond
+    the timer is one ``isEnabledFor`` check.
+    """
+    t = Timer(histogram.observe if histogram is not None else None)
+    with t:
+        yield t
+    log = logger if logger is not None else logging.getLogger("repro.telemetry")
+    if log.isEnabledFor(level):
+        log.log(level, "span %s: %.6fs", name, t.elapsed)

@@ -1,0 +1,206 @@
+"""The metric registry: one namespace of typed instruments.
+
+A :class:`MetricRegistry` is a thread-safe, get-or-create map from
+metric name to instrument. Layers ask the registry for their
+instruments (``registry.counter("repro_search_evaluations_total")``)
+instead of inventing private dicts — asking twice returns the same
+object, asking with a conflicting kind or label set raises.
+
+There is one **process-global default registry**
+(:func:`default_registry`) that module-level instrumentation points
+(engines, search, the MPI runtime) report into, and every component
+that meaningfully owns its own lifecycle (a :class:`ScenarioService`)
+takes an explicit registry so tests get clean-room accounting without
+global resets.
+
+The :func:`enabled`/:func:`set_enabled` switch gates the *hot-path*
+instrumentation points (the MPI runtime's per-run phase timing): when
+off — the default, overridable with ``REPRO_TELEMETRY=1`` in the
+environment — those code paths hold ``None`` instead of instruments
+and pay a single ``is None`` test, the same discipline as
+``RuntimeConfig.check_invariants``. Low-frequency points (one event
+per job, per search, per engine run) are always on.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+)
+
+__all__ = [
+    "MetricRegistry",
+    "default_registry",
+    "set_default_registry",
+    "enabled",
+    "set_enabled",
+]
+
+
+class MetricRegistry:
+    """A named, typed, thread-safe collection of instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- get-or-create ---------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: Sequence[str], **kwargs) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                if existing.labelnames != tuple(labelnames):
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.labelnames}, not {tuple(labelnames)}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames=labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+        sample_window: int = 0,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames,
+            buckets=tuple(buckets) if buckets is not None else DEFAULT_BUCKETS,
+            sample_window=sample_window,
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> List[Metric]:
+        """Every registered instrument, sorted by name."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._metrics.pop(name, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    def snapshot(self) -> dict:
+        """JSON-able dump: name -> kind/help/samples.
+
+        Pull-based instruments (``set_function``) are evaluated here,
+        outside the registry lock, so collection can never deadlock
+        against an owner's lock taken in its value callback.
+        """
+        out: dict = {}
+        for metric in self.metrics():
+            samples = []
+            for leaf in metric.leaves():
+                labels = dict(zip(leaf.labelnames, leaf.labelvalues))
+                if isinstance(leaf, Histogram):
+                    samples.append({
+                        "labels": labels,
+                        "count": leaf.count,
+                        "sum": leaf.sum,
+                        "buckets": {
+                            ("+Inf" if bound == float("inf") else repr(bound)): n
+                            for bound, n in leaf.bucket_counts()
+                        },
+                    })
+                else:
+                    samples.append({"labels": labels, "value": leaf.value})
+            out[metric.name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "samples": samples,
+            }
+        return out
+
+
+# -- process-global default --------------------------------------------------
+
+_default_lock = threading.Lock()
+_default_registry = MetricRegistry()
+
+
+def default_registry() -> MetricRegistry:
+    """The process-global registry module-level instruments report into."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricRegistry) -> MetricRegistry:
+    """Swap the process-global registry (tests); returns the previous one.
+
+    Instruments already created keep pointing at the old registry —
+    only *future* ``default_registry()`` lookups see the new one.
+    """
+    global _default_registry
+    if not isinstance(registry, MetricRegistry):
+        raise ConfigurationError("set_default_registry needs a MetricRegistry")
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+        return previous
+
+
+# -- the hot-path gate --------------------------------------------------------
+
+_enabled = os.environ.get("REPRO_TELEMETRY", "").strip().lower() in (
+    "1", "true", "yes", "on"
+)
+
+
+def enabled() -> bool:
+    """Whether hot-path instrumentation points should attach instruments."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Flip the hot-path gate; returns the previous state.
+
+    Takes effect for objects constructed *after* the call (the runtime
+    checks once, at construction — exactly like ``check_invariants``).
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous

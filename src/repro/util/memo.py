@@ -17,46 +17,17 @@ cached against uncached runs.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Callable, Generic, Hashable, Optional, TypeVar
 
 from repro.errors import ConfigurationError
 
+# CacheStats moved to the telemetry layer (the reporting half of cache
+# accounting); re-exported here because this was its original home.
+from repro.telemetry.cache import CacheStats
+
 __all__ = ["CacheStats", "LruCache"]
 
 V = TypeVar("V")
-
-
-@dataclass(frozen=True)
-class CacheStats:
-    """Immutable snapshot of a cache's accounting."""
-
-    hits: int
-    misses: int
-    size: int
-    max_size: int
-    #: Total weight of the stored entries, as measured by the cache's
-    #: ``sizeof`` weigher; 0 for unweighed caches.
-    bytes: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when unused)."""
-        n = self.lookups
-        return self.hits / n if n else 0.0
-
-    def __add__(self, other: "CacheStats") -> "CacheStats":
-        return CacheStats(
-            hits=self.hits + other.hits,
-            misses=self.misses + other.misses,
-            size=self.size + other.size,
-            max_size=self.max_size + other.max_size,
-            bytes=self.bytes + other.bytes,
-        )
 
 
 class LruCache(Generic[V]):

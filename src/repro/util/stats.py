@@ -15,9 +15,25 @@ __all__ = [
     "geometric_mean",
     "relative_error",
     "percent_change",
+    "percentile",
     "Summary",
     "summarize",
 ]
+
+
+def percentile(sample: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sample (q in [0, 100]).
+
+    Banker's rounding on the fractional rank (``round`` semantics), so
+    ``percentile([1, 2], 50)`` is the *lower* of the two middle
+    candidates — matching what the service's latency metrics have
+    always reported.
+    """
+    if not sample:
+        raise ConfigurationError("percentile of an empty sample")
+    ordered = sorted(sample)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[int(rank)]
 
 
 def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:

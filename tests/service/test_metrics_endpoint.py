@@ -1,0 +1,145 @@
+"""Content negotiation on ``GET /metrics``: JSON stays the default
+shape, Prometheus text is served on request, and the two views of the
+same registry agree with each other."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.service.executor import ScenarioService, ServiceConfig
+from repro.service.jobs import JobSpec
+from repro.service.server import make_server
+from repro.telemetry import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from tests.service.test_server import scenario_doc
+
+WAIT = 60.0
+
+
+@pytest.fixture()
+def live():
+    """(base_url, service) of one real server on a free port."""
+    service = ScenarioService(ServiceConfig(workers=2))
+    server = make_server(service, host="127.0.0.1", port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}", service
+    server.shutdown()
+    server.server_close()
+    service.shutdown()
+
+
+def fetch(url: str, accept: str = None):
+    """(status, content_type, body_text) of one GET."""
+    headers = {"Accept": accept} if accept else {}
+    req = urllib.request.Request(url, headers=headers)
+    with urllib.request.urlopen(req, timeout=WAIT) as resp:
+        return (
+            resp.status,
+            resp.headers.get("Content-Type"),
+            resp.read().decode("utf-8"),
+        )
+
+
+def run_one_job(base: str) -> None:
+    body = json.dumps(
+        {"scenario": scenario_doc("metrics-endpoint")}
+    ).encode("utf-8")
+    req = urllib.request.Request(
+        f"{base}/v1/jobs?wait={WAIT}", data=body, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=WAIT) as resp:
+        doc = json.load(resp)
+    assert doc["state"] == "done", doc.get("error")
+
+
+def parse_prometheus(text: str) -> dict:
+    """name{labels} -> float for every sample line."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, value = line.rsplit(" ", 1)
+        out[key] = float(value)
+    return out
+
+
+class TestJsonDefault:
+    def test_shape_preserved(self, live):
+        base, _service = live
+        status, ctype, body = fetch(f"{base}/metrics")
+        assert status == 200
+        assert ctype == "application/json"
+        doc = json.loads(body)
+        for key in ("uptime_s", "workers", "jobs", "queue", "cache",
+                    "counters", "latency", "compute"):
+            assert key in doc
+
+    def test_json_accept_header_stays_json(self, live):
+        base, _service = live
+        _status, ctype, body = fetch(
+            f"{base}/metrics", accept="application/json"
+        )
+        assert ctype == "application/json"
+        json.loads(body)  # parses
+
+
+class TestPrometheusNegotiation:
+    def test_query_parameter_selects_prometheus(self, live):
+        base, _service = live
+        status, ctype, body = fetch(f"{base}/metrics?format=prometheus")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert "# TYPE repro_service_events_total counter" in body
+
+    def test_accept_header_selects_prometheus(self, live):
+        base, _service = live
+        for accept in ("text/plain", "application/openmetrics-text"):
+            _status, ctype, body = fetch(f"{base}/metrics", accept=accept)
+            assert ctype == PROMETHEUS_CONTENT_TYPE
+            assert "# TYPE repro_service_workers gauge" in body
+
+    def test_format_text_alias(self, live):
+        base, _service = live
+        _status, ctype, _body = fetch(f"{base}/metrics?format=text")
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+
+
+class TestRoundTrip:
+    def test_views_agree_after_a_completed_job(self, live):
+        base, service = live
+        run_one_job(base)
+
+        _s, _c, json_body = fetch(f"{base}/metrics")
+        doc = json.loads(json_body)
+        assert doc["counters"]["completed"] == 1
+        assert doc["latency"]["count"] == 1
+
+        _s, _c, prom_body = fetch(f"{base}/metrics?format=prometheus")
+        samples = parse_prometheus(prom_body)
+        assert samples['repro_service_events_total{event="completed"}'] == 1.0
+        assert samples["repro_service_job_latency_seconds_count"] == 1.0
+        assert samples["repro_service_workers"] == float(
+            service.config.workers
+        )
+        # The queue's admission accounting is pulled through the same
+        # registry the JSON document reads from.
+        assert samples["repro_queue_admitted_total"] == float(
+            doc["queue"]["admitted"]
+        )
+        # Cumulative histogram invariant holds over the wire too.
+        inf_key = 'repro_service_job_latency_seconds_bucket{le="+Inf"}'
+        assert samples[inf_key] == samples[
+            "repro_service_job_latency_seconds_count"
+        ]
+
+    def test_engine_metrics_from_default_registry_included(self, live):
+        base, _service = live
+        run_one_job(base)
+        _s, _c, body = fetch(f"{base}/metrics?format=prometheus")
+        # The server concatenates the service registry with the process
+        # default registry, where engine instruments live.
+        assert "# TYPE repro_engine_runs_total counter" in body

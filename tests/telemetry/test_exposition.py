@@ -1,0 +1,164 @@
+"""Line-by-line conformance of the text exposition with the published
+Prometheus 0.0.4 format rules.
+
+The rules exercised here (from the exposition-format spec):
+
+* ``# HELP <name> <docstring>`` with ``\\`` -> ``\\\\`` and newline ->
+  ``\\n`` escaping; ``# TYPE <name> <kind>`` before any sample of that
+  name; a metric name appears in at most one TYPE line.
+* Label values escape ``\\``, ``"``, and newlines; samples read
+  ``name{label="value",...} value``.
+* Histograms expand to cumulative ``_bucket`` series carrying the
+  reserved ``le`` label, ending with ``le="+Inf"`` whose value equals
+  ``_count``, plus ``_sum`` and ``_count`` series.
+* The content type carries ``version=0.0.4``.
+"""
+
+import pytest
+
+from repro.telemetry import (
+    CONTENT_TYPE,
+    MetricRegistry,
+    render_prometheus,
+)
+
+
+def test_content_type_is_the_0_0_4_string():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TestScalarRendering:
+    def test_counter_with_help_and_type(self):
+        reg = MetricRegistry()
+        reg.counter("jobs_total", help="Jobs seen.").inc(3)
+        assert render_prometheus(reg) == (
+            "# HELP jobs_total Jobs seen.\n"
+            "# TYPE jobs_total counter\n"
+            "jobs_total 3\n"
+        )
+
+    def test_no_help_line_when_help_empty(self):
+        reg = MetricRegistry()
+        reg.gauge("depth").set(2)
+        assert render_prometheus(reg) == (
+            "# TYPE depth gauge\n"
+            "depth 2\n"
+        )
+
+    def test_labelled_family_one_line_per_child(self):
+        reg = MetricRegistry()
+        fam = reg.counter("events_total", labelnames=("event",))
+        fam.labels("completed").inc(5)
+        fam.labels("failed").inc(1)
+        text = render_prometheus(reg)
+        assert 'events_total{event="completed"} 5\n' in text
+        assert 'events_total{event="failed"} 1\n' in text
+        assert text.count("# TYPE events_total") == 1
+
+    def test_help_escaping(self):
+        reg = MetricRegistry()
+        reg.counter("esc_total", help="line1\nline2 back\\slash")
+        assert (
+            "# HELP esc_total line1\\nline2 back\\\\slash\n"
+            in render_prometheus(reg)
+        )
+
+    def test_label_value_escaping(self):
+        reg = MetricRegistry()
+        reg.gauge("g", labelnames=("path",)).labels('a"b\\c\nd').set(1)
+        assert 'g{path="a\\"b\\\\c\\nd"} 1\n' in render_prometheus(reg)
+
+    def test_float_and_int_value_formatting(self):
+        reg = MetricRegistry()
+        reg.gauge("whole").set(4.0)
+        reg.gauge("fractional").set(0.25)
+        text = render_prometheus(reg)
+        assert "whole 4\n" in text  # integral floats render as ints
+        assert "fractional 0.25\n" in text
+
+
+class TestHistogramRendering:
+    def test_full_expansion_hand_checked(self):
+        reg = MetricRegistry()
+        h = reg.histogram("lat_seconds", help="Latency.", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert render_prometheus(reg) == (
+            "# HELP lat_seconds Latency.\n"
+            "# TYPE lat_seconds histogram\n"
+            'lat_seconds_bucket{le="0.1"} 1\n'
+            'lat_seconds_bucket{le="1"} 3\n'
+            'lat_seconds_bucket{le="+Inf"} 4\n'
+            "lat_seconds_sum 6.05\n"
+            "lat_seconds_count 4\n"
+        )
+
+    def test_buckets_are_cumulative_and_inf_matches_count(self):
+        reg = MetricRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0, 3.0))
+        for v in (0.5, 1.5, 2.5, 9.0):
+            h.observe(v)
+        lines = render_prometheus(reg).splitlines()
+        bucket_values = [
+            int(line.rsplit(" ", 1)[1])
+            for line in lines if line.startswith("h_bucket")
+        ]
+        assert bucket_values == sorted(bucket_values)  # cumulative
+        count = int(
+            [ln for ln in lines if ln.startswith("h_count")][0].rsplit(" ", 1)[1]
+        )
+        assert bucket_values[-1] == count == 4
+
+    def test_labelled_histogram_keeps_own_labels_plus_le(self):
+        reg = MetricRegistry()
+        fam = reg.histogram("run_seconds", labelnames=("engine",),
+                            buckets=(1.0,))
+        fam.labels("fluid").observe(0.5)
+        text = render_prometheus(reg)
+        assert 'run_seconds_bucket{engine="fluid",le="1"} 1\n' in text
+        assert 'run_seconds_bucket{engine="fluid",le="+Inf"} 1\n' in text
+        assert 'run_seconds_sum{engine="fluid"} 0.5\n' in text
+        assert 'run_seconds_count{engine="fluid"} 1\n' in text
+
+
+class TestStructuralRules:
+    def test_type_line_precedes_every_sample_of_that_name(self):
+        reg = MetricRegistry()
+        reg.counter("a_total").inc()
+        reg.histogram("b_seconds", buckets=(1.0,)).observe(0.5)
+        reg.gauge("c")
+        lines = render_prometheus(reg).splitlines()
+        for base in ("a_total", "b_seconds", "c"):
+            type_at = lines.index(f"# TYPE {base} " + {
+                "a_total": "counter", "b_seconds": "histogram", "c": "gauge"
+            }[base])
+            sample_ats = [
+                i for i, line in enumerate(lines)
+                if line.startswith(base) and not line.startswith("#")
+            ]
+            assert sample_ats and min(sample_ats) > type_at
+
+    def test_first_registry_wins_on_name_collision(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("shared_total").inc(1)
+        b.counter("shared_total").inc(99)
+        b.counter("only_b_total").inc(7)
+        text = render_prometheus(a, b)
+        assert "shared_total 1\n" in text
+        assert "shared_total 99" not in text
+        assert text.count("# TYPE shared_total counter") == 1
+        assert "only_b_total 7\n" in text
+
+    def test_empty_registry_renders_empty_string(self):
+        assert render_prometheus(MetricRegistry()) == ""
+
+    def test_ends_with_single_newline(self):
+        reg = MetricRegistry()
+        reg.counter("x_total")
+        text = render_prometheus(reg)
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+    def test_pull_instruments_render_their_callback_value(self):
+        reg = MetricRegistry()
+        reg.gauge("pulled").set_function(lambda: 42)
+        assert "pulled 42\n" in render_prometheus(reg)

@@ -1,0 +1,245 @@
+"""Instrument semantics: Counter/Gauge/Histogram, labels, timers.
+
+The concurrency tests are the load-bearing ones: every legacy stats
+surface this layer replaced was mutated under a lock, so the registry's
+instruments must deliver *exact* totals under thread hammering, not
+approximately-correct ones.
+"""
+
+import logging
+import math
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Timer,
+    span,
+    timer,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("requests_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        c = Counter("requests_total")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1.0)
+        assert c.value == 0.0
+
+    def test_pull_via_set_function(self):
+        backing = {"n": 7}
+        c = Counter("pulled_total").set_function(lambda: backing["n"])
+        assert c.value == 7.0
+        backing["n"] = 9
+        assert c.value == 9.0
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("bad-name")
+        with pytest.raises(ConfigurationError):
+            Counter("0leading")
+
+    def test_invalid_label_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("ok_total", labelnames=("bad-label",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(4.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value == pytest.approx(3.0)
+
+    def test_can_go_negative(self):
+        g = Gauge("delta")
+        g.dec(1.5)
+        assert g.value == pytest.approx(-1.5)
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        # Prometheus: bucket le=b counts observations <= b, cumulatively.
+        h = Histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.1, 0.5, 1.0, 2.0):
+            h.observe(v)
+        assert h.bucket_counts() == [(0.1, 2), (1.0, 4), (math.inf, 5)]
+        assert h.count == 5
+        assert h.sum == pytest.approx(3.65)
+
+    def test_inf_bucket_always_equals_count(self):
+        h = Histogram("lat", buckets=(0.01,))
+        for v in (100.0, 200.0):
+            h.observe(v)
+        assert h.bucket_counts()[-1] == (math.inf, 2)
+
+    def test_buckets_must_strictly_increase(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", buckets=())
+
+    def test_sample_window_is_bounded(self):
+        h = Histogram("lat", buckets=(1.0,), sample_window=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.samples() == [2.0, 3.0, 4.0]  # oldest evicted
+        assert h.count == 4  # buckets/count still see everything
+
+    def test_no_window_by_default(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        assert h.samples() == []
+
+    def test_time_context_manager_observes(self):
+        h = Histogram("lat", buckets=(60.0,))
+        with h.time():
+            pass
+        assert h.count == 1
+        assert 0.0 <= h.sum < 1.0
+
+
+class TestLabels:
+    def test_family_holds_no_value(self):
+        fam = Counter("events_total", labelnames=("event",))
+        with pytest.raises(ConfigurationError):
+            fam.inc()
+        assert fam.is_family
+
+    def test_children_created_once(self):
+        fam = Counter("events_total", labelnames=("event",))
+        a = fam.labels("completed")
+        b = fam.labels(event="completed")
+        assert a is b
+        a.inc(3)
+        assert fam.labels("completed").value == 3.0
+
+    def test_distinct_children_independent(self):
+        fam = Counter("events_total", labelnames=("event",))
+        fam.labels("a").inc()
+        fam.labels("b").inc(5)
+        assert fam.labels("a").value == 1.0
+        assert fam.labels("b").value == 5.0
+
+    def test_leaves_sorted_by_label_values(self):
+        fam = Gauge("depth", labelnames=("lane",))
+        fam.labels("interactive").set(1)
+        fam.labels("batch").set(2)
+        assert [leaf.labelvalues for leaf in fam.leaves()] == [
+            ("batch",), ("interactive",)
+        ]
+
+    def test_unlabelled_leaf_is_its_own_leaf(self):
+        c = Counter("plain_total")
+        assert c.leaves() == [c]
+
+    def test_label_arity_and_names_checked(self):
+        fam = Counter("events_total", labelnames=("event", "lane"))
+        with pytest.raises(ConfigurationError):
+            fam.labels("only-one")
+        with pytest.raises(ConfigurationError):
+            fam.labels(bogus="x")
+        with pytest.raises(ConfigurationError):
+            fam.labels("a", event="b")  # positional and keyword mixed
+        with pytest.raises(ConfigurationError):
+            fam.labels("a", "b").labels("c", "d")  # labels() on a child
+
+    def test_histogram_children_inherit_buckets_and_window(self):
+        fam = Histogram(
+            "lat", labelnames=("engine",), buckets=(0.5, 2.0), sample_window=4
+        )
+        child = fam.labels("fluid")
+        assert child.buckets == (0.5, 2.0)
+        assert child.sample_window == 4
+
+    def test_labels_on_unlabelled_metric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("plain_total").labels("x")
+
+
+class TestTimers:
+    def test_timer_records_elapsed(self):
+        t = timer()
+        with t:
+            pass
+        assert isinstance(t, Timer)
+        assert t.elapsed >= 0.0
+
+    def test_timer_feeds_histogram(self):
+        h = Histogram("lat", buckets=(60.0,))
+        with timer(h):
+            pass
+        assert h.count == 1
+
+    def test_span_observes_and_logs(self, caplog):
+        h = Histogram("lat", buckets=(60.0,))
+        log = logging.getLogger("repro.test_span")
+        with caplog.at_level(logging.DEBUG, logger="repro.test_span"):
+            with span("step", histogram=h, logger=log) as t:
+                pass
+        assert h.count == 1
+        assert t.elapsed >= 0.0
+        assert any("span step" in rec.message for rec in caplog.records)
+
+    def test_span_silent_when_level_disabled(self, caplog):
+        log = logging.getLogger("repro.test_span_quiet")
+        with caplog.at_level(logging.WARNING, logger="repro.test_span_quiet"):
+            with span("quiet", logger=log):
+                pass
+        assert not caplog.records
+
+
+class TestConcurrency:
+    """Exactness under hammering — the registry's core guarantee."""
+
+    THREADS = 8
+    PER_THREAD = 5_000
+
+    def _hammer(self, fn):
+        barrier = threading.Barrier(self.THREADS)
+
+        def work():
+            barrier.wait()
+            for _ in range(self.PER_THREAD):
+                fn()
+
+        threads = [threading.Thread(target=work) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_total_exact(self):
+        c = Counter("hammered_total")
+        self._hammer(c.inc)
+        assert c.value == self.THREADS * self.PER_THREAD
+
+    def test_labelled_counter_totals_exact(self):
+        fam = Counter("hammered_total", labelnames=("slot",))
+        # Every thread funnels through labels() too: child creation
+        # races and child increments both stay exact.
+        self._hammer(lambda: fam.labels("x").inc())
+        assert fam.labels("x").value == self.THREADS * self.PER_THREAD
+
+    def test_histogram_count_and_sum_exact(self):
+        h = Histogram("hammered", buckets=(0.5, 2.0))
+        self._hammer(lambda: h.observe(1.0))
+        expected = self.THREADS * self.PER_THREAD
+        assert h.count == expected
+        assert h.sum == pytest.approx(float(expected))
+        assert h.bucket_counts()[-1] == (math.inf, expected)
+        assert h.bucket_counts()[1] == (2.0, expected)

@@ -1,0 +1,175 @@
+"""Registry semantics: get-or-create, conflicts, snapshots, the
+process-global default, the hot-path gate, and cache bindings."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    CacheStats,
+    MetricRegistry,
+    default_registry,
+    enabled,
+    register_cache_metrics,
+    set_default_registry,
+    set_enabled,
+)
+
+
+class TestGetOrCreate:
+    def test_same_name_returns_same_instrument(self):
+        reg = MetricRegistry()
+        a = reg.counter("jobs_total", help="first wins")
+        b = reg.counter("jobs_total", help="ignored on re-ask")
+        assert a is b
+        assert a.help == "first wins"
+
+    def test_kind_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("jobs_total")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("jobs_total")
+        with pytest.raises(ConfigurationError):
+            reg.histogram("jobs_total")
+
+    def test_labelnames_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("events_total", labelnames=("event",))
+        with pytest.raises(ConfigurationError):
+            reg.counter("events_total", labelnames=("lane",))
+        with pytest.raises(ConfigurationError):
+            reg.counter("events_total")
+
+    def test_containment_and_len(self):
+        reg = MetricRegistry()
+        assert len(reg) == 0
+        reg.gauge("depth")
+        assert "depth" in reg and "nope" not in reg
+        assert len(reg) == 1
+        assert reg.get("depth") is not None
+        reg.unregister("depth")
+        assert "depth" not in reg
+
+    def test_metrics_sorted_by_name(self):
+        reg = MetricRegistry()
+        reg.counter("b_total")
+        reg.counter("a_total")
+        assert [m.name for m in reg.metrics()] == ["a_total", "b_total"]
+
+
+class TestSnapshot:
+    def test_counter_and_gauge_samples(self):
+        reg = MetricRegistry()
+        reg.counter("jobs_total").inc(3)
+        reg.gauge("depth", labelnames=("lane",)).labels("batch").set(2)
+        snap = reg.snapshot()
+        assert snap["jobs_total"]["kind"] == "counter"
+        assert snap["jobs_total"]["samples"] == [{"labels": {}, "value": 3.0}]
+        assert snap["depth"]["samples"] == [
+            {"labels": {"lane": "batch"}, "value": 2.0}
+        ]
+
+    def test_histogram_sample_shape(self):
+        reg = MetricRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        (sample,) = reg.snapshot()["lat"]["samples"]
+        assert sample["count"] == 2
+        assert sample["sum"] == pytest.approx(0.55)
+        assert sample["buckets"] == {"0.1": 1, "1.0": 2, "+Inf": 2}
+
+    def test_pull_functions_evaluated_at_snapshot_time(self):
+        reg = MetricRegistry()
+        backing = {"n": 1}
+        reg.gauge("pulled").set_function(lambda: backing["n"])
+        assert reg.snapshot()["pulled"]["samples"][0]["value"] == 1.0
+        backing["n"] = 5
+        assert reg.snapshot()["pulled"]["samples"][0]["value"] == 5.0
+
+
+class TestDefaultRegistry:
+    def test_swap_and_restore(self):
+        fresh = MetricRegistry()
+        previous = set_default_registry(fresh)
+        try:
+            assert default_registry() is fresh
+        finally:
+            assert set_default_registry(previous) is fresh
+        assert default_registry() is previous
+
+    def test_swap_rejects_non_registry(self):
+        with pytest.raises(ConfigurationError):
+            set_default_registry(object())
+
+
+class TestEnabledGate:
+    def test_round_trip(self):
+        before = enabled()
+        try:
+            assert set_enabled(True) is before
+            assert enabled() is True
+            assert set_enabled(False) is True
+            assert enabled() is False
+        finally:
+            set_enabled(before)
+
+
+class TestCacheStats:
+    def test_derived_fields(self):
+        s = CacheStats(hits=3, misses=1, size=2, max_size=8)
+        assert s.lookups == 4
+        assert s.hit_rate == pytest.approx(0.75)
+        assert CacheStats(hits=0, misses=0, size=0, max_size=1).hit_rate == 0.0
+
+    def test_addition_merges(self):
+        a = CacheStats(hits=1, misses=2, size=3, max_size=4, bytes=10)
+        b = CacheStats(hits=5, misses=6, size=7, max_size=8, bytes=20)
+        merged = a + b
+        assert merged == CacheStats(
+            hits=6, misses=8, size=10, max_size=12, bytes=30
+        )
+
+    def test_backward_compatible_import_path(self):
+        # The pre-telemetry home must keep working for existing callers.
+        from repro.util.memo import CacheStats as LegacyCacheStats
+
+        assert LegacyCacheStats is CacheStats
+
+
+class TestRegisterCacheMetrics:
+    def test_families_pull_from_stats_fn(self):
+        reg = MetricRegistry()
+        state = {"stats": CacheStats(hits=2, misses=1, size=3, max_size=9,
+                                     bytes=64)}
+        register_cache_metrics(reg, "results", lambda: state["stats"])
+        snap = reg.snapshot()
+
+        def sample(name):
+            (s,) = snap[name]["samples"]
+            assert s["labels"] == {"cache": "results"}
+            return s["value"]
+
+        assert sample("repro_cache_hits_total") == 2.0
+        assert sample("repro_cache_misses_total") == 1.0
+        assert sample("repro_cache_entries") == 3.0
+        assert sample("repro_cache_bytes") == 64.0
+
+        state["stats"] = CacheStats(hits=7, misses=1, size=4, max_size=9)
+        snap = reg.snapshot()
+        assert sample("repro_cache_hits_total") == 7.0
+
+    def test_rebinding_same_label_last_wins(self):
+        reg = MetricRegistry()
+        register_cache_metrics(reg, "c", lambda: CacheStats(1, 0, 0, 0))
+        register_cache_metrics(reg, "c", lambda: CacheStats(9, 0, 0, 0))
+        (s,) = reg.snapshot()["repro_cache_hits_total"]["samples"]
+        assert s["value"] == 9.0
+
+    def test_two_caches_two_children(self):
+        reg = MetricRegistry()
+        register_cache_metrics(reg, "a", lambda: CacheStats(1, 0, 0, 0))
+        register_cache_metrics(reg, "b", lambda: CacheStats(2, 0, 0, 0))
+        samples = reg.snapshot()["repro_cache_hits_total"]["samples"]
+        assert {s["labels"]["cache"]: s["value"] for s in samples} == {
+            "a": 1.0, "b": 2.0,
+        }

@@ -29,6 +29,12 @@ from typing import Iterator, List, Tuple
 #: repro.<package> -> the upper layers it must never module-level import.
 _UPPER = ("scenarios", "oracle", "experiments", "service", "cli")
 FORBIDDEN = {
+    # The telemetry substrate is a strict leaf (stdlib + repro.errors
+    # only): every layer may report into it, so it may depend on none.
+    "telemetry": (
+        "util", "kernel", "smt", "mpi", "machine", "trace", "workloads",
+        "core", "cluster",
+    ) + _UPPER,
     "util": _UPPER,
     "kernel": _UPPER,
     "smt": _UPPER,
