@@ -313,19 +313,28 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
         except OracleError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+        try:
+            batch_checks = golden.check_all_batch(
+                directory, tolerance=args.tolerance, strict=False
+            )
+        except OracleError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         bad = 0
-        for c in checks:
-            status = "ok" if c.ok else "MISMATCH"
-            print(f"{status:8s} {os.path.basename(c.path)} "
-                  f"(replayed {c.replayed_time:.4f}s, "
-                  f"recorded {c.recorded_time:.4f}s)")
-            for m in c.mismatches:
-                bad += 1
-                print(f"         - {m}")
+        for label, group in (("", checks), ("[batch] ", batch_checks)):
+            for c in group:
+                status = "ok" if c.ok else "MISMATCH"
+                print(f"{status:8s} {label}{os.path.basename(c.path)} "
+                      f"(replayed {c.replayed_time:.4f}s, "
+                      f"recorded {c.recorded_time:.4f}s)")
+                for m in c.mismatches:
+                    bad += 1
+                    print(f"         - {m}")
         if bad:
             print(f"{bad} golden mismatch(es)", file=sys.stderr)
             return 1
-        print(f"{len(checks)} golden trace(s) match; decode law holds")
+        print(f"{len(checks)} golden trace(s) match scalar and batch "
+              "replay; decode law holds")
         return 0
     # fuzz
     report = differential.fuzz(args.budget, seed=args.seed)
@@ -408,13 +417,14 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     from repro.scenarios import all_engines
 
     table = TextTable(
-        ["engine", "options", "description"],
+        ["engine", "batch", "options", "description"],
         title="Registered scenario execution engines",
     )
     for engine in all_engines():
         table.add_row(
             [
                 engine.name,
+                getattr(engine, "batch_strategy", "loop"),
                 ", ".join(engine.option_names) or "-",
                 engine.description,
             ]

@@ -26,11 +26,33 @@ per-thread ``System`` caches (the model's memo cache warms across runs,
 the cycle table accumulates measurements) keyed by everything that
 changes construction, so the service's worker threads get the same
 warm-path behaviour the old executor hand-rolled.
+
+Batched execution: every engine also implements ``run_batch(specs)``,
+with a correct default fallback (a loop over :meth:`Engine.run`) and
+native strategies where amortisation pays:
+
+``fluid``
+    Predicts the chip states a batch will visit (every combination of
+    compute/spin postures per mapped context at the static priorities),
+    dedupes them across the batch, solves the misses in one stacked
+    numpy call (:meth:`AnalyticThroughputModel.chip_ipc_stack`), then
+    runs the per-spec event loops against the warmed memo. The
+    prediction is purely a speed heuristic — anything it missed is
+    solved on demand — and the solve itself is a pure function, so
+    batch traces are bit-identical to scalar ones.
+``analytic``
+    Stacks all specs' steady-state chip solves into one vectorized
+    call; the per-spec closed form then reads warm cache entries.
+``cycle``
+    Shares the persisted :class:`ThroughputTable` across the batch:
+    loaded once per (seed, path) System, merged and saved once per
+    batch instead of once per run.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import threading
 import time
 from dataclasses import dataclass, field
@@ -71,6 +93,45 @@ def _observe_run(engine: str, elapsed_s: float) -> None:
         "repro_engine_run_seconds", "Wall seconds per engine run.",
         labelnames=("engine",),
     ).labels(engine).observe(elapsed_s)
+
+
+def _observe_batch(engine: str, size: int, elapsed_s: float) -> None:
+    """Publish one ``run_batch`` call into the default registry.
+
+    Per-spec run counters/histograms still fire individually inside the
+    batch (the scalar ``run`` path is reused per spec), so these batch
+    instruments are additive: calls, sizes, and whole-batch wall time.
+    """
+    reg = default_registry()
+    reg.counter(
+        "repro_engine_batches_total",
+        "run_batch calls, by engine.",
+        labelnames=("engine",),
+    ).labels(engine).inc()
+    reg.histogram(
+        "repro_engine_batch_size", "Specs per run_batch call.",
+        labelnames=("engine",),
+    ).labels(engine).observe(size)
+    reg.histogram(
+        "repro_engine_batch_seconds", "Wall seconds per run_batch call.",
+        labelnames=("engine",),
+    ).labels(engine).observe(elapsed_s)
+
+
+_DEFAULT_FREQ_HZ: Optional[float] = None
+
+
+def _default_freq_hz() -> float:
+    """The default chip clock, resolved once per process.
+
+    ``SystemConfig()`` is a frozen default every time, so the frequency
+    it carries is a constant; constructing it per analytic run showed up
+    as real overhead in the batch profile.
+    """
+    global _DEFAULT_FREQ_HZ
+    if _DEFAULT_FREQ_HZ is None:
+        _DEFAULT_FREQ_HZ = SystemConfig().chip.freq_hz
+    return _DEFAULT_FREQ_HZ
 
 
 def trace_digest(result: RunResult) -> str:
@@ -188,6 +249,11 @@ class Engine:
     description: str = ""
     #: Engine-specific ``options`` keys :meth:`run` accepts.
     option_names: Tuple[str, ...] = ()
+    #: How :meth:`run_batch` amortises work: ``"loop"`` (the default
+    #: fallback — correct but nothing shared), ``"vectorized"`` (stacked
+    #: numpy solves), or ``"shared-table"`` (one table load/save per
+    #: batch). Shown by ``repro engines list``.
+    batch_strategy: str = "loop"
 
     def run(
         self,
@@ -197,6 +263,47 @@ class Engine:
         options: Optional[Mapping[str, object]] = None,
     ) -> ExecutionResult:
         raise NotImplementedError
+
+    def run_batch(
+        self,
+        specs,
+        *,
+        labels: Optional[List[str]] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> List[ExecutionResult]:
+        """Execute many specs; one :class:`ExecutionResult` per spec.
+
+        The contract every backend must honour: results are index-
+        aligned with ``specs``, and each is bit-identical to a scalar
+        ``run(spec)`` with the same options (batching is an execution
+        strategy, never a physics change). This default implementation
+        simply loops :meth:`run`; backends override it where shared
+        work can be amortised across the batch.
+        """
+        specs, labels = self._batch_args(specs, labels)
+        t0 = time.perf_counter()
+        results = [
+            self.run(spec, label=label, options=options)
+            for spec, label in zip(specs, labels)
+        ]
+        _observe_batch(self.name, len(specs), time.perf_counter() - t0)
+        return results
+
+    def _batch_args(
+        self, specs, labels: Optional[List[str]]
+    ) -> Tuple[List[ScenarioSpec], List[Optional[str]]]:
+        """Normalise/validate the (specs, labels) pair of a batch call."""
+        specs = list(specs)
+        if labels is None:
+            labels = [None] * len(specs)
+        else:
+            labels = list(labels)
+            if len(labels) != len(specs):
+                raise ConfigurationError(
+                    f"run_batch got {len(specs)} specs but "
+                    f"{len(labels)} labels"
+                )
+        return specs, labels
 
     def _opts(self, options: Optional[Mapping[str, object]]) -> dict:
         opts = dict(options or {})
@@ -216,6 +323,7 @@ class FluidEngine(Engine):
     description = ("discrete-event MPI runtime driven by the analytic "
                    "throughput model (the default simulator)")
     option_names = ("incremental_rates", "check_invariants")
+    batch_strategy = "vectorized"
 
     def __init__(self) -> None:
         self._local = threading.local()
@@ -286,6 +394,116 @@ class FluidEngine(Engine):
         _observe_run(self.name, elapsed)
         return ExecutionResult.from_run(self.name, spec, run, elapsed)
 
+    def run_batch(
+        self,
+        specs,
+        *,
+        labels: Optional[List[str]] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> List[ExecutionResult]:
+        """Batch execution: presolve the batch's chip states, then run.
+
+        Phase 1 predicts every chip state the batch's event loops will
+        query (per spec: each mapped context either computes its profile
+        or spins at a barrier, at its static priority), dedupes them
+        across the batch, and solves the cache misses in one stacked
+        numpy call. Phase 2 runs the ordinary scalar event loops, which
+        now hit a warm memo. Correctness never depends on the
+        prediction: a state it missed is solved on demand, and the
+        solve is a pure function of the state — so digests are
+        bit-identical to per-spec ``run`` calls in any order.
+        """
+        specs, labels = self._batch_args(specs, labels)
+        opts = self._opts(options)
+        t0 = time.perf_counter()
+        incremental = bool(opts.get("incremental_rates", True))
+        invariants = bool(opts.get("check_invariants", False))
+
+        by_seed: Dict[int, List[ScenarioSpec]] = {}
+        for spec in specs:
+            by_seed.setdefault(spec.seed, []).append(spec)
+        for seed, group in by_seed.items():
+            system = self._system(seed, incremental, invariants)
+            self._presolve(system, group)
+
+        results = [
+            self.run(spec, label=label, options=options)
+            for spec, label in zip(specs, labels)
+        ]
+        _observe_batch(self.name, len(specs), time.perf_counter() - t0)
+        return results
+
+    def _presolve(self, system: System, specs: List[ScenarioSpec]) -> None:
+        """Warm ``system.model``'s chip memo for a group of specs."""
+        model = system.model
+        stack = getattr(model, "chip_ipc_stack", None)
+        if stack is None:  # pragma: no cover - non-analytic model
+            return
+        chip_cache = model._chip_cache
+        seen = set()
+        states = []
+        for spec in specs:
+            for core_states in self._candidate_chip_states(system, spec):
+                key = tuple(
+                    (
+                        pa.name if pa else None,
+                        pb.name if pb else None,
+                        xa,
+                        xb,
+                    )
+                    for (pa, pb, xa, xb) in core_states
+                )
+                if key not in seen and key not in chip_cache:
+                    seen.add(key)
+                    states.append(core_states)
+        if states:
+            stack(states)
+
+    def _candidate_chip_states(self, system: System, spec: ScenarioSpec):
+        """Chip states ``spec``'s event loop is expected to query.
+
+        Mirrors the runtime's state construction: a plain chip is one
+        core group covering *all* cores (idle contexts included, at the
+        default MEDIUM priority); static priorities are applied at t=0;
+        each mapped context is either computing ``spec.profile`` or
+        parked in the wait posture (the spin profile under the default
+        ``wait_mode="spin"``, an empty context under ``"block"``).
+        Enumerates the cartesian product of the two postures per mapped
+        context — at most ``2**n_ranks`` states, of which a run
+        typically visits a handful.
+        """
+        runtime_cfg = system.config.runtime
+        if runtime_cfg.wait_mode == "spin":
+            wait_load = BASE_PROFILES[runtime_cfg.spin_profile]
+        else:
+            wait_load = None
+        profile = BASE_PROFILES[spec.profile]
+        mapping = spec.mapping_obj()
+        prios = spec.priority_dict() or {}
+
+        n_cores = system.config.chip.n_cores
+        cpu_prio = [4] * (2 * n_cores)
+        mapped_cpus = []
+        for rank in range(spec.n_ranks):
+            cpu = mapping.cpu_of(rank)
+            cpu_prio[cpu] = int(prios.get(rank, 4))
+            mapped_cpus.append(cpu)
+
+        for postures in itertools.product((profile, wait_load),
+                                          repeat=len(mapped_cpus)):
+            cpu_load = [None] * (2 * n_cores)
+            for cpu, load in zip(mapped_cpus, postures):
+                cpu_load[cpu] = load
+            yield tuple(
+                (
+                    cpu_load[2 * core],
+                    cpu_load[2 * core + 1],
+                    cpu_prio[2 * core],
+                    cpu_prio[2 * core + 1],
+                )
+                for core in range(n_cores)
+            )
+
 
 class CycleEngine(Engine):
     """The fluid runtime driven by cycle-level pipeline measurements."""
@@ -294,6 +512,7 @@ class CycleEngine(Engine):
     description = ("MPI runtime driven by measured pipeline IPC "
                    "(ThroughputTable — the decode mechanism's ground truth)")
     option_names = ("table", "table_path")
+    batch_strategy = "shared-table"
 
     #: Serialises load/construct/save of shared on-disk tables across
     #: worker threads (merge-then-save: the table only ever grows).
@@ -365,6 +584,56 @@ class CycleEngine(Engine):
         _observe_run(self.name, elapsed)
         return ExecutionResult.from_run(self.name, spec, run, elapsed)
 
+    def run_batch(
+        self,
+        specs,
+        *,
+        labels: Optional[List[str]] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> List[ExecutionResult]:
+        """Batch execution with one table load/merge-save per batch.
+
+        With ``table_path``, the scalar path merges and persists the
+        shared on-disk table after *every* run; the batch path runs all
+        specs against the (per-seed) warm Systems and persists each
+        table once at the end. The table only ever grows and per-run
+        measurement state is identical either way, so digests match the
+        scalar path bit for bit.
+        """
+        specs, labels = self._batch_args(specs, labels)
+        opts = self._opts(options)
+        table: Optional[ThroughputTable] = opts.get("table")
+        table_path: Optional[str] = opts.get("table_path")
+        if table is not None and table_path is not None:
+            raise ConfigurationError(
+                "cycle engine takes table= or table_path=, not both"
+            )
+        t0 = time.perf_counter()
+        if table_path is None:
+            results = [
+                self.run(spec, label=label, options=options)
+                for spec, label in zip(specs, labels)
+            ]
+        else:
+            systems = []
+            results = []
+            for spec, label in zip(specs, labels):
+                system = self._system(spec.seed, table_path)
+                if system not in systems:
+                    systems.append(system)
+                results.append(
+                    self.run(spec, label=label, system=system,
+                             options=options)
+                )
+            for system in systems:
+                # Same merge-then-save the scalar path does per run,
+                # amortised to once per batch and system.
+                with self._table_io_lock:
+                    system.model.load(table_path)
+                    system.save_throughput_table()
+        _observe_batch(self.name, len(specs), time.perf_counter() - t0)
+        return results
+
 
 class AnalyticEngine(Engine):
     """Closed-form execution-time estimate, no event loop.
@@ -379,11 +648,33 @@ class AnalyticEngine(Engine):
     description = ("closed-form steady-state estimate (bottleneck rank's "
                    "work over its chip-coupled IPC; no event loop)")
     option_names = ("model",)
+    batch_strategy = "vectorized"
 
     def __init__(self) -> None:
         self._model = AnalyticThroughputModel()
         register_cache_metrics(
             default_registry(), "analytic_model", self._model.cache_stats
+        )
+
+    @staticmethod
+    def _core_states(spec: ScenarioSpec, mapping):
+        """The steady-state chip query for ``spec``: every mapped context
+        runs its profile at its static priority."""
+        prios = spec.priority_dict() or {}
+        profile = BASE_PROFILES[spec.profile]
+
+        n_cores = max(mapping.cpu_of(r) for r in range(spec.n_ranks)) // 2 + 1
+        loads: List[List[Optional[object]]] = [
+            [None, None] for _ in range(n_cores)
+        ]
+        priolist = [[4, 4] for _ in range(n_cores)]
+        for rank in range(spec.n_ranks):
+            cpu = mapping.cpu_of(rank)
+            loads[cpu // 2][cpu % 2] = profile
+            priolist[cpu // 2][cpu % 2] = prios.get(rank, 4)
+        return tuple(
+            (loads[c][0], loads[c][1], priolist[c][0], priolist[c][1])
+            for c in range(n_cores)
         )
 
     def run(
@@ -401,25 +692,15 @@ class AnalyticEngine(Engine):
         model: AnalyticThroughputModel = opts.get("model") or self._model
         t0 = time.perf_counter()
         mapping = spec.mapping_obj()
-        prios = spec.priority_dict() or {}
-        profile = BASE_PROFILES[spec.profile]
-
-        n_cores = max(mapping.cpu_of(r) for r in range(spec.n_ranks)) // 2 + 1
-        loads: List[List[Optional[object]]] = [
-            [None, None] for _ in range(n_cores)
-        ]
-        priolist = [[4, 4] for _ in range(n_cores)]
-        for rank in range(spec.n_ranks):
-            cpu = mapping.cpu_of(rank)
-            loads[cpu // 2][cpu % 2] = profile
-            priolist[cpu // 2][cpu % 2] = prios.get(rank, 4)
-        core_states = tuple(
-            (loads[c][0], loads[c][1], priolist[c][0], priolist[c][1])
-            for c in range(n_cores)
-        )
+        core_states = self._core_states(spec, mapping)
         ipcs = model.chip_ipc(core_states)
+        return self._finish(spec, label, mapping, ipcs, t0)
 
-        freq = SystemConfig().chip.freq_hz
+    def _finish(
+        self, spec: ScenarioSpec, label: Optional[str], mapping, ipcs, t0: float
+    ) -> ExecutionResult:
+        """The closed form proper: bottleneck rank's work over its IPC."""
+        freq = _default_freq_hz()
         worst = 0.0
         for rank in range(spec.n_ranks):
             cpu = mapping.cpu_of(rank)
@@ -440,3 +721,63 @@ class AnalyticEngine(Engine):
         )
         _observe_run(self.name, result.compute_seconds)
         return result
+
+    def run_batch(
+        self,
+        specs,
+        *,
+        labels: Optional[List[str]] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> List[ExecutionResult]:
+        """Batch execution: one stacked solve for the whole batch.
+
+        Every spec's steady-state chip query is collected, deduped, and
+        the cache misses solved in a single vectorized call
+        (:meth:`AnalyticThroughputModel.chip_ipc_stack`, which reads and
+        fills the same memo caches scalar queries use); the closed form
+        per spec then consumes the solved IPCs directly. Identical to
+        looping :meth:`run` — same pure solve, same caches.
+        """
+        specs, labels = self._batch_args(specs, labels)
+        opts = self._opts(options)
+        model: AnalyticThroughputModel = opts.get("model") or self._model
+        batch_t0 = time.perf_counter()
+        mappings = [spec.mapping_obj() for spec in specs]
+        states = [
+            self._core_states(spec, mapping)
+            for spec, mapping in zip(specs, mappings)
+        ]
+        stack = getattr(model, "chip_ipc_stack", None)
+        if stack is not None and specs:
+            keys = [
+                tuple(
+                    (
+                        pa.name if pa else None,
+                        pb.name if pb else None,
+                        xa,
+                        xb,
+                    )
+                    for (pa, pb, xa, xb) in core_states
+                )
+                for core_states in states
+            ]
+            unique = {}
+            for key, core_states in zip(keys, states):
+                unique.setdefault(key, core_states)
+            solved = stack(list(unique.values()))
+            by_key = dict(zip(unique, solved))
+            results = []
+            for spec, label, mapping, key in zip(
+                specs, labels, mappings, keys
+            ):
+                t0 = time.perf_counter()
+                results.append(
+                    self._finish(spec, label, mapping, by_key[key], t0)
+                )
+        else:  # pragma: no cover - non-stacking model override
+            results = [
+                self.run(spec, label=label, options=options)
+                for spec, label in zip(specs, labels)
+            ]
+        _observe_batch(self.name, len(specs), time.perf_counter() - batch_t0)
+        return results

@@ -6,7 +6,12 @@ provides — a :class:`~repro.service.queue.JobQueue`, a
 adds the execution policy: cache-first admission (a stored fingerprint
 is served without a queue slot; an in-flight one coalesces), per-attempt
 timeouts, total deadlines, and retry-with-backoff for transient worker
-failures.
+failures. Workers additionally coalesce up to
+``ServiceConfig.max_batch_size`` compatible queued jobs (same engine;
+see :meth:`ScenarioService._compat_key`) into one
+``engine.run_batch`` call — results, errors, and telemetry stay
+per job, and a failed batch falls back to per-job execution so one
+poison spec cannot fail its neighbours.
 
 Execution itself goes through the :mod:`repro.scenarios` engine
 registry: the spec's model knob resolves to a registered engine
@@ -57,7 +62,13 @@ from repro.telemetry import MetricRegistry, get_logger
 # to repro.util.stats next to summarize().
 from repro.util.stats import percentile
 
-__all__ = ["ServiceConfig", "ScenarioService", "execute_spec", "percentile"]
+__all__ = [
+    "ServiceConfig",
+    "ScenarioService",
+    "execute_spec",
+    "execute_spec_batch",
+    "percentile",
+]
 
 _log = get_logger("service")
 
@@ -86,6 +97,9 @@ class ServiceConfig:
     max_jobs_tracked: int = 10_000
     #: Completed-job latencies kept for the percentile metrics.
     latency_window: int = 1024
+    #: Most queued jobs one engine batch may coalesce (1 disables
+    #: batching; compatible jobs then still run, just one at a time).
+    max_batch_size: int = 8
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -99,6 +113,10 @@ class ServiceConfig:
         if self.max_jobs_tracked <= 0 or self.latency_window <= 0:
             raise ConfigurationError(
                 "max_jobs_tracked/latency_window must be > 0"
+            )
+        if self.max_batch_size <= 0:
+            raise ConfigurationError(
+                f"max_batch_size must be > 0, got {self.max_batch_size}"
             )
 
 
@@ -130,17 +148,8 @@ def _build_suite(suite_name: str, iterations: Optional[int]):
     return suite
 
 
-def execute_spec(
-    spec: JobSpec, table_path: Optional[str] = None
-) -> JobResult:
-    """Run one spec to a :class:`JobResult` (the default worker runner).
-
-    Deterministic by construction: the request's scenario (embedded, or
-    the named paper case's spec) is dispatched to the engine
-    ``spec.engine`` names, so the served digest is bit-identical to a
-    direct ``get_engine(...).run(...)`` — or a
-    :func:`~repro.experiments.runner.run_case` — of the same request.
-    """
+def _resolve(spec: JobSpec, table_path: Optional[str]):
+    """One spec's execution plan: (engine, scenario, label, options)."""
     from repro.scenarios.registry import get_engine
 
     engine = get_engine(spec.engine)
@@ -155,12 +164,61 @@ def execute_spec(
         case = suite.case(spec.case)
         scenario = case.spec
         label = f"{suite.name}.{case.name}"
+    return engine, scenario, label, options
+
+
+def execute_spec(
+    spec: JobSpec, table_path: Optional[str] = None
+) -> JobResult:
+    """Run one spec to a :class:`JobResult` (the default worker runner).
+
+    Deterministic by construction: the request's scenario (embedded, or
+    the named paper case's spec) is dispatched to the engine
+    ``spec.engine`` names, so the served digest is bit-identical to a
+    direct ``get_engine(...).run(...)`` — or a
+    :func:`~repro.experiments.runner.run_case` — of the same request.
+    """
+    engine, scenario, label, options = _resolve(spec, table_path)
     result = engine.run(scenario, label=label, options=options)
     if spec.check_invariants:
         from repro.oracle.checker import verify_run
 
         verify_run(result.run)
     return JobResult.from_execution(spec, result)
+
+
+def execute_spec_batch(
+    specs: list, table_path: Optional[str] = None
+) -> list:
+    """Run coalesced specs through one ``engine.run_batch`` call.
+
+    All specs must name the same engine (the queue's compatibility key
+    guarantees it — see :meth:`ScenarioService._compat_key`); each
+    result is still verified and wrapped per spec, so a served digest is
+    bit-identical to :func:`execute_spec` of the same request.
+    """
+    if not specs:
+        return []
+    resolved = [_resolve(spec, table_path) for spec in specs]
+    engine = resolved[0][0]
+    if any(r[0] is not engine for r in resolved[1:]):
+        raise ServiceError(
+            "batch mixes engines: "
+            + ", ".join(sorted({r[0].name for r in resolved}))
+        )
+    results = engine.run_batch(
+        [r[1] for r in resolved],
+        labels=[r[2] for r in resolved],
+        options=resolved[0][3],
+    )
+    out = []
+    for spec, result in zip(specs, results):
+        if spec.check_invariants:
+            from repro.oracle.checker import verify_run
+
+            verify_run(result.run)
+        out.append(JobResult.from_execution(spec, result))
+    return out
 
 
 # -- the service ----------------------------------------------------------------
@@ -185,13 +243,24 @@ class ScenarioService:
         config: Optional[ServiceConfig] = None,
         runner: Optional[Callable[[JobSpec], JobResult]] = None,
         registry: Optional[MetricRegistry] = None,
+        batch_runner: Optional[Callable[[list], list]] = None,
     ) -> None:
         self.config = config or ServiceConfig()
-        self._runner = runner or (
-            lambda spec: execute_spec(
+        if runner is None:
+            self._runner = lambda spec: execute_spec(
                 spec, table_path=self.config.throughput_table_path
             )
-        )
+            # The default runners pair up; a custom scalar runner without
+            # a matching batch_runner disables coalescing rather than
+            # running specs through a runner the test didn't supply.
+            self._batch_runner = batch_runner or (
+                lambda specs: execute_spec_batch(
+                    specs, table_path=self.config.throughput_table_path
+                )
+            )
+        else:
+            self._runner = runner
+            self._batch_runner = batch_runner
         self.queue = JobQueue(max_depth=self.config.queue_depth)
         self.cache = ResultCache(max_entries=self.config.cache_entries)
         self._lock = threading.RLock()
@@ -236,6 +305,15 @@ class ScenarioService:
         reg.gauge(
             "repro_service_uptime_seconds", "Seconds since service start."
         ).set_function(lambda: time.time() - self._started_at)
+        self._batches_counter = reg.counter(
+            "repro_service_batches_total",
+            "Coalesced engine batches executed (size >= 2).",
+        )
+        self._batch_size_hist = reg.histogram(
+            "repro_service_batch_size",
+            "Jobs per coalesced engine batch.",
+            sample_window=window,
+        )
         jobs_gauge = reg.gauge(
             "repro_service_jobs", "Tracked jobs by lifecycle state.",
             labelnames=("state",),
@@ -427,11 +505,128 @@ class ScenarioService:
             )
 
     def _worker_loop(self) -> None:
+        batching = (
+            self._batch_runner is not None and self.config.max_batch_size > 1
+        )
         while True:
-            job = self.queue.get()
-            if job is None:
+            if not batching:
+                job = self.queue.get()
+                if job is None:
+                    return
+                self._process(job)
+                continue
+            jobs = self.queue.get_batch(
+                self.config.max_batch_size, self._compat_key
+            )
+            if jobs is None:
                 return
-            self._process(job)
+            if len(jobs) == 1:
+                self._process(jobs[0])
+            else:
+                self._process_batch(jobs)
+
+    def _compat_key(self, job: Job) -> object:
+        """Jobs with equal keys may share one engine batch.
+
+        The engine name is the whole story today: every worker shares
+        the one configured throughput table path, so two same-engine
+        jobs always agree on it. Returning ``None`` would exclude a job
+        from batching entirely.
+        """
+        return (job.spec.engine,)
+
+    def _process_batch(self, jobs: list) -> None:
+        """Run coalesced jobs through one batch attempt.
+
+        Admission (terminal-reclaim, deadline) mirrors :meth:`_process`
+        per job; settlement is per fingerprint, so followers that
+        coalesced onto any member while the batch ran are paid out
+        exactly as on the scalar path. Any batch-level failure falls
+        back to processing each job individually — a poison spec then
+        fails only its own job.
+        """
+        runnable = []
+        for job in jobs:
+            if job.state.terminal:
+                # Cancelled while queued; promote live followers, as
+                # _process does, by letting the scalar path handle it.
+                self._process(job)
+                continue
+            if job.deadline_exceeded():
+                self._settle_failure(
+                    job.spec.fingerprint, job,
+                    JobTimeoutError(
+                        job.id, job.spec.deadline_s, kind="deadline"
+                    ),
+                )
+                continue
+            runnable.append(job)
+        if not runnable:
+            return
+        if len(runnable) == 1:
+            self._process(runnable[0])
+            return
+
+        timeout: Optional[float] = 0.0
+        for job in runnable:
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+            job.attempts += 1
+            per_job = self._attempt_timeout(job)
+            if per_job is None or timeout is None:
+                # One unbounded member makes the whole batch inline —
+                # same policy as a single unbounded attempt.
+                timeout = None
+            else:
+                timeout += per_job
+        try:
+            results = self._run_batch_attempt(runnable, timeout)
+            if len(results) != len(runnable):
+                raise ServiceError(
+                    f"batch runner returned {len(results)} results "
+                    f"for {len(runnable)} jobs"
+                )
+        except Exception as exc:  # noqa: BLE001 — per-job fallback below
+            _log.info(
+                "batch of %d jobs failed (%s: %s); falling back to "
+                "per-job execution", len(runnable), type(exc).__name__, exc,
+            )
+            for job in runnable:
+                # The batch attempt didn't consume a per-job attempt:
+                # the scalar fallback re-counts from the same budget.
+                job.attempts -= 1
+                self._process(job)
+            return
+        with self._lock:
+            self._batches_counter.inc()
+            self._batch_size_hist.observe(len(runnable))
+        for job, result in zip(runnable, results):
+            self._settle_success(job.spec.fingerprint, job, result)
+
+    def _run_batch_attempt(
+        self, jobs: list, timeout: Optional[float]
+    ) -> list:
+        specs = [job.spec for job in jobs]
+        if timeout is None:
+            return self._batch_runner(specs)
+        box: dict = {}
+
+        def target() -> None:
+            try:
+                box["result"] = self._batch_runner(specs)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                box["error"] = exc
+
+        thread = threading.Thread(
+            target=target, name=f"batch-{jobs[0].id}", daemon=True
+        )
+        thread.start()
+        thread.join(timeout)
+        if thread.is_alive():
+            raise JobTimeoutError(jobs[0].id, timeout)
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
 
     def _process(self, job: Job) -> None:
         fp = job.spec.fingerprint

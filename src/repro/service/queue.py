@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Deque, Dict, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, QueueFullError, ServiceError
 from repro.service.jobs import LANES, Job
@@ -96,6 +96,51 @@ class JobQueue:
                 for lane in self.lanes:
                     if self._queues[lane]:
                         return self._queues[lane].popleft()
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def get_batch(
+        self,
+        max_n: int,
+        compat_key: Callable[[Job], object],
+        timeout: Optional[float] = None,
+    ) -> Optional[List[Job]]:
+        """Next job plus up to ``max_n - 1`` compatible followers.
+
+        The head job is chosen exactly as :meth:`get` chooses it (lane
+        priority, FIFO within the lane); followers are further jobs from
+        the *same lane* whose ``compat_key`` equals the head's —
+        coalescing never lets a batch-lane job overtake an interactive
+        one, and never mixes jobs a single engine batch could not run
+        together. Skipped (incompatible) jobs keep their positions, so
+        lane FIFO order is preserved for everything not taken. A head
+        whose key is ``None`` is returned alone (not batchable).
+
+        Returns ``None`` on timeout or once the queue is closed and
+        drained, like :meth:`get`.
+        """
+        with self._cond:
+            while True:
+                for lane in self.lanes:
+                    q = self._queues[lane]
+                    if not q:
+                        continue
+                    head = q.popleft()
+                    batch = [head]
+                    key = compat_key(head)
+                    if key is not None and max_n > 1:
+                        kept: Deque[Job] = deque()
+                        while q and len(batch) < max_n:
+                            job = q.popleft()
+                            if compat_key(job) == key:
+                                batch.append(job)
+                            else:
+                                kept.append(job)
+                        while kept:
+                            q.appendleft(kept.pop())
+                    return batch
                 if self._closed:
                     return None
                 if not self._cond.wait(timeout=timeout):

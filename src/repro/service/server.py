@@ -8,6 +8,13 @@ Endpoints
     while queued/running/coalesced, 400 on a malformed spec, and 429
     with a ``Retry-After`` header when the queue exerts backpressure.
     ``?wait=<seconds>`` blocks up to that long for completion first.
+``POST /v1/jobs:batch``
+    Body: ``{"jobs": [<spec>, ...]}``. Admits every entry independently
+    and returns one entry per input in order (job document, or an
+    ``error`` object for rejected entries). 200 when all admitted, 207
+    on a mix, 400 for a malformed envelope. Queued entries that share an
+    engine are candidates for worker-side batch coalescing.
+    ``?wait=<seconds>`` blocks for the admitted set collectively.
 ``GET /v1/jobs/<id>``
     The job document (result embedded once done); 404 for unknown ids.
 ``DELETE /v1/jobs/<id>``
@@ -31,6 +38,7 @@ worker pool, not the HTTP layer.
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -42,7 +50,7 @@ from repro.errors import (
     UnknownJobError,
 )
 from repro.service.executor import ScenarioService
-from repro.service.jobs import JobSpec
+from repro.service.jobs import Job, JobSpec
 from repro.telemetry import (
     CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
     default_registry,
@@ -149,6 +157,9 @@ def _make_handler(service: ScenarioService, quiet: bool = True):
 
         def do_POST(self) -> None:  # noqa: N802 — stdlib handler API
             path, query = self._route()
+            if path == "/v1/jobs:batch":
+                self._post_jobs_batch(query)
+                return
             if path != "/v1/jobs":
                 self._error(404, f"no route for POST {path}")
                 return
@@ -186,6 +197,81 @@ def _make_handler(service: ScenarioService, quiet: bool = True):
                 job = service.wait(job.id, timeout=wait_s)
             self._send_json(
                 200 if job.state.terminal else 202, job.to_doc()
+            )
+
+        def _post_jobs_batch(self, query: dict) -> None:
+            """Bulk submit: ``{"jobs": [<spec>, ...]}``.
+
+            Every entry is admitted independently (same path as
+            ``POST /v1/jobs``, so cache hits, coalescing, and queue
+            backpressure apply per entry); the response carries one
+            entry per input in order — a job document, or an ``error``
+            object for entries that failed admission. 200 when all
+            admitted, 207 on a mix, 400 when the envelope itself is
+            malformed. ``?wait=<seconds>`` blocks up to that long for
+            the admitted jobs collectively.
+            """
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                body = self.rfile.read(length) if length else b""
+                doc = json.loads(body.decode("utf-8")) if body else {}
+            except (ValueError, UnicodeDecodeError) as exc:
+                self._error(400, f"unreadable JSON body: {exc}")
+                return
+            if not isinstance(doc, dict) or not isinstance(
+                doc.get("jobs"), list
+            ):
+                self._error(
+                    400, 'batch body must be {"jobs": [<job spec>, ...]}'
+                )
+                return
+            wait_raw = query.get("wait", [None])[0]
+            wait_s = None
+            if wait_raw is not None:
+                try:
+                    wait_s = min(float(wait_raw), MAX_WAIT_S)
+                except ValueError:
+                    self._error(400, f"bad wait value {wait_raw!r}")
+                    return
+            entries = []
+            jobs = []
+            errors = 0
+            for item in doc["jobs"]:
+                try:
+                    spec = JobSpec.from_doc(item)
+                    job = service.submit(spec)
+                except QueueFullError as exc:
+                    errors += 1
+                    entries.append({
+                        "error": str(exc),
+                        "retry_after_s": exc.retry_after,
+                    })
+                    continue
+                except (ReproError, ServiceError) as exc:
+                    errors += 1
+                    entries.append({"error": str(exc)})
+                    continue
+                jobs.append(job)
+                entries.append(job)
+            if wait_s is not None and jobs:
+                deadline = time.monotonic() + wait_s
+                for job in jobs:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    service.wait(job.id, timeout=remaining)
+            out = [
+                entry.to_doc() if isinstance(entry, Job) else entry
+                for entry in entries
+            ]
+            status = 200 if errors == 0 else 207
+            self._send_json(
+                status,
+                {
+                    "jobs": out,
+                    "submitted": len(jobs),
+                    "errors": errors,
+                },
             )
 
         # -- DELETE -----------------------------------------------------------

@@ -33,15 +33,19 @@ bounded LRU caches: per core state (``core_ipc``) and per whole
 chip-group state (``chip_ipc``), the latter shared with the MPI
 runtime's rate recomputation.
 
-One caching subtlety: the core-level key rounds external traffic to
-1e-4, so two nearly-equal cross-core traffic levels share an entry.
-That rounding is part of the model's *semantics* (the paper-table runs
-were produced with it), which is why the cross-core sweep inside
-``chip_ipc`` always queries through the memo: disabling the core cache
-(``core_cache_size=0``) removes the rounding and can shift converged
-values in the final digits when cross-core traffic is nonzero. For
-zero-traffic queries cached and uncached answers are byte-identical
-(``tests/smt/test_cache_equivalence.py``).
+The memo keys are exact: the core-level key carries the external
+traffic as the full float, so the model is a *pure function* of its
+query — cached and uncached answers are byte-identical, and results
+never depend on which queries happened to arrive first. (Earlier
+revisions rounded the traffic component to 1e-4, which made converged
+values sensitive to cache history; the batch execution path and the
+cached-vs-uncached equivalence tests both rely on the exact keys.)
+
+Batched evaluation: :meth:`AnalyticThroughputModel.chip_ipc_stack`
+solves many chip states at once by stacking all their core queries into
+the numpy solver in :mod:`repro.smt.vectorized` — bit-identical to
+looping :meth:`chip_ipc` because both paths evaluate the same pure
+solve and share the same memo caches.
 """
 
 from __future__ import annotations
@@ -304,7 +308,7 @@ class AnalyticThroughputModel:
             profile_b.name if profile_b else None,
             int(prio_a),
             int(prio_b),
-            round(float(external_traffic), 4),
+            float(external_traffic),
         )
         hit = self._cache.get(key)
         if hit is not None:
@@ -459,6 +463,121 @@ class AnalyticThroughputModel:
             ]
         out = tuple(results)
         self._chip_cache.put(key, out)
+        return out
+
+    # -- batched evaluation -----------------------------------------------------
+
+    def _core_ipc_batch(self, queries):
+        """Resolve many ``(load_a, load_b, prio_a, prio_b, ext)`` core
+        queries at once: memo lookups first, then one stacked solve for
+        the distinct misses.
+
+        Bit-identical to looping :meth:`core_ipc` — same keys, same pure
+        solve — the only difference is that misses are solved as one
+        numpy stack (or a scalar loop when numpy is unavailable).
+        """
+        out: list = [None] * len(queries)
+        misses: Dict[tuple, list] = {}
+        for qi, (pa, pb, prio_a, prio_b, ext) in enumerate(queries):
+            key = (
+                pa.name if pa else None,
+                pb.name if pb else None,
+                int(prio_a),
+                int(prio_b),
+                float(ext),
+            )
+            hit = self._cache.get(key)
+            if hit is not None:
+                out[qi] = hit
+            else:
+                misses.setdefault(key, []).append(qi)
+        if misses:
+            pending = [queries[indices[0]] for indices in misses.values()]
+            try:
+                from repro.smt.vectorized import solve_stack
+            except ImportError:  # pragma: no cover - numpy-less fallback
+                solved = [
+                    self._solve(pa, pb, int(xa), int(xb), float(ext))
+                    for (pa, pb, xa, xb, ext) in pending
+                ]
+            else:
+                solved = solve_stack(self, pending)
+            for key, value in zip(misses, solved):
+                self._cache.put(key, value)
+                for qi in misses[key]:
+                    out[qi] = value
+        return out
+
+    def chip_ipc_stack(self, chip_states):
+        """Batched :meth:`chip_ipc`: solve many whole-chip states at once.
+
+        ``chip_states`` is a sequence of ``core_states`` tuples (each as
+        :meth:`chip_ipc` takes). Returns one per-chip result tuple per
+        state, bit-identical to looping :meth:`chip_ipc` — the coupling
+        sweep runs stage-parallel across the independent chip states,
+        which is sound because the core solve is a pure function of its
+        query (exact memo keys), so the per-state traffic sequence never
+        depends on what else is in the stack. Results land in the same
+        memo caches scalar queries use.
+        """
+        chip_states = list(chip_states)
+        out: list = [None] * len(chip_states)
+        pending: list = []  # (output index, core_states, chip key)
+        for si, core_states in enumerate(chip_states):
+            if not core_states:
+                raise ConfigurationError(
+                    "chip_ipc needs at least one core state"
+                )
+            key = tuple(
+                (
+                    pa.name if pa else None,
+                    pb.name if pb else None,
+                    int(xa),
+                    int(xb),
+                )
+                for (pa, pb, xa, xb) in core_states
+            )
+            hit = self._chip_cache.get(key)
+            if hit is not None:
+                out[si] = hit
+            else:
+                pending.append((si, core_states, key))
+        if not pending:
+            return out
+
+        queries = [
+            (pa, pb, xa, xb, 0.0)
+            for (_si, core_states, _key) in pending
+            for (pa, pb, xa, xb) in core_states
+        ]
+        results = self._core_ipc_batch(queries)
+        for _ in range(2):
+            queries = []
+            cursor = 0
+            for _si, core_states, _key in pending:
+                span = results[cursor:cursor + len(core_states)]
+                cursor += len(core_states)
+                traffics = []
+                for (pa, pb, _xa, _xb), (ia, ib) in zip(core_states, span):
+                    t = 0.0
+                    if pa is not None:
+                        t += self._off_l1_rate(pa, ia)
+                    if pb is not None:
+                        t += self._off_l1_rate(pb, ib)
+                    traffics.append(t)
+                total = sum(traffics)
+                queries.extend(
+                    (pa, pb, xa, xb, total - t)
+                    for (pa, pb, xa, xb), t in zip(core_states, traffics)
+                )
+            results = self._core_ipc_batch(queries)
+
+        cursor = 0
+        for si, core_states, key in pending:
+            span = tuple(results[cursor:cursor + len(core_states)])
+            cursor += len(core_states)
+            self._chip_cache.put(key, span)
+            out[si] = span
         return out
 
     # -- cache accounting -------------------------------------------------------

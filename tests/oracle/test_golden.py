@@ -109,3 +109,15 @@ class TestRepoGoldens:
     def test_replays_bit_exactly(self, path):
         outcome = golden.check(path)
         assert outcome.ok and outcome.digest_equal
+
+    def test_batch_replay_bit_exact(self):
+        """All goldens through one run_batch call: the batch-path twin of
+        the scalar replay, guarding the vectorized presolve."""
+        outcomes = golden.check_all_batch(REPO_GOLDEN_DIR)
+        assert len(outcomes) == len(golden.golden_paths(REPO_GOLDEN_DIR))
+        for outcome in outcomes:
+            assert outcome.ok and outcome.digest_equal
+
+    def test_batch_replay_empty_dir_raises(self, tmp_path):
+        with pytest.raises(OracleError):
+            golden.check_all_batch(str(tmp_path))

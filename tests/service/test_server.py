@@ -96,6 +96,63 @@ class TestEndToEnd:
         assert doc["result"]["digest"]
 
 
+class TestBatchEndpoint:
+    def test_batch_digests_equal_individual_submits(self, live_server):
+        batch_base = live_server(ScenarioService(ServiceConfig(workers=2)))
+        single_base = live_server(ScenarioService(ServiceConfig(workers=2)))
+        bodies = [
+            {"scenario": scenario_doc(f"batch-{i}"), "lane": "batch"}
+            for i in range(3)
+        ]
+        status, doc, _ = request(
+            "POST", f"{batch_base}/v1/jobs:batch?wait={WAIT}",
+            {"jobs": bodies},
+        )
+        assert status == 200
+        assert doc["submitted"] == 3 and doc["errors"] == 0
+        assert len(doc["jobs"]) == 3
+        for body, entry in zip(bodies, doc["jobs"]):
+            assert entry["state"] == "done", entry.get("error")
+            status, single, _ = request(
+                "POST", f"{single_base}/v1/jobs?wait={WAIT}", body
+            )
+            assert status == 200 and single["state"] == "done"
+            assert entry["result"]["digest"] == single["result"]["digest"]
+            assert entry["result"]["total_time"] == single["result"]["total_time"]
+
+    def test_malformed_envelope_is_400(self, live_server):
+        base = live_server(ScenarioService(ServiceConfig(workers=1)))
+        for body in ({"specs": []}, {"jobs": "nope"}, [1, 2], {}):
+            status, doc, _ = request(
+                "POST", f"{base}/v1/jobs:batch", body
+            )
+            assert status == 400 and "error" in doc
+
+    def test_mixed_good_and_bad_entries_is_207_in_order(self, live_server):
+        base = live_server(ScenarioService(ServiceConfig(workers=2)))
+        status, doc, _ = request(
+            "POST", f"{base}/v1/jobs:batch?wait={WAIT}",
+            {"jobs": [
+                {"scenario": scenario_doc("mix-good")},
+                {"bogus": True},
+                {"scenario": scenario_doc("mix-good-2")},
+            ]},
+        )
+        assert status == 207
+        assert doc["submitted"] == 2 and doc["errors"] == 1
+        good_a, bad, good_b = doc["jobs"]
+        assert good_a["state"] == "done" and good_b["state"] == "done"
+        assert "error" in bad and "state" not in bad
+
+    def test_empty_batch_round_trips(self, live_server):
+        base = live_server(ScenarioService(ServiceConfig(workers=1)))
+        status, doc, _ = request(
+            "POST", f"{base}/v1/jobs:batch", {"jobs": []}
+        )
+        assert status == 200
+        assert doc == {"jobs": [], "submitted": 0, "errors": 0}
+
+
 class TestProtocol:
     def test_healthz_and_metrics(self, live_server):
         base = live_server(ScenarioService(ServiceConfig(workers=3)))
