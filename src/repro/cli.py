@@ -27,9 +27,17 @@ Commands
     (see ``docs/service.md``).
 ``oracle record|check|fuzz``
     The invariant/conformance oracle layer: record or replay golden
-    traces under ``tests/golden/``, or fuzz randomized scenarios through
-    every registered execution engine (``--budget N --seed S``;
-    failing scenarios are written as JSON for CI artifacts).
+    traces and the golden tournament leaderboard under ``tests/golden/``,
+    or fuzz randomized scenarios through every registered execution
+    engine (``--budget N --seed S``; failing scenarios are written as
+    JSON for CI artifacts).
+``tournament run|show|policies [--policies a,b,c] [--corpus C] [-n N]
+           [--seed S] [--engine E] [--scalar] [--out FILE]``
+    The balancing-policy tournament (see ``docs/policies.md``): score
+    every registered (or named) policy over a seeded scenario corpus
+    and print the ranked leaderboard (``run``, optionally persisting
+    the artifact with ``--out``), render a saved artifact (``show
+    FILE``), or list the policy zoo (``policies``).
 ``engines list``
     The registered scenario execution engines (name, options, what each
     backend is), from the :mod:`repro.scenarios` registry.
@@ -330,11 +338,22 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
                 for m in c.mismatches:
                     bad += 1
                     print(f"         - {m}")
+        try:
+            board = golden.check_leaderboard(directory, strict=False)
+        except OracleError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        status = "ok" if board.ok else "MISMATCH"
+        print(f"{status:8s} {os.path.basename(board.path)} "
+              f"(replayed {board.replayed_fingerprint[:16]}..., "
+              f"recorded {board.recorded_fingerprint[:16]}...)")
+        if not board.ok:
+            bad += 1
         if bad:
             print(f"{bad} golden mismatch(es)", file=sys.stderr)
             return 1
         print(f"{len(checks)} golden trace(s) match scalar and batch "
-              "replay; decode law holds")
+              "replay; leaderboard reproduces; decode law holds")
         return 0
     # fuzz
     report = differential.fuzz(args.budget, seed=args.seed)
@@ -430,6 +449,74 @@ def _cmd_engines(args: argparse.Namespace) -> int:
             ]
         )
     print(table.render())
+    return 0
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    # Imported here like the oracle: the policy subsystem drags in the
+    # workload generators, which the architectural commands never need.
+    from repro.errors import ConfigurationError, PersistenceError
+    from repro.policies import (
+        DEFAULT_POLICIES,
+        Leaderboard,
+        TournamentConfig,
+        all_policies,
+        run_tournament,
+    )
+
+    if args.action == "policies":
+        table = TextTable(
+            ["policy", "family", "fingerprint", "description"],
+            title="The policy zoo (docs/policies.md)",
+        )
+        for policy in all_policies():
+            table.add_row([
+                policy.name,
+                policy.family,
+                policy.fingerprint[:12],
+                policy.description,
+            ])
+        print(table.render())
+        return 0
+
+    if args.action == "show":
+        if not args.path:
+            print("tournament show: needs a leaderboard artifact path",
+                  file=sys.stderr)
+            return 2
+        try:
+            board = Leaderboard.load(args.path)
+        except PersistenceError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(board.render())
+        print(f"fingerprint {board.fingerprint}")
+        return 0
+
+    # run
+    if args.policies:
+        names = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    else:
+        names = DEFAULT_POLICIES
+    try:
+        config = TournamentConfig(
+            policies=names,
+            corpus=args.corpus,
+            n_scenarios=args.scenarios,
+            seed=args.seed,
+            engine=args.engine,
+        )
+        board = run_tournament(config, batch=not args.scalar)
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(board.render())
+    print(f"fingerprint {board.fingerprint}  "
+          f"({len(board.scores)} policies x {config.n_scenarios} cells "
+          f"in {board.wall_seconds:.2f}s)")
+    if args.out:
+        board.save(args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -529,6 +616,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_engines.add_argument("action", choices=("list",))
     p_engines.set_defaults(func=_cmd_engines)
+
+    p_tour = sub.add_parser(
+        "tournament",
+        help="balancing-policy tournaments over seeded scenario corpora "
+        "(docs/policies.md)",
+    )
+    p_tour.add_argument("action", choices=("run", "show", "policies"))
+    p_tour.add_argument("path", nargs="?", default=None,
+                        help="show: the leaderboard artifact to render")
+    p_tour.add_argument("--policies", default=None, metavar="A,B,C",
+                        help="comma-separated policy names "
+                        "(default: every built-in)")
+    p_tour.add_argument("--corpus", default="mixed",
+                        choices=("fuzz", "siesta", "mixed"),
+                        help="scenario corpus (default mixed)")
+    p_tour.add_argument("-n", "--scenarios", type=int, default=50,
+                        help="corpus size (default 50)")
+    p_tour.add_argument("--seed", type=int, default=0,
+                        help="corpus seed (default 0)")
+    p_tour.add_argument("--engine", default="fluid",
+                        help="execution engine (default fluid; dynamic "
+                        "policies need its controllers hook)")
+    p_tour.add_argument("--scalar", action="store_true",
+                        help="scalar per-cell runs instead of run_batch "
+                        "(same leaderboard fingerprint, slower)")
+    p_tour.add_argument("--out", default=None,
+                        help="run: also write the leaderboard artifact "
+                        "to this path")
+    p_tour.set_defaults(func=_cmd_tournament)
 
     p_tele = sub.add_parser(
         "telemetry",

@@ -9,11 +9,24 @@
 * :mod:`repro.core.search` — exhaustive/greedy search over mappings and
   priorities (automating the paper's manual case A->B->C->D iteration).
 * :mod:`repro.core.advisor` — profile -> plan -> verify pipeline.
+* :mod:`repro.core.policy` — the :class:`Policy` protocol unifying both
+  balancing families behind one fingerprintable interface (the zoo and
+  the tournament live above, in :mod:`repro.policies`).
+
+This package is the import surface: consumers outside ``core`` should
+import these names from ``repro.core``, not from the submodules.
 """
 
 from repro.core.balancer import PriorityAssignment, Balancer, DEFAULT_PRIORITIES
 from repro.core.static import StaticPriorityBalancer, plan_from_compute_shares
 from repro.core.dynamic import DynamicBalancer, DynamicBalancerConfig
+from repro.core.policy import (
+    POLICY_FAMILIES,
+    PolicySpec,
+    Policy,
+    StaticPolicy,
+    DynamicPolicy,
+)
 from repro.core.search import (
     SearchResult,
     exhaustive_priority_search,
@@ -30,6 +43,11 @@ __all__ = [
     "plan_from_compute_shares",
     "DynamicBalancer",
     "DynamicBalancerConfig",
+    "POLICY_FAMILIES",
+    "PolicySpec",
+    "Policy",
+    "StaticPolicy",
+    "DynamicPolicy",
     "SearchResult",
     "exhaustive_priority_search",
     "greedy_priority_search",

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ValidationError
 from repro.kernel.hmt import Actor
 from repro.trace.events import RankState
 
@@ -54,6 +54,50 @@ class DynamicBalancerConfig:
             raise ConfigurationError(
                 f"max_gap {self.max_gap} incompatible with priority bounds"
             )
+
+    # -- serialisation (ScenarioSpec conventions: canonical doc, strict inverse) --
+
+    _FLOAT_FIELDS = ("interval", "threshold")
+    _INT_FIELDS = ("min_priority", "max_priority", "max_gap")
+
+    def to_doc(self) -> dict:
+        """Canonical document form — the fingerprint substrate for dynamic policies."""
+        doc: dict = {name: float(getattr(self, name)) for name in self._FLOAT_FIELDS}
+        doc.update({name: int(getattr(self, name)) for name in self._INT_FIELDS})
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: object) -> "DynamicBalancerConfig":
+        """Strict inverse of :meth:`to_doc`: unknown fields raise.
+
+        All fields are optional (they carry defaults), but anything not
+        in the schema is rejected so a typo'd knob cannot silently fall
+        back to the default.
+        """
+        if not isinstance(doc, dict):
+            raise ValidationError(
+                f"dynamic-balancer config must be a JSON object, got {doc!r}"
+            )
+        known = cls._FLOAT_FIELDS + cls._INT_FIELDS
+        unknown = set(doc) - set(known)
+        if unknown:
+            raise ValidationError(
+                f"unknown dynamic-balancer config fields: {sorted(unknown)}"
+            )
+        kwargs: dict = {}
+        try:
+            for name in cls._FLOAT_FIELDS:
+                if name in doc:
+                    kwargs[name] = float(doc[name])
+            for name in cls._INT_FIELDS:
+                if name in doc:
+                    kwargs[name] = int(doc[name])
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed dynamic-balancer config: {exc}") from exc
+        try:
+            return cls(**kwargs)
+        except ConfigurationError as exc:
+            raise ValidationError(f"invalid dynamic-balancer config: {exc}") from exc
 
 
 class DynamicBalancer:

@@ -1,0 +1,193 @@
+"""The balancing-policy protocol: one typed interface over both families.
+
+The paper's Section VIII names the missing piece — an OS algorithm that
+*automatically* decides which rank deserves resources. This module is
+the contract such algorithms implement so they can be judged head to
+head (see :mod:`repro.policies` for the zoo and the tournament runner):
+
+* a policy has a serialisable identity — :class:`PolicySpec`, name +
+  canonical key-sorted params with a sha256 content address via
+  :mod:`repro.util.fingerprint` — so tournament results can name the
+  exact contender they scored;
+* a **static** policy (:class:`StaticPolicy`) is a
+  :class:`~repro.core.balancer.Balancer`: observations in, one
+  up-front :class:`~repro.core.balancer.PriorityAssignment` out — the
+  paper's mechanism (cases ST/A-D, the static planner);
+* a **dynamic** policy (:class:`DynamicPolicy`) manufactures fresh
+  runtime *controllers* (``interval`` attribute + ``on_tick(runtime,
+  now)``, the ``MpiRuntime(controllers=...)`` hook) — the paper's
+  future work, of which :class:`~repro.core.dynamic.DynamicBalancer`
+  is the incumbent.
+
+This module lives in ``core`` (below ``scenarios``) on purpose: the
+protocol speaks (works, mapping) like the rest of the core layer, and
+the scenario-level plumbing — applying a policy to a
+``ScenarioSpec``, running tournaments over seeded corpora — lives in
+the upper :mod:`repro.policies` package.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple, Union
+
+from repro.core.balancer import Balancer, PriorityAssignment
+from repro.errors import ConfigurationError, ValidationError
+from repro.util.fingerprint import fingerprint_doc
+
+__all__ = ["POLICY_FAMILIES", "PolicySpec", "Policy", "StaticPolicy", "DynamicPolicy"]
+
+#: The two algorithm families the protocol distinguishes.
+POLICY_FAMILIES = ("static", "dynamic")
+
+_ParamValue = Union[int, float, str, bool]
+
+
+def _freeze_params(
+    params: Union[Mapping[str, object], Tuple[Tuple[str, object], ...]],
+) -> Tuple[Tuple[str, _ParamValue], ...]:
+    """Canonical params form: key-sorted tuple of (name, scalar) pairs."""
+    items = params.items() if isinstance(params, Mapping) else params
+    frozen = []
+    for key, value in items:
+        if not isinstance(value, (int, float, str, bool)):
+            raise ConfigurationError(
+                f"policy param {key!r} must be a scalar, got {value!r}"
+            )
+        frozen.append((str(key), value))
+    return tuple(sorted(frozen))
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A policy's serialisable identity: name, family and parameters.
+
+    The document form follows the ``ScenarioSpec`` conventions: a
+    canonical key-sorted shape with ``params`` omitted when empty,
+    strict :meth:`from_doc` (unknown fields raise), and a memoised
+    sha256 :attr:`fingerprint` over the canonical JSON — the content
+    address leaderboards pin so a scored policy can never be silently
+    edited.
+    """
+
+    name: str
+    family: str  # one of POLICY_FAMILIES
+    params: Tuple[Tuple[str, _ParamValue], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _freeze_params(self.params))
+        if not self.name:
+            raise ConfigurationError("policy spec has no name")
+        if self.family not in POLICY_FAMILIES:
+            raise ConfigurationError(
+                f"policy {self.name!r}: family must be one of "
+                f"{POLICY_FAMILIES}, got {self.family!r}"
+            )
+
+    def params_dict(self) -> Dict[str, _ParamValue]:
+        return dict(self.params)
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_doc(self) -> dict:
+        doc: dict = {"name": self.name, "family": self.family}
+        if self.params:
+            doc["params"] = dict(self.params)
+        return doc
+
+    _REQUIRED = ("name", "family")
+    _OPTIONAL = ("params",)
+
+    @classmethod
+    def from_doc(cls, doc: object) -> "PolicySpec":
+        """Strict deserialisation: the exact inverse of :meth:`to_doc`."""
+        if not isinstance(doc, dict):
+            raise ValidationError(
+                f"policy document must be a JSON object, got {doc!r}"
+            )
+        unknown = set(doc) - set(cls._REQUIRED) - set(cls._OPTIONAL)
+        if unknown:
+            raise ValidationError(f"unknown policy fields: {sorted(unknown)}")
+        missing = [k for k in cls._REQUIRED if k not in doc]
+        if missing:
+            raise ValidationError(f"missing policy fields: {missing}")
+        params = doc.get("params", {})
+        if not isinstance(params, (dict, list, tuple)):
+            raise ValidationError(f"policy params must be an object, got {params!r}")
+        try:
+            return cls(
+                name=str(doc["name"]),
+                family=str(doc["family"]),
+                params=_freeze_params(params),
+            )
+        except ConfigurationError as exc:
+            raise ValidationError(f"malformed policy document: {exc}") from exc
+
+    @property
+    def fingerprint(self) -> str:
+        """sha256 over the canonical JSON form (memoised; the spec is frozen)."""
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = fingerprint_doc(self.to_doc())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+
+class Policy:
+    """A balancing policy: a fingerprintable contender in the tournament.
+
+    Subclasses declare which family they belong to by deriving from
+    :class:`StaticPolicy` or :class:`DynamicPolicy` and implement
+    :meth:`spec` so every parameterisation has a canonical identity.
+    """
+
+    #: Zoo name; also the leaderboard row label.
+    name: str = ""
+    #: "static" or "dynamic" — set by the family base class.
+    family: str = ""
+    description: str = ""
+
+    @abstractmethod
+    def spec(self) -> PolicySpec:
+        """The serialisable identity of this exact parameterisation."""
+
+    @property
+    def fingerprint(self) -> str:
+        return self.spec().fingerprint
+
+    def describe(self) -> str:
+        return f"[{self.family}] {self.name}: {self.description}"
+
+
+class StaticPolicy(Policy, Balancer):
+    """The up-front family: observations in, one assignment out.
+
+    A static policy *is* a :class:`~repro.core.balancer.Balancer` —
+    ``plan(compute_seconds, mapping)`` returns the
+    :class:`~repro.core.balancer.PriorityAssignment` installed before
+    launch, exactly like the paper's ``echo N > /proc/<pid>/
+    hmt_priority`` procedure.
+    """
+
+    family = "static"
+
+    @abstractmethod
+    def plan(self, compute_seconds, mapping) -> PriorityAssignment:
+        """See :meth:`repro.core.balancer.Balancer.plan`."""
+
+
+class DynamicPolicy(Policy):
+    """The runtime family: a factory of fresh per-run controllers.
+
+    :meth:`controller` must return a *new* controller object per call
+    (controllers are stateful across a run); the returned object
+    satisfies the ``MpiRuntime(controllers=...)`` protocol — an
+    ``interval`` in simulated seconds plus ``on_tick(runtime, now)``.
+    """
+
+    family = "dynamic"
+
+    @abstractmethod
+    def controller(self):
+        """A fresh runtime controller for one run."""

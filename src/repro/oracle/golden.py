@@ -14,6 +14,12 @@ the scalar metrics for cross-platform runs.
 The snapshot format is versioned; bump :data:`GOLDEN_VERSION` when an
 *intentional* physics change lands and re-record with ``repro oracle
 record`` in the same PR, so the diff shows exactly which numbers moved.
+
+The same directory also pins one tournament
+:class:`~repro.policies.Leaderboard` (the smoke config over both policy
+families): :func:`check_leaderboard` re-runs it and compares canonical
+fingerprints, golden-replaying the whole policy subsystem the way a
+trace digest golden-replays one scenario.
 """
 
 from __future__ import annotations
@@ -25,22 +31,29 @@ import os
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.errors import GoldenMismatchError, OracleError
+from repro.errors import GoldenMismatchError, OracleError, PersistenceError
 from repro.mpi.runtime import RunResult
+from repro.policies import Leaderboard, TournamentConfig, run_tournament
 from repro.scenarios import ScenarioSpec, get_engine, trace_digest
 
 __all__ = [
     "GOLDEN_FORMAT",
     "GOLDEN_VERSION",
     "GoldenCheck",
+    "LEADERBOARD_GOLDEN_BASENAME",
+    "LeaderboardCheck",
     "default_scenarios",
+    "smoke_tournament_config",
     "snapshot",
     "record",
     "record_all",
+    "record_leaderboard",
     "check",
     "check_all",
     "check_all_batch",
+    "check_leaderboard",
     "golden_paths",
+    "leaderboard_path",
 ]
 
 GOLDEN_FORMAT = "repro-golden-trace"
@@ -137,12 +150,14 @@ def record(scenario: ScenarioSpec, path: str) -> dict:
 
 
 def record_all(directory: str) -> List[str]:
-    """Record every default scenario into ``directory``; returns paths."""
+    """Record every default scenario into ``directory`` plus the golden
+    tournament leaderboard; returns paths."""
     paths = []
     for scenario in default_scenarios():
         path = _golden_path(directory, scenario)
         record(scenario, path)
         paths.append(path)
+    paths.append(record_leaderboard(directory))
     return paths
 
 
@@ -309,3 +324,75 @@ def check_all_batch(
             paths, docs, scenarios, results
         )
     ]
+
+
+# -- the golden tournament leaderboard -----------------------------------------
+
+#: The one leaderboard artifact ``record_all`` pins next to the traces.
+LEADERBOARD_GOLDEN_BASENAME = "tournament-smoke.leaderboard.json"
+
+
+def smoke_tournament_config() -> TournamentConfig:
+    """The recorded tournament: small enough for CI, wide enough to
+    cover both policy families and both corpus cell kinds."""
+    return TournamentConfig(
+        policies=("st", "paper-c", "propshare", "hysteresis"),
+        corpus="mixed",
+        n_scenarios=6,
+        seed=2008,
+    )
+
+
+def leaderboard_path(directory: str) -> str:
+    return os.path.join(directory, LEADERBOARD_GOLDEN_BASENAME)
+
+
+def record_leaderboard(directory: str) -> str:
+    """Run the smoke tournament fresh and write its artifact."""
+    board = run_tournament(smoke_tournament_config())
+    return board.save(leaderboard_path(directory))
+
+
+@dataclass(frozen=True)
+class LeaderboardCheck:
+    """The golden leaderboard's replay outcome."""
+
+    path: str
+    recorded_fingerprint: str
+    replayed_fingerprint: str
+
+    @property
+    def ok(self) -> bool:
+        return self.recorded_fingerprint == self.replayed_fingerprint
+
+
+def check_leaderboard(directory: str, strict: bool = True) -> LeaderboardCheck:
+    """Re-run the recorded leaderboard's config and compare fingerprints.
+
+    The whole comparison is one fingerprint equality: the canonical
+    leaderboard document covers the corpus (scenario fingerprints), the
+    per-cell total times and every aggregate, so any drift in corpus
+    drawing, policy planning or engine physics shows up here. The
+    artifact's own embedded fingerprint is verified on load, so a
+    hand-edited recording fails before it is ever replayed.
+    """
+    path = leaderboard_path(directory)
+    try:
+        recorded = Leaderboard.load(path)
+    except PersistenceError as exc:
+        raise OracleError(str(exc)) from exc
+    replayed = run_tournament(recorded.config)
+    outcome = LeaderboardCheck(
+        path=path,
+        recorded_fingerprint=recorded.fingerprint,
+        replayed_fingerprint=replayed.fingerprint,
+    )
+    if strict and not outcome.ok:
+        raise GoldenMismatchError(
+            f"{path}: leaderboard fingerprint "
+            f"{outcome.replayed_fingerprint[:16]}... != recorded "
+            f"{outcome.recorded_fingerprint[:16]}...; the tournament is "
+            "no longer reproducing the recorded outcome — re-record with "
+            "`repro oracle record` if the change is intentional"
+        )
+    return outcome

@@ -1,0 +1,64 @@
+"""The policy subsystem: a balancing-policy zoo judged by tournaments.
+
+The paper hand-tuned one priority assignment per application; the
+ROADMAP's answer is to treat the balancer as a *contender* — a typed,
+fingerprintable :class:`~repro.core.Policy` — and judge the whole zoo
+head-to-head over seeded scenario corpora:
+
+* :mod:`repro.policies.zoo` — the built-in contenders (the paper's
+  static ladder, the proportional-share planner, an EPLB-style LPT
+  heap greedy, the hysteresis runtime controller) and the name
+  registry.
+* :mod:`repro.policies.corpus` — deterministic scenario corpora,
+  including the migrating-bottleneck SIESTA traps.
+* :mod:`repro.policies.tournament` — the batch-powered runner and the
+  typed, fingerprintable :class:`Leaderboard` artifact.
+
+Layer position: above ``scenarios`` (it consumes specs and engines),
+below ``oracle``/``cli`` (which golden-replay and render leaderboards).
+"""
+
+from repro.policies.corpus import CORPORA, tournament_corpus
+from repro.policies.tournament import (
+    LEADERBOARD_FORMAT,
+    LEADERBOARD_VERSION,
+    Leaderboard,
+    PolicyScore,
+    TournamentConfig,
+    apply_policy,
+    planning_works,
+    run_tournament,
+)
+from repro.policies.zoo import (
+    DEFAULT_POLICIES,
+    HysteresisPolicy,
+    LptGreedyPolicy,
+    PaperCasePolicy,
+    ProportionalSharePolicy,
+    all_policies,
+    get_policy,
+    policy_names,
+    register_policy,
+)
+
+__all__ = [
+    "CORPORA",
+    "tournament_corpus",
+    "LEADERBOARD_FORMAT",
+    "LEADERBOARD_VERSION",
+    "Leaderboard",
+    "PolicyScore",
+    "TournamentConfig",
+    "apply_policy",
+    "planning_works",
+    "run_tournament",
+    "DEFAULT_POLICIES",
+    "HysteresisPolicy",
+    "LptGreedyPolicy",
+    "PaperCasePolicy",
+    "ProportionalSharePolicy",
+    "all_policies",
+    "get_policy",
+    "policy_names",
+    "register_policy",
+]

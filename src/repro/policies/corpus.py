@@ -1,0 +1,104 @@
+"""Seeded scenario corpora the tournament scores policies over.
+
+Three named corpora, all deterministic functions of ``(corpus, n,
+seed)`` — the tournament fingerprints the corpus via the specs'
+content addresses, so a corpus draw is part of the frozen replay
+contract exactly like the fuzz generator's draw sequence:
+
+``fuzz``
+    :class:`~repro.scenarios.ScenarioGenerator` draws with their
+    priorities stripped — the generator decorates ~70% of specs with
+    random static priorities, but in a tournament the *policy* owns the
+    priorities, so every cell starts from the MEDIUM defaults.
+``siesta``
+    Migrating-bottleneck traps: 4-rank SIESTA runs with moderately
+    imbalanced mean works, strong per-iteration jitter and a high
+    bottleneck-rotation probability. A static planner only sees the
+    means, so it backs the *average* bottleneck — the paper's SIESTA
+    lesson ("the process that computes the most is not the same across
+    all the iterations") — while a runtime controller can chase it.
+``mixed``
+    The default: alternating trap and fuzz cells (trap first), so a
+    leaderboard exercises both the steady imbalances static policies
+    are built for and the migrating ones they are blind to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.scenarios import ScenarioGenerator, ScenarioSpec
+from repro.util.rng import RngStreams
+
+__all__ = ["CORPORA", "tournament_corpus"]
+
+#: Valid ``TournamentConfig.corpus`` values.
+CORPORA = ("fuzz", "siesta", "mixed")
+
+#: Named stream the trap corpus draws from (isolated from every other
+#: randomness consumer, like the fuzz generator's "oracle.fuzz").
+_TRAP_STREAM = "policies.corpus.siesta"
+
+
+def _fuzz_corpus(n: int, seed: int) -> List[ScenarioSpec]:
+    generator = ScenarioGenerator(seed)
+    return [replace(spec, priorities=()) for spec in generator.take(n)]
+
+
+def _trap_corpus(n: int, seed: int) -> List[ScenarioSpec]:
+    rng = RngStreams(seed).get(_TRAP_STREAM)
+    specs: List[ScenarioSpec] = []
+    for i in range(n):
+        # Moderately imbalanced means: enough spread that static planners
+        # commit to a priority shape, not so much that the mean bottleneck
+        # dominates every iteration regardless of rotation. Iterations are
+        # several seconds each (6e9 instructions at ~1 IPC) so a runtime
+        # controller gets many observation windows per bottleneck episode.
+        works = tuple(
+            float(w) for w in rng.lognormal(mean=0.0, sigma=0.5, size=4) * 6.0e9
+        )
+        iterations = int(rng.integers(10, 15))
+        jitter = float(rng.uniform(0.5, 0.7))
+        rotate = float(rng.uniform(0.55, 0.85))
+        workload_seed = int(rng.integers(0, 2**31 - 1))
+        specs.append(
+            ScenarioSpec(
+                name=f"trap-{seed}-{i + 1}",
+                kind="siesta",
+                works=works,
+                iterations=iterations,
+                profile="dft",
+                mapping="identity",
+                seed=seed,
+                params={
+                    "init_works": tuple(0.6 * w for w in works),
+                    "final_works": tuple(0.4 * w for w in works),
+                    "jitter_sigma": jitter,
+                    "rotate_prob": rotate,
+                    "workload_seed": workload_seed,
+                },
+            )
+        )
+    return specs
+
+
+def tournament_corpus(corpus: str, n: int, seed: int) -> List[ScenarioSpec]:
+    """The ``n`` specs of the named corpus for ``seed``, in cell order."""
+    if n <= 0:
+        raise ConfigurationError(f"corpus size must be > 0, got {n}")
+    if corpus == "fuzz":
+        return _fuzz_corpus(n, seed)
+    if corpus == "siesta":
+        return _trap_corpus(n, seed)
+    if corpus == "mixed":
+        traps = _trap_corpus((n + 1) // 2, seed)
+        fuzz = _fuzz_corpus(n // 2, seed)
+        specs: List[ScenarioSpec] = []
+        for i in range(n):
+            specs.append(traps[i // 2] if i % 2 == 0 else fuzz[i // 2])
+        return specs
+    raise ConfigurationError(
+        f"unknown corpus {corpus!r} (choose from {', '.join(CORPORA)})"
+    )

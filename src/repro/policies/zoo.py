@@ -1,0 +1,421 @@
+"""The policy zoo: every balancing algorithm the tournament can score.
+
+Static contenders (plan once from per-rank work, like the paper's hand
+procedure) and dynamic ones (runtime controllers), all behind
+:class:`~repro.core.Policy`:
+
+``st``
+    The unbalanced reference: no priority writes, every context at
+    MEDIUM. At the priority level the paper's ST and case A coincide —
+    this is the baseline every leaderboard improvement is measured
+    against.
+``paper-b`` / ``paper-c`` / ``paper-d``
+    The paper's hand-tuned ladder generalised: when a core pair's work
+    ratio reaches the case's trigger, the pair gets the case's exact
+    priority shape — (5,6) for B, (4,6) for C, (3,6) for D (the
+    MetBench table's assignments). The trigger grows with the gap
+    (``gap_scale ** (gap - 0.5)``, the ratio at which the paper
+    procedure's log rule rounds to that gap), encoding the paper's own
+    lesson that a wide gap on a mild imbalance *reverses* it (MetBench
+    case D). Below the trigger the pair stays at case A.
+``propshare``
+    The paper's full procedure as an algorithm: a graded gap
+    proportional to the log of the pair's work ratio
+    (:class:`~repro.core.StaticPriorityBalancer`), keeping the
+    scenario's mapping (the tournament fixes the pairing; only
+    priorities are the policy's to choose).
+``lpt``
+    Longest-processing-time heap greedy, after the EPLB pattern: keep
+    core pairs in a max-heap keyed by projected finish time (work over
+    the decode share ``2^gap / (2^gap + 1)``), pop the worst pair, move
+    one priority step toward its heavier rank, keep the step only if
+    the pair's projected finish strictly improved, re-push; freeze the
+    pair otherwise. Converges to graded gaps up to 3 — it reaches the
+    paper's D shape exactly when the imbalance is extreme enough to
+    warrant it.
+``hysteresis``
+    The incumbent :class:`~repro.core.DynamicBalancer` behind the
+    dynamic-policy protocol, behaviour unchanged: each run gets a fresh
+    controller built from the same
+    :class:`~repro.core.DynamicBalancerConfig`, whose canonical doc is
+    the policy's fingerprint substrate.
+
+The registry maps names to zero-argument factories so ``repro
+tournament`` and the scoring loop construct policies by name.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core import (
+    DynamicBalancer,
+    DynamicBalancerConfig,
+    DynamicPolicy,
+    PolicySpec,
+    PriorityAssignment,
+    StaticPolicy,
+    StaticPriorityBalancer,
+)
+from repro.errors import ConfigurationError
+from repro.machine.mapping import ProcessMapping
+
+__all__ = [
+    "PaperCasePolicy",
+    "ProportionalSharePolicy",
+    "LptGreedyPolicy",
+    "HysteresisPolicy",
+    "register_policy",
+    "get_policy",
+    "policy_names",
+    "all_policies",
+    "DEFAULT_POLICIES",
+]
+
+
+def _full_pairs(mapping: ProcessMapping) -> List[Tuple[int, int]]:
+    """Core pairs with both contexts mapped (singletons have no sibling
+    to trade decode slots with, so no policy touches them)."""
+    return [tuple(p) for p in mapping.core_pairs() if len(p) == 2]
+
+
+class PaperCasePolicy(StaticPolicy):
+    """One rung of the paper's ladder: a fixed per-pair priority shape.
+
+    ``(base, base + gap)`` is installed on a pair exactly when the
+    pair's work ratio reaches ``trigger_ratio``; otherwise the pair
+    keeps the MEDIUM defaults (case A). All-or-nothing, like the hand
+    assignments in the paper's tables.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base_priority: int = 4,
+        gap: int = 0,
+        trigger_ratio: float = 1.25,
+        description: str = "",
+    ) -> None:
+        if gap < 0 or not 1 <= base_priority <= 6 or base_priority + gap > 6:
+            raise ConfigurationError(
+                f"policy {name!r}: shape ({base_priority}, "
+                f"{base_priority + gap}) leaves the OS range"
+            )
+        if trigger_ratio < 1.0:
+            raise ConfigurationError(
+                f"policy {name!r}: trigger_ratio must be >= 1, got {trigger_ratio}"
+            )
+        self.name = name
+        self.base_priority = int(base_priority)
+        self.gap = int(gap)
+        self.trigger_ratio = float(trigger_ratio)
+        self.description = description or (
+            f"fixed pair shape ({base_priority}, {base_priority + gap}) "
+            f"at work ratio >= {trigger_ratio:.2f}"
+        )
+
+    def spec(self) -> PolicySpec:
+        return PolicySpec(
+            name=self.name,
+            family="static",
+            params={
+                "base_priority": self.base_priority,
+                "gap": self.gap,
+                "trigger_ratio": self.trigger_ratio,
+            },
+        )
+
+    def plan(
+        self, compute_seconds: Sequence[float], mapping: ProcessMapping
+    ) -> PriorityAssignment:
+        n = len(compute_seconds)
+        if n != mapping.n_ranks:
+            raise ConfigurationError(
+                f"{n} observations for a {mapping.n_ranks}-rank mapping"
+            )
+        priorities: Dict[int, int] = {r: 4 for r in range(n)}
+        if self.gap > 0:
+            for a, b in _full_pairs(mapping):
+                heavy, light = (
+                    (a, b) if compute_seconds[a] >= compute_seconds[b] else (b, a)
+                )
+                wl = float(compute_seconds[light])
+                wh = float(compute_seconds[heavy])
+                ratio = float("inf") if wl <= 0 else wh / wl
+                if ratio >= self.trigger_ratio:
+                    priorities[light] = self.base_priority
+                    priorities[heavy] = self.base_priority + self.gap
+        return PriorityAssignment.build(mapping, priorities, label=self.name)
+
+
+class ProportionalSharePolicy(StaticPolicy):
+    """Graded gaps from per-rank load ratios (the paper procedure,
+    mapping kept as given — the tournament's cells fix the pairing)."""
+
+    name = "propshare"
+    description = (
+        "gap proportional to log(pair work ratio), bounded at 2 "
+        "(the static planner with the scenario's own pairing)"
+    )
+
+    def __init__(
+        self,
+        base_priority: int = 4,
+        max_gap: int = 2,
+        balance_threshold: float = 0.8,
+        gap_scale: float = 2.2,
+    ) -> None:
+        self._balancer = StaticPriorityBalancer(
+            base_priority=base_priority,
+            max_gap=max_gap,
+            balance_threshold=balance_threshold,
+            gap_scale=gap_scale,
+            repair_mapping=False,
+        )
+
+    def spec(self) -> PolicySpec:
+        b = self._balancer
+        return PolicySpec(
+            name=self.name,
+            family="static",
+            params={
+                "base_priority": b.base_priority,
+                "max_gap": b.max_gap,
+                "balance_threshold": b.balance_threshold,
+                "gap_scale": b.gap_scale,
+            },
+        )
+
+    def plan(
+        self, compute_seconds: Sequence[float], mapping: ProcessMapping
+    ) -> PriorityAssignment:
+        return self._balancer.plan(compute_seconds, mapping)
+
+
+class LptGreedyPolicy(StaticPolicy):
+    """Heap greedy over projected finish times (the EPLB/LPT idiom).
+
+    Each core pair's projected finish is its slower rank's work over
+    that rank's decode share at the current gap
+    (``2^gap / (2^gap + 1)`` — the exponential decode law). A max-heap
+    keyed by projected finish drives the greedy loop: always improve
+    the currently-worst pair by one priority step toward its heavier
+    rank, commit only strictly-improving steps, freeze the pair
+    otherwise. Deterministic: heap ties break on pair index, rank ties
+    on rank order.
+    """
+
+    name = "lpt"
+    description = (
+        "longest-processing-time heap greedy: one priority step at a "
+        "time toward the worst pair's heavy rank while it helps"
+    )
+
+    def __init__(
+        self,
+        base_priority: int = 4,
+        min_priority: int = 3,
+        max_priority: int = 6,
+        max_gap: int = 3,
+    ) -> None:
+        if not 1 <= min_priority <= base_priority <= max_priority <= 6:
+            raise ConfigurationError(
+                f"need 1 <= min({min_priority}) <= base({base_priority}) "
+                f"<= max({max_priority}) <= 6"
+            )
+        if max_gap < 0 or max_gap > max_priority - min_priority:
+            raise ConfigurationError(
+                f"max_gap {max_gap} incompatible with priority bounds"
+            )
+        self.base_priority = int(base_priority)
+        self.min_priority = int(min_priority)
+        self.max_priority = int(max_priority)
+        self.max_gap = int(max_gap)
+
+    def spec(self) -> PolicySpec:
+        return PolicySpec(
+            name=self.name,
+            family="static",
+            params={
+                "base_priority": self.base_priority,
+                "min_priority": self.min_priority,
+                "max_priority": self.max_priority,
+                "max_gap": self.max_gap,
+            },
+        )
+
+    @staticmethod
+    def _share(gap: int) -> float:
+        return 2.0**gap / (2.0**gap + 1.0)
+
+    def plan(
+        self, compute_seconds: Sequence[float], mapping: ProcessMapping
+    ) -> PriorityAssignment:
+        n = len(compute_seconds)
+        if n != mapping.n_ranks:
+            raise ConfigurationError(
+                f"{n} observations for a {mapping.n_ranks}-rank mapping"
+            )
+        prios: Dict[int, int] = {r: self.base_priority for r in range(n)}
+        pairs = _full_pairs(mapping)
+
+        def finish(rank: int, sibling: int) -> float:
+            return float(compute_seconds[rank]) / self._share(
+                prios[rank] - prios[sibling]
+            )
+
+        def pair_finish(i: int) -> float:
+            a, b = pairs[i]
+            return max(finish(a, b), finish(b, a))
+
+        heap = [(-pair_finish(i), i) for i in range(len(pairs))]
+        heapq.heapify(heap)
+        while heap:
+            neg, i = heapq.heappop(heap)
+            current = pair_finish(i)
+            if -neg > current * (1.0 + 1e-12):
+                # Stale entry from before another pair's update; re-key.
+                heapq.heappush(heap, (-current, i))
+                continue
+            a, b = pairs[i]
+            heavy, light = (a, b) if finish(a, b) >= finish(b, a) else (b, a)
+            step = None
+            if prios[heavy] - prios[light] < self.max_gap:
+                if prios[heavy] < self.max_priority:
+                    step = (heavy, prios[heavy] + 1)
+                elif prios[light] > self.min_priority:
+                    step = (light, prios[light] - 1)
+            if step is not None:
+                rank, value = step
+                previous = prios[rank]
+                prios[rank] = value
+                improved = pair_finish(i)
+                if improved < current * (1.0 - 1e-12):
+                    heapq.heappush(heap, (-improved, i))
+                    continue
+                prios[rank] = previous
+            # No improving step: the pair is done; drop it from the heap.
+        return PriorityAssignment.build(mapping, prios, label=self.name)
+
+
+class HysteresisPolicy(DynamicPolicy):
+    """The incumbent :class:`~repro.core.DynamicBalancer`, retrofitted.
+
+    Behaviour is unchanged: :meth:`controller` hands out a fresh
+    ``DynamicBalancer(config)`` per run, exactly what callers built by
+    hand before the protocol existed. The config's canonical doc is the
+    policy's parameter set, so two differently-tuned hysteresis
+    policies have different fingerprints.
+    """
+
+    name = "hysteresis"
+    description = (
+        "runtime feedback controller over window sync fractions "
+        "(one priority step toward the bottleneck, with hysteresis)"
+    )
+
+    def __init__(self, config: DynamicBalancerConfig = None) -> None:
+        self.config = config if config is not None else DynamicBalancerConfig()
+
+    def spec(self) -> PolicySpec:
+        return PolicySpec(
+            name=self.name, family="dynamic", params=self.config.to_doc()
+        )
+
+    def controller(self) -> DynamicBalancer:
+        return DynamicBalancer(self.config)
+
+
+# -- the registry --------------------------------------------------------------
+
+_LOCK = threading.Lock()
+_FACTORIES: Dict[str, Callable[[], "StaticPolicy | DynamicPolicy"]] = {}
+
+
+def register_policy(
+    name: str, factory: Callable[[], object], replace: bool = False
+) -> None:
+    """Add a policy factory to the zoo under ``name``."""
+    with _LOCK:
+        if not replace and name in _FACTORIES:
+            raise ConfigurationError(f"policy {name!r} is already registered")
+        _FACTORIES[name] = factory
+
+
+def get_policy(name: str):
+    """A fresh policy instance by zoo name."""
+    with _LOCK:
+        factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown policy {name!r} (registered: {', '.join(policy_names())})"
+        )
+    policy = factory()
+    if policy.name != name:
+        raise ConfigurationError(
+            f"policy registered as {name!r} calls itself {policy.name!r}"
+        )
+    return policy
+
+
+def policy_names() -> Tuple[str, ...]:
+    with _LOCK:
+        return tuple(sorted(_FACTORIES))
+
+
+def all_policies():
+    """Fresh instances of every registered policy, name-sorted."""
+    return [get_policy(name) for name in policy_names()]
+
+
+def _register_defaults() -> None:
+    register_policy(
+        "st",
+        lambda: PaperCasePolicy(
+            "st",
+            gap=0,
+            description=(
+                "no priority writes: every context at MEDIUM "
+                "(the paper's ST/case-A reference)"
+            ),
+        ),
+    )
+    # Triggers sit where the paper procedure's log rule first rounds to
+    # the case's gap (gap_scale 2.2): a wide gap on a mild imbalance
+    # reverses it — the documented MetBench case-D failure mode.
+    register_policy(
+        "paper-b", lambda: PaperCasePolicy("paper-b", 5, 1, 2.2**0.5)
+    )
+    register_policy(
+        "paper-c", lambda: PaperCasePolicy("paper-c", 4, 2, 2.2**1.5)
+    )
+    register_policy(
+        "paper-d", lambda: PaperCasePolicy("paper-d", 3, 3, 2.2**2.5)
+    )
+    register_policy("propshare", ProportionalSharePolicy)
+    register_policy("lpt", LptGreedyPolicy)
+    # The zoo's hysteresis entry observes on a fast cadence: the control
+    # interval must sit well below a bottleneck episode (one SCF
+    # iteration in the trap corpus, a few simulated seconds) or the
+    # controller perpetually backs the *previous* iteration's bottleneck
+    # — the same lag-ratio lesson as bench_ablation_dynamic.
+    register_policy(
+        "hysteresis",
+        lambda: HysteresisPolicy(DynamicBalancerConfig(interval=0.25)),
+    )
+
+
+_register_defaults()
+
+#: The tournament's default line-up: every built-in, ST reference first.
+DEFAULT_POLICIES = (
+    "st",
+    "paper-b",
+    "paper-c",
+    "paper-d",
+    "propshare",
+    "lpt",
+    "hysteresis",
+)

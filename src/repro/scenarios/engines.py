@@ -322,7 +322,12 @@ class FluidEngine(Engine):
     name = "fluid"
     description = ("discrete-event MPI runtime driven by the analytic "
                    "throughput model (the default simulator)")
-    option_names = ("incremental_rates", "check_invariants")
+    #: ``controllers`` is a zero-argument factory returning the runtime
+    #: controllers for one run (fresh objects per run — controllers are
+    #: stateful). A factory rather than instances so ``run_batch`` can
+    #: give every spec its own controllers; this is how dynamic
+    #: balancing policies ride the batch API.
+    option_names = ("incremental_rates", "check_invariants", "controllers")
     batch_strategy = "vectorized"
 
     def __init__(self) -> None:
@@ -384,11 +389,21 @@ class FluidEngine(Engine):
                 bool(opts.get("incremental_rates", True)),
                 bool(opts.get("check_invariants", False)),
             )
+        controllers = None
+        factory = opts.get("controllers")
+        if factory is not None:
+            if not callable(factory):
+                raise ConfigurationError(
+                    "controllers option must be a zero-arg factory "
+                    "returning fresh controller objects"
+                )
+            controllers = list(factory())
         run = system.run(
             spec.programs(),
             mapping=spec.mapping_obj(),
             priorities=spec.priority_dict(),
             label=label if label is not None else f"scenario.{spec.name}",
+            controllers=controllers,
         )
         elapsed = time.perf_counter() - t0
         _observe_run(self.name, elapsed)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.dynamic import DynamicBalancer, DynamicBalancerConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ValidationError
 from repro.machine.mapping import ProcessMapping
 from repro.workloads.generators import barrier_loop_programs
 
@@ -21,6 +21,43 @@ class TestConfig:
 
     def test_interval_property(self):
         assert DynamicBalancer(DynamicBalancerConfig(interval=0.5)).interval == 0.5
+
+
+class TestConfigDoc:
+    def test_round_trip(self):
+        config = DynamicBalancerConfig(
+            interval=0.25, threshold=0.1, min_priority=2, max_priority=6,
+            max_gap=3,
+        )
+        assert DynamicBalancerConfig.from_doc(config.to_doc()) == config
+
+    def test_doc_is_complete_and_scalar(self):
+        doc = DynamicBalancerConfig().to_doc()
+        assert doc == {
+            "interval": 2.0,
+            "threshold": 0.08,
+            "min_priority": 3,
+            "max_priority": 6,
+            "max_gap": 2,
+        }
+
+    def test_all_fields_optional(self):
+        assert DynamicBalancerConfig.from_doc({}) == DynamicBalancerConfig()
+        assert DynamicBalancerConfig.from_doc(
+            {"interval": 0.5}
+        ) == DynamicBalancerConfig(interval=0.5)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError):
+            DynamicBalancerConfig.from_doc({"intreval": 0.5})
+
+    def test_malformed_values_rejected(self):
+        with pytest.raises(ValidationError):
+            DynamicBalancerConfig.from_doc({"interval": "fast"})
+        with pytest.raises(ValidationError):
+            DynamicBalancerConfig.from_doc({"interval": -1.0})
+        with pytest.raises(ValidationError):
+            DynamicBalancerConfig.from_doc([])
 
 
 class TestControlBehaviour:

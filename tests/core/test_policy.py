@@ -1,0 +1,89 @@
+"""The policy protocol and its serialisable identity (core layer)."""
+
+import pytest
+
+from repro.core import (
+    POLICY_FAMILIES,
+    DynamicPolicy,
+    Policy,
+    PolicySpec,
+    StaticPolicy,
+)
+from repro.errors import ConfigurationError, ValidationError
+
+
+class TestPolicySpec:
+    def test_round_trip(self):
+        spec = PolicySpec(
+            name="lpt", family="static",
+            params={"base_priority": 4, "max_gap": 3},
+        )
+        again = PolicySpec.from_doc(spec.to_doc())
+        assert again == spec
+        assert again.fingerprint == spec.fingerprint
+
+    def test_params_are_canonicalised(self):
+        a = PolicySpec("p", "static", params={"b": 1, "a": 2.0})
+        b = PolicySpec("p", "static", params=(("a", 2.0), ("b", 1)))
+        assert a == b
+        assert a.fingerprint == b.fingerprint
+        assert a.params_dict() == {"a": 2.0, "b": 1}
+
+    def test_empty_params_omitted_from_doc(self):
+        assert "params" not in PolicySpec("st", "static").to_doc()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError):
+            PolicySpec.from_doc({"name": "x", "family": "static", "extra": 1})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValidationError):
+            PolicySpec.from_doc({"name": "x"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValidationError):
+            PolicySpec.from_doc(["st", "static"])
+
+    def test_bad_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicySpec("x", "adaptive")
+        with pytest.raises(ValidationError):
+            PolicySpec.from_doc({"name": "x", "family": "adaptive"})
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicySpec("x", "static", params={"works": [1, 2]})
+
+    def test_families_constant(self):
+        assert POLICY_FAMILIES == ("static", "dynamic")
+
+
+class TestProtocol:
+    def test_family_markers(self):
+        assert issubclass(StaticPolicy, Policy)
+        assert issubclass(DynamicPolicy, Policy)
+        assert StaticPolicy.family == "static"
+        assert DynamicPolicy.family == "dynamic"
+
+    def test_core_exports_protocol(self):
+        import repro.core as core
+
+        for name in ("Policy", "StaticPolicy", "DynamicPolicy",
+                     "PolicySpec", "POLICY_FAMILIES", "Balancer",
+                     "PriorityAssignment"):
+            assert name in core.__all__
+            assert hasattr(core, name)
+
+    def test_fingerprint_delegates_to_spec(self):
+        class Fixed(StaticPolicy):
+            name = "fixed"
+
+            def spec(self):
+                return PolicySpec("fixed", "static", params={"k": 1})
+
+            def plan(self, compute_seconds, mapping):
+                raise NotImplementedError
+
+        policy = Fixed()
+        assert policy.fingerprint == policy.spec().fingerprint
+        assert "fixed" in policy.describe()

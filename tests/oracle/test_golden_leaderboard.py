@@ -1,0 +1,70 @@
+"""The golden tournament leaderboard: record once, replay forever."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import GoldenMismatchError, OracleError
+from repro.oracle import golden
+from repro.policies import Leaderboard
+
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "golden"
+)
+
+
+class TestRecordCheckCycle:
+    def test_record_then_check(self, tmp_path):
+        path = golden.record_leaderboard(str(tmp_path))
+        assert os.path.basename(path) == golden.LEADERBOARD_GOLDEN_BASENAME
+        outcome = golden.check_leaderboard(str(tmp_path))
+        assert outcome.ok
+        assert outcome.recorded_fingerprint == outcome.replayed_fingerprint
+
+    def test_missing_recording(self, tmp_path):
+        with pytest.raises(OracleError):
+            golden.check_leaderboard(str(tmp_path))
+
+    def test_drifted_recording_mismatches(self, tmp_path):
+        path = golden.record_leaderboard(str(tmp_path))
+        board = Leaderboard.load(path)
+        # A recording of a *different* (still valid) outcome: nudge one
+        # baseline time and re-save, so the artifact's own embedded
+        # fingerprint is consistent but replay cannot reproduce it.
+        drifted = Leaderboard(
+            config=board.config,
+            scenario_fingerprints=board.scenario_fingerprints,
+            scenario_kinds=board.scenario_kinds,
+            baseline_total_times=(
+                board.baseline_total_times[0] + 0.5,
+            ) + board.baseline_total_times[1:],
+            scores=board.scores,
+        )
+        drifted.save(path)
+        with pytest.raises(GoldenMismatchError):
+            golden.check_leaderboard(str(tmp_path))
+        outcome = golden.check_leaderboard(str(tmp_path), strict=False)
+        assert not outcome.ok
+
+    def test_record_all_includes_the_leaderboard(self, tmp_path):
+        paths = golden.record_all(str(tmp_path))
+        assert any(
+            p.endswith(golden.LEADERBOARD_GOLDEN_BASENAME) for p in paths
+        )
+
+
+class TestCommittedArtifact:
+    def test_committed_leaderboard_replays(self):
+        # The repo's own recording must keep reproducing — this is the
+        # golden-replay bar for the whole policy subsystem.
+        outcome = golden.check_leaderboard(GOLDEN_DIR)
+        assert outcome.ok
+
+    def test_committed_artifact_is_versioned(self):
+        with open(golden.leaderboard_path(GOLDEN_DIR)) as fh:
+            doc = json.load(fh)
+        assert doc["format"] == "repro-tournament-leaderboard"
+        assert doc["version"] == 1
+        assert doc["config"] == golden.smoke_tournament_config().to_doc()

@@ -1,0 +1,66 @@
+"""Tournament corpora are deterministic, typed and priority-free."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies import CORPORA, tournament_corpus
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("corpus", CORPORA)
+    def test_same_inputs_same_fingerprints(self, corpus):
+        a = [s.fingerprint for s in tournament_corpus(corpus, 8, seed=3)]
+        b = [s.fingerprint for s in tournament_corpus(corpus, 8, seed=3)]
+        assert a == b
+
+    @pytest.mark.parametrize("corpus", CORPORA)
+    def test_seeds_diverge(self, corpus):
+        a = {s.fingerprint for s in tournament_corpus(corpus, 6, seed=1)}
+        b = {s.fingerprint for s in tournament_corpus(corpus, 6, seed=2)}
+        assert a.isdisjoint(b)
+
+
+class TestShape:
+    def test_fuzz_cells_carry_no_priorities(self):
+        # The generator decorates ~70% of draws with random static
+        # priorities; a tournament cell must start from MEDIUM so the
+        # policy owns every priority write.
+        for spec in tournament_corpus("fuzz", 20, seed=0):
+            assert spec.priorities == ()
+
+    def test_trap_cells_are_migrating_siesta(self):
+        for spec in tournament_corpus("siesta", 6, seed=0):
+            assert spec.kind == "siesta"
+            assert spec.priorities == ()
+            params = spec.params_dict()
+            assert params["rotate_prob"] >= 0.55
+            assert params["jitter_sigma"] >= 0.5
+
+    def test_mixed_interleaves_trap_first(self):
+        specs = tournament_corpus("mixed", 7, seed=0)
+        # Even cells are the traps (by construction named trap-*); odd
+        # cells are generator draws (named fuzz-*).
+        assert [s.kind for s in specs[0::2]] == ["siesta"] * 4
+        assert all(s.name.startswith("trap-") for s in specs[0::2])
+        assert all(s.name.startswith("fuzz-") for s in specs[1::2])
+
+    def test_mixed_reuses_the_pure_corpora(self):
+        mixed = tournament_corpus("mixed", 6, seed=5)
+        traps = tournament_corpus("siesta", 3, seed=5)
+        fuzz = tournament_corpus("fuzz", 3, seed=5)
+        assert [s.fingerprint for s in mixed[0::2]] == [
+            s.fingerprint for s in traps
+        ]
+        assert [s.fingerprint for s in mixed[1::2]] == [
+            s.fingerprint for s in fuzz
+        ]
+
+
+class TestValidation:
+    def test_unknown_corpus(self):
+        with pytest.raises(ConfigurationError):
+            tournament_corpus("chaos", 4, seed=0)
+
+    def test_empty_corpus(self):
+        with pytest.raises(ConfigurationError):
+            tournament_corpus("fuzz", 0, seed=0)

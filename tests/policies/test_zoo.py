@@ -1,0 +1,137 @@
+"""The policy zoo: contenders plan correctly and the registry is strict."""
+
+import pytest
+
+from repro.core import DynamicBalancer, DynamicBalancerConfig
+from repro.errors import ConfigurationError
+from repro.machine.mapping import ProcessMapping
+from repro.policies import (
+    DEFAULT_POLICIES,
+    HysteresisPolicy,
+    LptGreedyPolicy,
+    PaperCasePolicy,
+    all_policies,
+    get_policy,
+    policy_names,
+    register_policy,
+)
+from repro.scenarios import ScenarioSpec, get_engine
+
+IDENTITY = ProcessMapping.identity(4)
+
+
+class TestRegistry:
+    def test_defaults_registered(self):
+        assert set(DEFAULT_POLICIES) <= set(policy_names())
+
+    def test_fresh_instances(self):
+        assert get_policy("lpt") is not get_policy("lpt")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_policy("zeus")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_policy("lpt", LptGreedyPolicy)
+        register_policy("lpt", LptGreedyPolicy, replace=True)  # sanctioned
+
+    def test_all_policies_cover_both_families(self):
+        families = {p.family for p in all_policies()}
+        assert families == {"static", "dynamic"}
+
+    def test_fingerprints_distinct(self):
+        prints = [p.fingerprint for p in all_policies()]
+        assert len(set(prints)) == len(prints)
+
+
+class TestPaperCases:
+    def test_st_never_writes(self):
+        plan = get_policy("st").plan([1e9, 9e9, 1e9, 9e9], IDENTITY)
+        assert all(p == 4 for _, p in plan.priorities)
+
+    def test_case_c_shape_on_triggered_pair(self):
+        # Pair (0,1) wildly imbalanced, pair (2,3) balanced: only the
+        # first gets the case shape.
+        plan = get_policy("paper-c").plan([1e9, 9e9, 2e9, 2e9], IDENTITY)
+        assert plan.priority_dict == {0: 4, 1: 6, 2: 4, 3: 4}
+
+    def test_below_trigger_stays_medium(self):
+        plan = get_policy("paper-d").plan([1e9, 1.4e9, 1e9, 1.4e9], IDENTITY)
+        assert all(p == 4 for _, p in plan.priorities)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            PaperCasePolicy("bad", base_priority=5, gap=3)
+        with pytest.raises(ConfigurationError):
+            PaperCasePolicy("bad", trigger_ratio=0.5)
+
+
+class TestLptGreedy:
+    def test_deterministic(self):
+        works = [3e9, 1e9, 5e9, 2e9]
+        a = LptGreedyPolicy().plan(works, IDENTITY)
+        b = LptGreedyPolicy().plan(works, IDENTITY)
+        assert a.priorities == b.priorities
+
+    def test_respects_bounds(self):
+        plan = LptGreedyPolicy().plan([1.0, 1e12, 1e12, 1.0], IDENTITY)
+        for _, p in plan.priorities:
+            assert 3 <= p <= 6
+        assert plan.max_gap <= 3
+
+    def test_extreme_imbalance_reaches_paper_d_shape(self):
+        plan = LptGreedyPolicy().plan([1e9, 2e10, 2e9, 2e9], IDENTITY)
+        assert plan.priority_dict[1] - plan.priority_dict[0] == 3
+
+    def test_balanced_pairs_untouched(self):
+        plan = LptGreedyPolicy().plan([2e9, 2e9, 3e9, 3e9], IDENTITY)
+        assert all(p == 4 for _, p in plan.priorities)
+
+    def test_bound_validation(self):
+        with pytest.raises(ConfigurationError):
+            LptGreedyPolicy(min_priority=5, base_priority=4)
+        with pytest.raises(ConfigurationError):
+            LptGreedyPolicy(max_gap=9)
+
+
+class TestHysteresisRetrofit:
+    def test_spec_carries_config_doc(self):
+        policy = HysteresisPolicy(DynamicBalancerConfig(interval=0.25))
+        assert policy.spec().params_dict() == (
+            DynamicBalancerConfig(interval=0.25).to_doc()
+        )
+
+    def test_controller_is_fresh_per_run(self):
+        policy = HysteresisPolicy()
+        a, b = policy.controller(), policy.controller()
+        assert a is not b
+        assert isinstance(a, DynamicBalancer)
+        assert a.config == policy.config
+
+    def test_identical_physics_to_hand_built_controller(self):
+        # The retrofit contract: driving the engine through the policy's
+        # controllers factory reproduces, bit for bit, what a hand-built
+        # DynamicBalancer produced before the protocol existed.
+        spec = ScenarioSpec(
+            name="retrofit",
+            kind="barrier_loop",
+            works=(1.0e9, 6.0e9, 1.0e9, 6.0e9),
+            iterations=6,
+        )
+        config = DynamicBalancerConfig(interval=0.25, threshold=0.1)
+        engine = get_engine("fluid")
+        by_policy = engine.run(
+            spec,
+            options={
+                "controllers": lambda: [
+                    HysteresisPolicy(config).controller()
+                ]
+            },
+        )
+        by_hand = engine.run(
+            spec,
+            options={"controllers": lambda: [DynamicBalancer(config)]},
+        )
+        assert by_policy.digest == by_hand.digest
+        assert by_policy.total_time == by_hand.total_time

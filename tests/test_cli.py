@@ -137,3 +137,63 @@ class TestServeCommand:
             server.shutdown()
             server.server_close()
             service.shutdown()
+
+
+class TestTournamentCommand:
+    def test_policies_catalogue(self, capsys):
+        assert main(["tournament", "policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("st", "paper-b", "paper-c", "paper-d", "propshare",
+                     "lpt", "hysteresis"):
+            assert name in out
+
+    def test_run_and_show_round_trip(self, tmp_path, capsys):
+        out_path = str(tmp_path / "board.json")
+        rc = main([
+            "tournament", "run",
+            "--policies", "st,propshare,hysteresis",
+            "--corpus", "mixed", "-n", "4", "--seed", "11",
+            "--out", out_path,
+        ])
+        run_out = capsys.readouterr().out
+        assert rc == 0
+        assert "hysteresis" in run_out and "fingerprint" in run_out
+
+        assert main(["tournament", "show", out_path]) == 0
+        show_out = capsys.readouterr().out
+        assert "propshare" in show_out
+        # The artifact's fingerprint is the run's fingerprint.
+        fingerprint = run_out.split("fingerprint ")[1].split()[0]
+        assert fingerprint in show_out
+
+    def test_run_is_deterministic_across_invocations(self, capsys):
+        argv = ["tournament", "run", "--policies", "st,propshare",
+                "--corpus", "fuzz", "-n", "4", "--seed", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert (first.split("fingerprint ")[1].split()[0]
+                == second.split("fingerprint ")[1].split()[0])
+
+    def test_scalar_flag_keeps_the_fingerprint(self, capsys):
+        argv = ["tournament", "run", "--policies", "st,propshare",
+                "--corpus", "fuzz", "-n", "3", "--seed", "3"]
+        assert main(argv) == 0
+        batched = capsys.readouterr().out
+        assert main(argv + ["--scalar"]) == 0
+        scalar = capsys.readouterr().out
+        assert (batched.split("fingerprint ")[1].split()[0]
+                == scalar.split("fingerprint ")[1].split()[0])
+
+    def test_unknown_policy(self, capsys):
+        rc = main(["tournament", "run", "--policies", "zeus", "-n", "2"])
+        assert rc == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_show_needs_a_path(self, capsys):
+        assert main(["tournament", "show"]) == 2
+        assert "artifact path" in capsys.readouterr().err
+
+    def test_show_missing_artifact(self, tmp_path, capsys):
+        assert main(["tournament", "show", str(tmp_path / "no.json")]) == 2

@@ -5,9 +5,10 @@ The repo's layer graph (see ``docs/architecture.md``) only works in one
 direction: the physics core (``kernel``/``smt``/``mpi``/``machine``/
 ``trace``/``workloads`` and the ``util`` helpers) must stay importable
 without dragging in the layers that *consume* it (``scenarios``, then
-``oracle``/``experiments``/``service``/``cli``), and the ``scenarios``
-package — the shared spec/engine vocabulary — must likewise not depend
-on any of its consumers.
+``policies``, then ``oracle``/``experiments``/``service``/``cli``), and
+the ``scenarios`` package — the shared spec/engine vocabulary — must
+likewise not depend on any of its consumers, nor ``policies`` on the
+oracle/CLI layers that replay and render its leaderboards.
 
 Only **module-level** imports are violations: a function-level import of
 an upper layer (e.g. the MPI runtime's optional live invariant hooks
@@ -27,7 +28,7 @@ import sys
 from typing import Iterator, List, Tuple
 
 #: repro.<package> -> the upper layers it must never module-level import.
-_UPPER = ("scenarios", "oracle", "experiments", "service", "cli")
+_UPPER = ("scenarios", "policies", "oracle", "experiments", "service", "cli")
 FORBIDDEN = {
     # The telemetry substrate is a strict leaf (stdlib + repro.errors
     # only): every layer may report into it, so it may depend on none.
@@ -45,7 +46,10 @@ FORBIDDEN = {
     "core": _UPPER,
     "cluster": _UPPER,
     # The shared vocabulary must not depend on its consumers.
-    "scenarios": ("oracle", "experiments", "service", "cli"),
+    "scenarios": ("policies", "oracle", "experiments", "service", "cli"),
+    # Policies consume specs/engines; the oracle and the CLI consume
+    # leaderboards — never the other way around.
+    "policies": ("oracle", "experiments", "service", "cli"),
 }
 
 
