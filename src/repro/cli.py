@@ -39,8 +39,18 @@ Commands
     the artifact with ``--out``), render a saved artifact (``show
     FILE``), or list the policy zoo (``policies``).
 ``engines list``
-    The registered scenario execution engines (name, options, what each
-    backend is), from the :mod:`repro.scenarios` registry.
+    The registered scenario execution engines (name, batch strategy,
+    physics axes, options, what each backend is), from the
+    :mod:`repro.scenarios` registry.
+``search joint [--works W,W,...] [--kind K] [--profile P] [--levels L,L,...]
+       [--max-gap G] [--workers N] [--top K] [--seed S] [--no-prune]
+       [--staged]``
+    The joint (mapping × priority) configuration search
+    (``docs/mapping.md``): enumerate symmetry-pruned thread-to-core
+    mappings crossed with per-core priority combinations, simulate every
+    candidate, and print the ranking against the default (identity
+    mapping, all-MEDIUM) configuration. ``--staged`` swaps the mapping
+    sweep for the decode-pressure pairing heuristic.
 """
 
 from __future__ import annotations
@@ -349,11 +359,24 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
               f"recorded {board.recorded_fingerprint[:16]}...)")
         if not board.ok:
             bad += 1
+        try:
+            joint = golden.check_joint_search(directory, strict=False)
+        except OracleError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        status = "ok" if joint.ok else "MISMATCH"
+        print(f"{status:8s} {os.path.basename(joint.path)} "
+              f"(replayed {joint.replayed_digest[:16]}..., "
+              f"recorded {joint.recorded_digest[:16]}...)")
+        for m in joint.mismatches:
+            bad += 1
+            print(f"         - {m}")
         if bad:
             print(f"{bad} golden mismatch(es)", file=sys.stderr)
             return 1
         print(f"{len(checks)} golden trace(s) match scalar and batch "
-              "replay; leaderboard reproduces; decode law holds")
+              "replay; leaderboard and joint search reproduce; "
+              "decode law holds")
         return 0
     # fuzz
     report = differential.fuzz(args.budget, seed=args.seed)
@@ -436,7 +459,7 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     from repro.scenarios import all_engines
 
     table = TextTable(
-        ["engine", "batch", "options", "description"],
+        ["engine", "batch", "axes", "options", "description"],
         title="Registered scenario execution engines",
     )
     for engine in all_engines():
@@ -444,6 +467,7 @@ def _cmd_engines(args: argparse.Namespace) -> int:
             [
                 engine.name,
                 getattr(engine, "batch_strategy", "loop"),
+                ",".join(getattr(engine, "axes", ())) or "-",
                 ", ".join(engine.option_names) or "-",
                 engine.description,
             ]
@@ -465,14 +489,17 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
     )
 
     if args.action == "policies":
+        axis_of = {"static": "priority", "dynamic": "priority",
+                   "allocation": "mapping"}
         table = TextTable(
-            ["policy", "family", "fingerprint", "description"],
+            ["policy", "family", "axis", "fingerprint", "description"],
             title="The policy zoo (docs/policies.md)",
         )
         for policy in all_policies():
             table.add_row([
                 policy.name,
                 policy.family,
+                axis_of.get(policy.family, "-"),
                 policy.fingerprint[:12],
                 policy.description,
             ])
@@ -517,6 +544,105 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
     if args.out:
         board.save(args.out)
         print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    # Imported here like the oracle/tournament commands: the search and
+    # workload layers are never needed by the architectural commands.
+    from repro.core import (
+        candidate_mappings,
+        joint_search,
+        mapping_then_priority_search,
+    )
+    from repro.errors import ConfigurationError, MappingError
+    from repro.machine.mapping import ProcessMapping
+    from repro.scenarios import ScenarioSpec
+
+    try:
+        works = tuple(float(w) for w in args.works.split(",") if w.strip())
+        levels = tuple(int(l) for l in args.levels.split(",") if l.strip())
+    except ValueError as exc:
+        print(f"search joint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        spec = ScenarioSpec(
+            name="search-joint",
+            kind=args.kind,
+            works=works,
+            iterations=args.iterations,
+            profile=args.profile,
+            seed=args.seed,
+        )
+        system = System(SystemConfig(seed=args.seed))
+        baseline = system.run(
+            list(spec.programs()),
+            mapping=ProcessMapping.identity(spec.n_ranks),
+            label="search.baseline",
+        )
+        if args.staged:
+            result = mapping_then_priority_search(
+                system,
+                spec.programs,
+                works,
+                profiles=args.profile,
+                levels=levels,
+                max_gap=args.max_gap,
+                keep_top=args.top,
+                workers=args.workers,
+            )
+            space_note = "staged: pressure-paired mapping, priorities searched"
+        else:
+            prune = not args.no_prune
+            n_cores = system.config.chip.n_cores
+            pruned = len(candidate_mappings(spec.n_ranks, n_cores))
+            total = len(
+                candidate_mappings(spec.n_ranks, n_cores, prune_symmetry=False)
+            )
+            result = joint_search(
+                system,
+                spec.programs,
+                n_ranks=spec.n_ranks,
+                levels=levels,
+                max_gap=args.max_gap,
+                keep_top=args.top,
+                workers=args.workers,
+                prune_symmetry=prune,
+            )
+            space_note = (
+                f"mappings: {pruned} canonical of {total} "
+                f"({'pruned' if prune else 'NOT pruned'}; "
+                f"{total / pruned:.1f}x symmetry cut)"
+            )
+    except (ConfigurationError, MappingError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    table = TextTable(
+        ["#", "mapping", "priorities", "time [s]", "imb %", "vs default %"],
+        title=f"joint (mapping × priority) search over {len(works)} ranks",
+    )
+    for place, (assignment, total_time, imbalance) in enumerate(
+        result.entries, start=1
+    ):
+        mapping = ",".join(
+            f"{r}>{c}" for r, c in assignment.mapping.rank_to_cpu
+        )
+        prios = ",".join(str(p) for _, p in assignment.priorities)
+        gain = (baseline.total_time - total_time) / baseline.total_time * 100.0
+        table.add_row([
+            place, mapping, prios,
+            f"{total_time:.4f}", f"{imbalance:.2f}", f"{gain:+.2f}",
+        ])
+    print(table.render())
+    print(space_note)
+    stats = result.stats
+    print(
+        f"evaluated {stats.evaluations} candidates "
+        f"(workers {stats.workers}, model cache hit rate "
+        f"{stats.hit_rate * 100.0:.1f}%); default config: "
+        f"{baseline.total_time:.4f}s"
+    )
     return 0
 
 
@@ -611,6 +737,41 @@ def build_parser() -> argparse.ArgumentParser:
                           "path (CI artifact)")
     p_oracle.set_defaults(func=_cmd_oracle)
 
+    p_search = sub.add_parser(
+        "search",
+        help="joint (mapping × priority) configuration search",
+    )
+    p_search.add_argument("action", choices=("joint",))
+    p_search.add_argument("--works", default="8e8,2.4e9,1.2e9,2e9",
+                          metavar="W,W,...",
+                          help="per-rank work in instructions "
+                               "(default: a skewed 4-rank profile)")
+    p_search.add_argument("--kind", default="metbench",
+                          choices=("barrier_loop", "metbench", "btmz",
+                                   "siesta"),
+                          help="workload family (default: metbench)")
+    p_search.add_argument("--profile", default="hpc",
+                          help="load profile name (default: hpc)")
+    p_search.add_argument("--iterations", type=int, default=2)
+    p_search.add_argument("--levels", default="3,4,5,6", metavar="L,L,...",
+                          help="priority levels to search (default: 3,4,5,6)")
+    p_search.add_argument("--max-gap", type=int, default=2,
+                          help="max per-core priority gap (default: 2)")
+    p_search.add_argument("--workers", type=int, default=1,
+                          help="process-pool width (default: serial)")
+    p_search.add_argument("--top", type=int, default=10,
+                          help="ranking rows to keep/print (default: 10)")
+    p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--no-prune", action="store_true",
+                          help="disable symmetry pruning of the mapping "
+                               "axis (same best physics, strictly more "
+                               "simulation)")
+    p_search.add_argument("--staged", action="store_true",
+                          help="mapping_then_priority heuristic: pick the "
+                               "mapping from decode pressure, search "
+                               "priorities only")
+    p_search.set_defaults(func=_cmd_search)
+
     p_engines = sub.add_parser(
         "engines", help="registered scenario execution engines"
     )
@@ -629,8 +790,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated policy names "
                         "(default: every built-in)")
     p_tour.add_argument("--corpus", default="mixed",
-                        choices=("fuzz", "siesta", "mixed"),
-                        help="scenario corpus (default mixed)")
+                        choices=("fuzz", "siesta", "mixed", "metbtmz"),
+                        help="scenario corpus (default mixed; metbtmz is "
+                        "the MetBench/BT-MZ allocation-differential mix)")
     p_tour.add_argument("-n", "--scenarios", type=int, default=50,
                         help="corpus size (default 50)")
     p_tour.add_argument("--seed", type=int, default=0,

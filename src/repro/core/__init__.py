@@ -26,12 +26,20 @@ from repro.core.policy import (
     Policy,
     StaticPolicy,
     DynamicPolicy,
+    AllocationPolicy,
 )
 from repro.core.search import (
     SearchResult,
+    SearchStats,
     exhaustive_priority_search,
     greedy_priority_search,
+    joint_search,
+    mapping_then_priority_search,
     candidate_assignments,
+    candidate_mappings,
+    rank_pressures,
+    paired_extremes_mapping,
+    paired_adjacent_mapping,
 )
 from repro.core.advisor import Advisor, AdvisorReport, PolicyRecommendation
 
@@ -48,10 +56,18 @@ __all__ = [
     "Policy",
     "StaticPolicy",
     "DynamicPolicy",
+    "AllocationPolicy",
     "SearchResult",
+    "SearchStats",
     "exhaustive_priority_search",
     "greedy_priority_search",
+    "joint_search",
+    "mapping_then_priority_search",
     "candidate_assignments",
+    "candidate_mappings",
+    "rank_pressures",
+    "paired_extremes_mapping",
+    "paired_adjacent_mapping",
     "Advisor",
     "AdvisorReport",
     "PolicyRecommendation",

@@ -17,7 +17,14 @@ head (see :mod:`repro.policies` for the zoo and the tournament runner):
   runtime *controllers* (``interval`` attribute + ``on_tick(runtime,
   now)``, the ``MpiRuntime(controllers=...)`` hook) — the paper's
   future work, of which :class:`~repro.core.dynamic.DynamicBalancer`
-  is the incumbent.
+  is the incumbent;
+* an **allocation** policy (:class:`AllocationPolicy`) chooses the
+  *mapping* instead of the priorities: observations in, one
+  :class:`~repro.machine.mapping.ProcessMapping` out, priorities left
+  at MEDIUM — the thread-to-core allocation family from the related
+  work (ILP-aware scheduling), and the other half of the paper's
+  manual tuning story the zoo can now score head-to-head against
+  priority-only contenders.
 
 This module lives in ``core`` (below ``scenarios``) on purpose: the
 protocol speaks (works, mapping) like the rest of the core layer, and
@@ -30,16 +37,26 @@ from __future__ import annotations
 
 from abc import abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple, Union
+from typing import Dict, Mapping, Sequence, Tuple, Union
 
 from repro.core.balancer import Balancer, PriorityAssignment
 from repro.errors import ConfigurationError, ValidationError
+from repro.machine.mapping import ProcessMapping
 from repro.util.fingerprint import fingerprint_doc
 
-__all__ = ["POLICY_FAMILIES", "PolicySpec", "Policy", "StaticPolicy", "DynamicPolicy"]
+__all__ = [
+    "POLICY_FAMILIES",
+    "PolicySpec",
+    "Policy",
+    "StaticPolicy",
+    "DynamicPolicy",
+    "AllocationPolicy",
+]
 
-#: The two algorithm families the protocol distinguishes.
-POLICY_FAMILIES = ("static", "dynamic")
+#: The three algorithm families the protocol distinguishes: ``static``
+#: plans priorities up front, ``dynamic`` adjusts them at runtime,
+#: ``allocation`` plans the rank→core mapping (priorities untouched).
+POLICY_FAMILIES = ("static", "dynamic", "allocation")
 
 _ParamValue = Union[int, float, str, bool]
 
@@ -191,3 +208,35 @@ class DynamicPolicy(Policy):
     @abstractmethod
     def controller(self):
         """A fresh runtime controller for one run."""
+
+
+class AllocationPolicy(Policy):
+    """The thread-to-core family: observations in, one mapping out.
+
+    Where a static policy decides *how fast each context decodes*, an
+    allocation policy decides *which ranks share a core* — the lever the
+    paper fixed by hand (BT-MZ's heaviest-with-lightest re-pairing) and
+    the related allocation-policy literature treats as primary. The
+    planned mapping replaces the scenario's; priorities stay at MEDIUM,
+    so a tournament row isolates exactly what smart placement buys
+    without smart priorities.
+    """
+
+    family = "allocation"
+
+    @abstractmethod
+    def plan_mapping(
+        self,
+        compute_seconds: Sequence[float],
+        mapping: ProcessMapping,
+        profiles=None,
+    ) -> ProcessMapping:
+        """The mapping to install, from per-rank observed compute.
+
+        ``mapping`` is the scenario's incumbent layout (for its rank
+        count and as the fallback); the returned mapping must cover the
+        same ranks. ``profiles`` optionally carries per-rank load
+        profiles (:class:`~repro.smt.instructions.LoadProfile` or base
+        profile names) so ILP-aware policies can weigh decode appetite,
+        not just work.
+        """

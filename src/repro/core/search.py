@@ -1,4 +1,4 @@
-"""Search over priority assignments — automating the paper's case studies.
+"""Search over mappings and priorities — automating the paper's case studies.
 
 The paper finds good configurations by manually trying cases A-D per
 application. These helpers enumerate (or greedily walk) the assignment
@@ -7,6 +7,20 @@ returning a ranking by total execution time. On the 4-rank machine the
 exhaustive per-core space is small (priorities 3-6 per rank = 256
 combinations, fewer after symmetry pruning), so exhaustive search is
 practical with the analytic model.
+
+The paper fixes the rank→context mapping and searches only priorities;
+related work (ILP-aware scheduling, thread-to-core allocation families)
+says the mapping is the bigger lever. :func:`candidate_mappings`
+enumerates injective rank→CPU assignments — with **symmetry pruning**:
+the chip's two contexts per core are interchangeable and its cores are
+identical, so mappings inducing the same rank partition are physics
+equivalent (digest-proven in ``tests/core/test_joint_search.py``; proof
+sketch in ``docs/mapping.md``) and only each class's canonical
+representative is evaluated. :func:`joint_search` crosses that axis
+with the priority axis, and :func:`mapping_then_priority_search` is the
+staged heuristic: pick the mapping from per-rank decode pressure
+(:func:`rank_pressures` — work × ILP appetite from the profile's
+miss/unit rates), then search priorities on it alone.
 """
 
 from __future__ import annotations
@@ -15,21 +29,29 @@ import itertools
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.balancer import PriorityAssignment
 from repro.errors import ConfigurationError
-from repro.machine.mapping import ProcessMapping
+from repro.machine.mapping import ProcessMapping, paired_mapping
 from repro.machine.system import System
 from repro.mpi.process import RankProgram
+from repro.smt.cache import CacheHierarchy
+from repro.smt.instructions import BASE_PROFILES, LoadProfile
 from repro.telemetry import default_registry
 
 __all__ = [
     "SearchStats",
     "SearchResult",
     "candidate_assignments",
+    "candidate_mappings",
     "exhaustive_priority_search",
     "greedy_priority_search",
+    "joint_search",
+    "mapping_then_priority_search",
+    "rank_pressures",
+    "paired_extremes_mapping",
+    "paired_adjacent_mapping",
 ]
 
 
@@ -188,30 +210,26 @@ def _evaluate_candidate(payload) -> Tuple[float, float]:
     return _evaluate_assignment(system, program_factory, assignment)
 
 
-def exhaustive_priority_search(
+def _ranked_search(
     system: System,
     program_factory: Callable[[], Sequence[RankProgram]],
-    mapping: ProcessMapping,
-    levels: Sequence[int] = (3, 4, 5, 6),
-    max_gap: int = 2,
-    keep_top: int = 0,
-    workers: int = 1,
+    candidates: Sequence[PriorityAssignment],
+    keep_top: int,
+    workers: int,
+    kind: str,
 ) -> SearchResult:
-    """Evaluate every candidate assignment; return them ranked.
+    """Evaluate ``candidates`` (pool or serial), rank them, record stats.
 
-    ``program_factory`` must build *fresh* generator programs per run
-    (generators are single-use).
-
-    With ``workers > 1``, candidates are evaluated in a process pool.
+    The shared engine behind the exhaustive, joint and staged searches:
     ``executor.map`` preserves candidate order, and each run is
     deterministic given (programs, mapping, priorities), so the ranking
     is byte-identical to the serial one. The system and factory must be
-    picklable for this; when they are not (e.g. a lambda factory), the
-    search transparently falls back to the serial path. Worker model
-    caches are private to the pool, so cross-candidate cache reuse — and
-    the hit/miss accounting — only happens in serial mode.
+    picklable for the pool path; when they are not (e.g. a lambda
+    factory), the search transparently falls back to the serial path.
+    Worker model caches are private to the pool, so cross-candidate
+    cache reuse — and the hit/miss accounting — only happens in serial
+    mode.
     """
-    candidates = candidate_assignments(mapping, levels, max_gap)
     if not candidates:
         raise ConfigurationError("search evaluated no candidates")
     before = _model_cache_stats(system)
@@ -254,11 +272,32 @@ def exhaustive_priority_search(
         cache_misses=misses,
         workers=used_workers,
     )
-    _record_search("exhaustive", stats, time.perf_counter() - t0)
+    _record_search(kind, stats, time.perf_counter() - t0)
     entries.sort(key=lambda e: e[1])
     if keep_top > 0:
         entries = entries[:keep_top]
     return SearchResult(tuple(entries), stats=stats)
+
+
+def exhaustive_priority_search(
+    system: System,
+    program_factory: Callable[[], Sequence[RankProgram]],
+    mapping: ProcessMapping,
+    levels: Sequence[int] = (3, 4, 5, 6),
+    max_gap: int = 2,
+    keep_top: int = 0,
+    workers: int = 1,
+) -> SearchResult:
+    """Evaluate every candidate assignment; return them ranked.
+
+    ``program_factory`` must build *fresh* generator programs per run
+    (generators are single-use). Parallelism, determinism and the
+    serial fallback are :func:`_ranked_search`'s contract.
+    """
+    candidates = candidate_assignments(mapping, levels, max_gap)
+    return _ranked_search(
+        system, program_factory, candidates, keep_top, workers, "exhaustive"
+    )
 
 
 def greedy_priority_search(
@@ -322,3 +361,203 @@ def greedy_priority_search(
     _record_search("greedy", stats, time.perf_counter() - t0)
     history.sort(key=lambda e: e[1])
     return SearchResult(tuple(history), stats=stats)
+
+
+# -- the mapping axis -----------------------------------------------------------
+
+
+def candidate_mappings(
+    n_ranks: int,
+    n_cores: int = 2,
+    prune_symmetry: bool = True,
+) -> List[ProcessMapping]:
+    """Injective rank→CPU assignments on an ``n_cores``-core SMT chip.
+
+    Unpruned, this is every ordered choice of ``n_ranks`` CPUs out of
+    ``2 * n_cores`` — P(2c, r) mappings. With ``prune_symmetry`` (the
+    default) only each physics-equivalence class's canonical
+    representative survives (:meth:`ProcessMapping.canonical`): the two
+    contexts of a core are interchangeable and cores are identical, so
+    the class is really *which ranks share a core*, and the pruned count
+    is the number of rank partitions into at most ``n_cores`` groups of
+    at most two. On the paper chip (4 ranks, 2 cores) that is 24 → 3 —
+    an 8x cut before a single candidate is simulated.
+
+    Enumeration order is deterministic: lexicographic in the per-rank
+    CPU tuple. The canonical representative is the lexicographic minimum
+    of its class, so for tied objective values a stable ranking picks
+    the same physics with or without pruning.
+    """
+    if n_cores <= 0:
+        raise ConfigurationError(f"n_cores must be > 0, got {n_cores}")
+    n_cpus = 2 * n_cores
+    if not 0 < n_ranks <= n_cpus:
+        raise ConfigurationError(
+            f"n_ranks must be in 1..{n_cpus} on a {n_cores}-core chip, "
+            f"got {n_ranks}"
+        )
+    out: List[ProcessMapping] = []
+    for cpus in itertools.permutations(range(n_cpus), n_ranks):
+        mapping = ProcessMapping(tuple(enumerate(cpus)))
+        if prune_symmetry and not mapping.is_canonical():
+            continue
+        out.append(mapping)
+    return out
+
+
+def joint_search(
+    system: System,
+    program_factory: Callable[[], Sequence[RankProgram]],
+    n_ranks: int,
+    n_cores: Optional[int] = None,
+    levels: Sequence[int] = (3, 4, 5, 6),
+    max_gap: int = 2,
+    keep_top: int = 0,
+    workers: int = 1,
+    prune_symmetry: bool = True,
+    mappings: Optional[Sequence[ProcessMapping]] = None,
+) -> SearchResult:
+    """Search the joint (mapping × priority) space, ranked best first.
+
+    The cross product of :func:`candidate_mappings` (symmetry-pruned by
+    default; pass ``mappings`` to search an explicit shortlist instead)
+    with :func:`candidate_assignments` per mapping. Every entry's
+    :class:`~repro.core.balancer.PriorityAssignment` carries its mapping,
+    so the result shape, the process-pool parallelism and the
+    :class:`SearchStats` accounting are exactly the priority-only
+    search's. ``n_cores`` defaults to the system's chip.
+    """
+    if n_cores is None:
+        n_cores = system.config.chip.n_cores
+    if mappings is None:
+        mappings = candidate_mappings(n_ranks, n_cores, prune_symmetry)
+    candidates: List[PriorityAssignment] = []
+    for mapping in mappings:
+        if mapping.n_ranks != n_ranks:
+            raise ConfigurationError(
+                f"mapping {mapping.as_dict()} has {mapping.n_ranks} ranks, "
+                f"expected {n_ranks}"
+            )
+        candidates.extend(candidate_assignments(mapping, levels, max_gap))
+    return _ranked_search(
+        system, program_factory, candidates, keep_top, workers, "joint"
+    )
+
+
+# -- the staged heuristic -------------------------------------------------------
+
+_CACHES = CacheHierarchy()
+
+
+def _decode_appetite(profile: LoadProfile) -> float:
+    """How many decode slots per cycle a profile can actually consume.
+
+    Its ILP, discounted by the expected off-L1 stall cycles per memory
+    instruction (the profile's miss chain priced at the hierarchy's
+    latencies): a memory-bound thread is parked on misses most of the
+    time and leaves its decode share to the sibling, which is exactly
+    why ILP-aware allocation pairs it with a high-ILP neighbour.
+    """
+    levels = _CACHES.levels
+    stall_cycles = profile.l1_miss_rate * (
+        levels["l2"].latency
+        + profile.l2_miss_rate
+        * (levels["l3"].latency + profile.l3_miss_rate * _CACHES.memory.latency)
+    )
+    return profile.ilp / (1.0 + profile.memory_fraction * stall_cycles)
+
+
+def rank_pressures(
+    works: Sequence[float],
+    profiles: Union[str, LoadProfile, Sequence[Union[str, LoadProfile]]] = "hpc",
+) -> Tuple[float, ...]:
+    """Per-rank decode pressure: work × the profile's decode appetite.
+
+    The scalar the allocation heuristics sort by. With one profile for
+    every rank (the common scenario shape) pressure orders exactly like
+    work, so extreme-pairing degrades to the paper's BT-MZ move (heaviest
+    with lightest); with per-rank profiles the miss/unit rates tilt the
+    order toward pairing high-ILP with memory-bound ranks.
+    """
+    if isinstance(profiles, (str, LoadProfile)):
+        profiles = [profiles] * len(works)
+    if len(profiles) != len(works):
+        raise ConfigurationError(
+            f"{len(profiles)} profiles for {len(works)} works"
+        )
+    resolved = [
+        BASE_PROFILES[p] if isinstance(p, str) else p for p in profiles
+    ]
+    return tuple(
+        float(w) * _decode_appetite(p) for w, p in zip(works, resolved)
+    )
+
+
+def _pressure_order(pressures: Sequence[float]) -> List[int]:
+    """Ranks sorted by (pressure, rank) — the deterministic tie-break."""
+    return sorted(range(len(pressures)), key=lambda r: (pressures[r], r))
+
+
+def paired_extremes_mapping(pressures: Sequence[float]) -> ProcessMapping:
+    """Pair the highest-pressure rank with the lowest, and inward.
+
+    The ILP-aware allocation move: each core gets one decode-hungry rank
+    and one that leaves slots on the floor. Returns the canonical
+    representative, so the choice is stable under input symmetries.
+    """
+    order = _pressure_order(pressures)
+    pairs = []
+    lo, hi = 0, len(order) - 1
+    while lo < hi:
+        pairs.append((order[lo], order[hi]))
+        lo += 1
+        hi -= 1
+    mapping = {}
+    for core, (a, b) in enumerate(pairs):
+        mapping[a] = 2 * core
+        mapping[b] = 2 * core + 1
+    if lo == hi:  # odd rank count: the median rank gets a core to itself
+        mapping[order[lo]] = 2 * len(pairs)
+    return ProcessMapping.from_dict(mapping).canonical()
+
+
+def paired_adjacent_mapping(pressures: Sequence[float]) -> ProcessMapping:
+    """Pair like with like: adjacent ranks in pressure order share a core.
+
+    The contrast case to :func:`paired_extremes_mapping` — two
+    decode-hungry ranks fight for the same core's slots while an idle
+    core's worth of bandwidth goes unused elsewhere.
+    """
+    order = _pressure_order(pressures)
+    mapping = {}
+    for i, rank in enumerate(order):
+        mapping[rank] = i
+    return ProcessMapping.from_dict(mapping).canonical()
+
+
+def mapping_then_priority_search(
+    system: System,
+    program_factory: Callable[[], Sequence[RankProgram]],
+    works: Sequence[float],
+    profiles: Union[str, LoadProfile, Sequence[Union[str, LoadProfile]]] = "hpc",
+    levels: Sequence[int] = (3, 4, 5, 6),
+    max_gap: int = 2,
+    keep_top: int = 0,
+    workers: int = 1,
+) -> SearchResult:
+    """The staged heuristic: choose the mapping, then search priorities.
+
+    Stage one costs no simulation at all — the mapping comes from
+    :func:`rank_pressures` over the per-workload profiles
+    :mod:`repro.smt` already models (extreme pairing, the ILP-aware
+    allocation rule). Stage two is the exhaustive priority search on
+    that single mapping. Against :func:`joint_search` this trades the
+    mapping dimension's whole candidate factor for one pressure sort;
+    ``benchmarks/bench_joint_search.py`` records how much of the joint
+    optimum it recovers.
+    """
+    mapping = paired_extremes_mapping(rank_pressures(works, profiles))
+    candidates = candidate_assignments(mapping, levels, max_gap)
+    return _ranked_search(
+        system, program_factory, candidates, keep_top, workers, "staged"
+    )

@@ -7,6 +7,7 @@ values. The benchmarks under ``benchmarks/`` are thin wrappers around
 these runners.
 """
 
+from repro.experiments.allocation import allocation_axes_table
 from repro.experiments.cases import (
     ExperimentCase,
     Suite,
@@ -21,6 +22,7 @@ from repro.experiments.figures import figure1_traces, case_trace
 from repro.experiments.report import suite_report, full_report
 
 __all__ = [
+    "allocation_axes_table",
     "ExperimentCase",
     "Suite",
     "metbench_suite",

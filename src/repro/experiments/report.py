@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.experiments.allocation import allocation_axes_table
 from repro.experiments.cases import Suite, btmz_suite, metbench_suite, siesta_suite
 from repro.experiments.figures import figure1_traces
 from repro.experiments.runner import CaseResult, comparison_table, run_suite
@@ -75,6 +76,8 @@ def full_report(fast: bool = False) -> str:
         f"(exec {after.total_time:.2f}s, imb {after.imbalance_percent:.1f}%):\n"
         + chart_b
     )
+
+    parts.append(allocation_axes_table(system=system).render())
 
     mb = metbench_suite(iterations=3 if fast else 10)
     bt = btmz_suite(iterations=10 if fast else 50)

@@ -45,6 +45,9 @@ class ProcessMapping:
             raise MappingError(f"duplicate cpus in mapping: {cpus}")
         if any(c < 0 for c in cpus):
             raise MappingError(f"negative cpu in mapping: {cpus}")
+        # The lookup dict is immutable once validated; cpu_of is called
+        # per-rank inside the runtime's and the search layer's hot loops.
+        object.__setattr__(self, "_lookup", dict(self.rank_to_cpu))
 
     @property
     def n_ranks(self) -> int:
@@ -55,7 +58,7 @@ class ProcessMapping:
 
     def cpu_of(self, rank: int) -> int:
         try:
-            return dict(self.rank_to_cpu)[rank]
+            return self._lookup[rank]
         except KeyError:
             raise MappingError(f"no rank {rank} in mapping") from None
 
@@ -77,6 +80,31 @@ class ProcessMapping:
             if other != rank and cpu // 2 == core:
                 return other
         return -1
+
+    def canonical(self) -> "ProcessMapping":
+        """The symmetry-canonical representative of this mapping's class.
+
+        Two mappings are *physics-equivalent* when they induce the same
+        partition of ranks into core groups: the chip's two contexts per
+        core are interchangeable (swapping siblings swaps nothing the
+        decode law can see) and the cores themselves are identical
+        (renumbering whole cores permutes nothing either). The canonical
+        representative packs core groups onto the lowest cores ordered
+        by each group's minimum rank, with each group's ranks on
+        ascending contexts — so ``a.canonical() == b.canonical()`` iff
+        ``a`` and ``b`` are physics-equivalent. See ``docs/mapping.md``
+        for the proof sketch and the digest test that pins it.
+        """
+        groups = sorted(self.core_pairs(), key=lambda g: g[0])
+        mapping: Dict[int, int] = {}
+        for core, group in enumerate(groups):
+            for context, rank in enumerate(group):
+                mapping[rank] = 2 * core + context
+        return ProcessMapping.from_dict(mapping)
+
+    def is_canonical(self) -> bool:
+        """True when this mapping is its class's canonical representative."""
+        return self.rank_to_cpu == self.canonical().rank_to_cpu
 
 
 def paper_mapping(case: str) -> ProcessMapping:

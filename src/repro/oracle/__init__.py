@@ -37,7 +37,9 @@ from repro.oracle.golden import (
     GOLDEN_FORMAT,
     GOLDEN_VERSION,
     GoldenCheck,
+    JointSearchCheck,
     check_all,
+    check_joint_search,
     default_scenarios,
     record_all,
 )
@@ -67,7 +69,9 @@ __all__ = [
     "GOLDEN_FORMAT",
     "GOLDEN_VERSION",
     "GoldenCheck",
+    "JointSearchCheck",
     "check_all",
+    "check_joint_search",
     "default_scenarios",
     "record_all",
     "PAPER_TABLE_II",

@@ -19,7 +19,12 @@ The same directory also pins one tournament
 :class:`~repro.policies.Leaderboard` (the smoke config over both policy
 families): :func:`check_leaderboard` re-runs it and compares canonical
 fingerprints, golden-replaying the whole policy subsystem the way a
-trace digest golden-replays one scenario.
+trace digest golden-replays one scenario. And it pins one joint
+(mapping × priority) :class:`~repro.core.SearchResult`
+(``joint-search.search.json`` — deliberately *not* ``*.golden.json``,
+which is reserved for single-trace snapshots): the recorded winner's
+mapping, priorities, time and trace digest, replayed by re-running the
+whole symmetry-pruned search (:func:`check_joint_search`).
 """
 
 from __future__ import annotations
@@ -40,19 +45,25 @@ __all__ = [
     "GOLDEN_FORMAT",
     "GOLDEN_VERSION",
     "GoldenCheck",
+    "JOINT_SEARCH_GOLDEN_BASENAME",
+    "JointSearchCheck",
     "LEADERBOARD_GOLDEN_BASENAME",
     "LeaderboardCheck",
     "default_scenarios",
+    "joint_search_scenario",
     "smoke_tournament_config",
     "snapshot",
     "record",
     "record_all",
+    "record_joint_search",
     "record_leaderboard",
     "check",
     "check_all",
     "check_all_batch",
+    "check_joint_search",
     "check_leaderboard",
     "golden_paths",
+    "joint_search_path",
     "leaderboard_path",
 ]
 
@@ -158,6 +169,7 @@ def record_all(directory: str) -> List[str]:
         record(scenario, path)
         paths.append(path)
     paths.append(record_leaderboard(directory))
+    paths.append(record_joint_search(directory))
     return paths
 
 
@@ -395,4 +407,176 @@ def check_leaderboard(directory: str, strict: bool = True) -> LeaderboardCheck:
             "no longer reproducing the recorded outcome — re-record with "
             "`repro oracle record` if the change is intentional"
         )
+    return outcome
+
+
+# -- the golden joint search ----------------------------------------------------
+
+#: The pinned joint-search result. The suffix is deliberately NOT
+#: ``.golden.json``: that glob is the single-trace snapshot contract
+#: (``golden_paths``), and a search recording has a different shape.
+JOINT_SEARCH_GOLDEN_BASENAME = "joint-search.search.json"
+
+JOINT_SEARCH_FORMAT = "repro-golden-joint-search"
+JOINT_SEARCH_VERSION = 1
+
+#: The recorded search's knobs: 3 levels × |gap| ≤ 2 per core and the
+#: symmetry-pruned 4-rank mapping axis (24 → 3 classes), 243 candidates.
+_JOINT_LEVELS = (4, 5, 6)
+_JOINT_MAX_GAP = 2
+
+
+def joint_search_scenario() -> ScenarioSpec:
+    """The workload the golden joint search optimises: a skewed 4-rank
+    MetBench run where both the pairing and the priorities matter."""
+    return ScenarioSpec(
+        name="joint-smoke",
+        kind="metbench",
+        works=(8.0e8, 2.4e9, 1.2e9, 2.0e9),
+        iterations=2,
+    )
+
+
+def joint_search_path(directory: str) -> str:
+    return os.path.join(directory, JOINT_SEARCH_GOLDEN_BASENAME)
+
+
+def _run_joint_search(scenario: ScenarioSpec):
+    """One recording/replay path: a fresh System, the symmetry-pruned
+    joint search, and the winner re-run once for its trace digest."""
+    from repro.core import joint_search
+    from repro.machine.system import System, SystemConfig
+
+    system = System(SystemConfig(seed=scenario.seed))
+    result = joint_search(
+        system,
+        scenario.programs,
+        n_ranks=scenario.n_ranks,
+        levels=_JOINT_LEVELS,
+        max_gap=_JOINT_MAX_GAP,
+        keep_top=1,
+    )
+    best = result.best
+    run = system.run(
+        list(scenario.programs()),
+        mapping=best.mapping,
+        priorities=best.priority_dict,
+        label=f"oracle.joint.{scenario.name}",
+    )
+    return result, trace_digest(run)
+
+
+def record_joint_search(directory: str) -> str:
+    """Run the golden joint search fresh and write its recording."""
+    scenario = joint_search_scenario()
+    result, digest = _run_joint_search(scenario)
+    best = result.best
+    doc = {
+        "format": JOINT_SEARCH_FORMAT,
+        "version": JOINT_SEARCH_VERSION,
+        "scenario": scenario.to_doc(),
+        "scenario_fingerprint": scenario.fingerprint,
+        "levels": list(_JOINT_LEVELS),
+        "max_gap": _JOINT_MAX_GAP,
+        "evaluations": result.evaluated,
+        "best_mapping": {str(r): c for r, c in best.mapping.rank_to_cpu},
+        "best_priorities": {str(r): p for r, p in best.priorities},
+        "best_time": result.best_time,
+        "best_imbalance_percent": result.entries[0][2],
+        "best_trace_digest": digest,
+    }
+    path = joint_search_path(directory)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+@dataclass(frozen=True)
+class JointSearchCheck:
+    """The golden joint search's replay outcome."""
+
+    path: str
+    recorded_digest: str
+    replayed_digest: str
+    mismatches: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def check_joint_search(directory: str, strict: bool = True) -> JointSearchCheck:
+    """Re-run the recorded joint search and compare the winner.
+
+    The whole pruned (mapping × priority) sweep re-runs — enumeration
+    order, symmetry pruning, ranking tie-breaks and the simulator's
+    physics all have to reproduce for the winner's mapping, priorities,
+    time and trace digest to come out identical.
+    """
+    path = joint_search_path(directory)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        raise OracleError(f"no joint-search recording at {path}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise OracleError(f"unreadable joint-search file {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != JOINT_SEARCH_FORMAT:
+        raise OracleError(f"{path} is not a joint-search recording")
+    if doc.get("version") != JOINT_SEARCH_VERSION:
+        raise OracleError(
+            f"{path}: joint-search version {doc.get('version')!r} != "
+            f"{JOINT_SEARCH_VERSION}; re-record with `repro oracle record`"
+        )
+
+    scenario = ScenarioSpec.from_doc(doc["scenario"])
+    mismatches: List[str] = []
+    if scenario.fingerprint != doc.get("scenario_fingerprint"):
+        mismatches.append(
+            "scenario fingerprint drifted — the embedded scenario was "
+            "edited after recording; re-record instead of editing"
+        )
+    result, digest = _run_joint_search(scenario)
+    best = result.best
+    if tuple(doc["levels"]) != _JOINT_LEVELS or doc["max_gap"] != _JOINT_MAX_GAP:
+        mismatches.append(
+            f"recorded knobs levels={doc['levels']} max_gap={doc['max_gap']} "
+            f"!= this build's ({list(_JOINT_LEVELS)}, {_JOINT_MAX_GAP})"
+        )
+    if result.evaluated != int(doc["evaluations"]):
+        mismatches.append(
+            f"evaluations {result.evaluated} != recorded {doc['evaluations']} "
+            "— the candidate space (or its pruning) changed"
+        )
+    mapping = {str(r): c for r, c in best.mapping.rank_to_cpu}
+    if mapping != doc["best_mapping"]:
+        mismatches.append(
+            f"best mapping {mapping} != recorded {doc['best_mapping']}"
+        )
+    priorities = {str(r): p for r, p in best.priorities}
+    if priorities != doc["best_priorities"]:
+        mismatches.append(
+            f"best priorities {priorities} != recorded {doc['best_priorities']}"
+        )
+    if result.best_time != float(doc["best_time"]):
+        mismatches.append(
+            f"best time {result.best_time!r} != recorded {doc['best_time']!r}"
+        )
+    if digest != doc["best_trace_digest"]:
+        mismatches.append(
+            f"winner's trace digest {digest[:16]}... != recorded "
+            f"{str(doc['best_trace_digest'])[:16]}..."
+        )
+    outcome = JointSearchCheck(
+        path=path,
+        recorded_digest=str(doc["best_trace_digest"]),
+        replayed_digest=digest,
+        mismatches=tuple(mismatches),
+    )
+    if strict and not outcome.ok:
+        raise GoldenMismatchError(f"{path}: " + "; ".join(outcome.mismatches))
     return outcome

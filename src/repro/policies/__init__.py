@@ -7,10 +7,12 @@ head-to-head over seeded scenario corpora:
 
 * :mod:`repro.policies.zoo` — the built-in contenders (the paper's
   static ladder, the proportional-share planner, an EPLB-style LPT
-  heap greedy, the hysteresis runtime controller) and the name
-  registry.
+  heap greedy, the hysteresis runtime controller, and the
+  thread-to-core allocation family: ``ilp-pair``, ``ilp-spread``, the
+  ``random-mapping`` control) and the name registry.
 * :mod:`repro.policies.corpus` — deterministic scenario corpora,
-  including the migrating-bottleneck SIESTA traps.
+  including the migrating-bottleneck SIESTA traps and the
+  MetBench/BT-MZ ``metbtmz`` allocation-differential mix.
 * :mod:`repro.policies.tournament` — the batch-powered runner and the
   typed, fingerprintable :class:`Leaderboard` artifact.
 
@@ -30,11 +32,15 @@ from repro.policies.tournament import (
     run_tournament,
 )
 from repro.policies.zoo import (
+    ALLOCATION_POLICIES,
     DEFAULT_POLICIES,
     HysteresisPolicy,
+    IlpPairPolicy,
+    IlpSpreadPolicy,
     LptGreedyPolicy,
     PaperCasePolicy,
     ProportionalSharePolicy,
+    RandomMappingPolicy,
     all_policies,
     get_policy,
     policy_names,
@@ -52,11 +58,15 @@ __all__ = [
     "apply_policy",
     "planning_works",
     "run_tournament",
+    "ALLOCATION_POLICIES",
     "DEFAULT_POLICIES",
     "HysteresisPolicy",
+    "IlpPairPolicy",
+    "IlpSpreadPolicy",
     "LptGreedyPolicy",
     "PaperCasePolicy",
     "ProportionalSharePolicy",
+    "RandomMappingPolicy",
     "all_policies",
     "get_policy",
     "policy_names",

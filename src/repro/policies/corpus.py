@@ -21,6 +21,15 @@ contract exactly like the fuzz generator's draw sequence:
     The default: alternating trap and fuzz cells (trap first), so a
     leaderboard exercises both the steady imbalances static policies
     are built for and the migrating ones they are blind to.
+``metbtmz``
+    The allocation-differential corpus: alternating 4-rank MetBench
+    and BT-MZ cells (MetBench first) with lognormal work imbalance and
+    the identity mapping. Steady imbalances, no migrating bottleneck —
+    the regime where *both* smart priorities and smart placement can
+    win — so a tournament over it with priority and allocation
+    policies side by side yields the mapping-vs-priority differential
+    evidence (:meth:`repro.policies.tournament.Leaderboard.
+    differential_evidence`).
 """
 
 from __future__ import annotations
@@ -35,11 +44,14 @@ from repro.util.rng import RngStreams
 __all__ = ["CORPORA", "tournament_corpus"]
 
 #: Valid ``TournamentConfig.corpus`` values.
-CORPORA = ("fuzz", "siesta", "mixed")
+CORPORA = ("fuzz", "siesta", "mixed", "metbtmz")
 
 #: Named stream the trap corpus draws from (isolated from every other
 #: randomness consumer, like the fuzz generator's "oracle.fuzz").
 _TRAP_STREAM = "policies.corpus.siesta"
+
+#: Named stream for the MetBench/BT-MZ allocation-differential corpus.
+_METBTMZ_STREAM = "policies.corpus.metbtmz"
 
 
 def _fuzz_corpus(n: int, seed: int) -> List[ScenarioSpec]:
@@ -84,6 +96,48 @@ def _trap_corpus(n: int, seed: int) -> List[ScenarioSpec]:
     return specs
 
 
+def _metbtmz_corpus(n: int, seed: int) -> List[ScenarioSpec]:
+    rng = RngStreams(seed).get(_METBTMZ_STREAM)
+    specs: List[ScenarioSpec] = []
+    for i in range(n):
+        # Wider spread than the trap corpus (sigma 0.6): placement only
+        # matters when the per-rank decode appetites differ enough that
+        # pairing choices change who shares a core with whom. Every draw
+        # happens every cell so the stream stays aligned whichever kind
+        # the cell lands on.
+        works = tuple(
+            float(w) for w in rng.lognormal(mean=0.0, sigma=0.6, size=4) * 4.5e9
+        )
+        iterations = int(rng.integers(6, 12))
+        init_factor = float(rng.uniform(2.0, 5.0))
+        if i % 2 == 0:
+            specs.append(
+                ScenarioSpec(
+                    name=f"metbtmz-{seed}-{i + 1}",
+                    kind="metbench",
+                    works=works,
+                    iterations=iterations,
+                    profile="hpc",
+                    mapping="identity",
+                    seed=seed,
+                )
+            )
+        else:
+            specs.append(
+                ScenarioSpec(
+                    name=f"metbtmz-{seed}-{i + 1}",
+                    kind="btmz",
+                    works=works,
+                    iterations=iterations,
+                    profile="cfd",
+                    mapping="identity",
+                    seed=seed,
+                    params={"init_factor": init_factor},
+                )
+            )
+    return specs
+
+
 def tournament_corpus(corpus: str, n: int, seed: int) -> List[ScenarioSpec]:
     """The ``n`` specs of the named corpus for ``seed``, in cell order."""
     if n <= 0:
@@ -99,6 +153,8 @@ def tournament_corpus(corpus: str, n: int, seed: int) -> List[ScenarioSpec]:
         for i in range(n):
             specs.append(traps[i // 2] if i % 2 == 0 else fuzz[i // 2])
         return specs
+    if corpus == "metbtmz":
+        return _metbtmz_corpus(n, seed)
     raise ConfigurationError(
         f"unknown corpus {corpus!r} (choose from {', '.join(CORPORA)})"
     )

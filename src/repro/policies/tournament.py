@@ -5,10 +5,15 @@ One tournament is a deterministic function of its
 cells, which seed, which engine). Every policy runs the same seeded
 corpus; static policies are applied up front (their
 :class:`~repro.core.PriorityAssignment` becomes the spec's static
-priorities) and dynamic policies ride the fluid engine's
-``controllers`` option — both families go through
-``Engine.run_batch``, so a 7-policy × 50-cell tournament is 8 batched
-sweeps, not 400 scalar runs.
+priorities), dynamic policies ride the fluid engine's ``controllers``
+option, and allocation policies rewrite the spec's *mapping* (the
+thread-to-core axis) while leaving priorities at MEDIUM — all three
+families go through ``Engine.run_batch``, so a 7-policy × 50-cell
+tournament is 8 batched sweeps, not 400 scalar runs. When a
+tournament fields both allocation and priority policies the rendered
+leaderboard appends a mapping-vs-priority differential line
+(:meth:`Leaderboard.differential_evidence`; display-only, never part
+of the canonical doc).
 
 The result is a typed :class:`Leaderboard`: per policy the paper's
 imbalance metric, mean/worst total-time movement against the ST
@@ -29,7 +34,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core import DynamicPolicy, Policy, StaticPolicy
+from repro.core import AllocationPolicy, DynamicPolicy, Policy, StaticPolicy
 from repro.errors import ConfigurationError, PersistenceError, ValidationError
 from repro.policies.corpus import CORPORA, tournament_corpus
 from repro.policies.zoo import DEFAULT_POLICIES, get_policy
@@ -348,6 +353,33 @@ class Leaderboard:
             )
         return board
 
+    def differential_evidence(self) -> Optional[str]:
+        """Mapping-vs-priority evidence: best allocation row vs best
+        priority row (static or dynamic, the ST reference excluded).
+
+        Display-level only — derived from the scores, never part of the
+        canonical doc or the fingerprint. ``None`` when the tournament
+        did not field both families.
+        """
+        allocation = [s for s in self.scores if s.family == "allocation"]
+        priority = [
+            s
+            for s in self.scores
+            if s.family in ("static", "dynamic") and s.policy != "st"
+        ]
+        if not allocation or not priority:
+            return None
+        best_a = max(allocation, key=lambda s: s.mean_improvement_percent)
+        best_p = max(priority, key=lambda s: s.mean_improvement_percent)
+        delta = best_a.mean_improvement_percent - best_p.mean_improvement_percent
+        axis = "mapping" if delta > 0 else "priority"
+        return (
+            f"mapping vs priority: best allocation {best_a.policy} "
+            f"{best_a.mean_improvement_percent:+.2f}% vs best priority "
+            f"{best_p.policy} {best_p.mean_improvement_percent:+.2f}% "
+            f"(delta {delta:+.2f} pts; the {axis} axis wins this corpus)"
+        )
+
     def render(self) -> str:
         """The leaderboard as a paper-style text table."""
         table = TextTable(
@@ -373,7 +405,11 @@ class Leaderboard:
                 trap,
                 score.cells,
             ])
-        return table.render()
+        rendered = table.render()
+        evidence = self.differential_evidence()
+        if evidence is not None:
+            rendered = f"{rendered}\n{evidence}"
+        return rendered
 
 
 _BTMZ_INIT_FACTOR = float(
@@ -418,7 +454,13 @@ def apply_policy(
     uses) and become static priorities on the spec. An all-MEDIUM plan
     returns the spec *unchanged* so the no-op baseline keeps the corpus
     spec's canonical bytes. Dynamic policies leave the spec alone and
-    return a ``controllers`` factory for the engine.
+    return a ``controllers`` factory for the engine. Allocation
+    policies plan a :class:`~repro.machine.mapping.ProcessMapping` from
+    the same whole-run profile and it becomes the spec's mapping —
+    priorities stay untouched, so their rows isolate what placement
+    alone buys; a plan in the incumbent's symmetry class (see
+    ``docs/mapping.md``) returns the spec unchanged, exactly like the
+    static no-op.
     """
     if isinstance(policy, StaticPolicy):
         assignment = policy.plan(planning_works(spec), spec.mapping_obj())
@@ -427,8 +469,20 @@ def apply_policy(
         return replace(spec, priorities=assignment.priorities), None
     if isinstance(policy, DynamicPolicy):
         return spec, {"controllers": lambda: [policy.controller()]}
+    if isinstance(policy, AllocationPolicy):
+        incumbent = spec.mapping_obj()
+        planned = policy.plan_mapping(
+            planning_works(spec), incumbent, profiles=spec.profile
+        )
+        if planned.canonical().rank_to_cpu == incumbent.canonical().rank_to_cpu:
+            # Physics-equivalent to what the corpus drew: keep the
+            # original spec object so the baseline-reuse fast path and
+            # the canonical bytes survive.
+            return spec, None
+        return replace(spec, mapping=planned.rank_to_cpu), None
     raise ConfigurationError(
-        f"policy {policy.name!r} is neither static nor dynamic"
+        f"policy {policy.name!r} belongs to no known family "
+        "(static, dynamic or allocation)"
     )
 
 

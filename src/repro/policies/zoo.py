@@ -39,6 +39,18 @@ procedure) and dynamic ones (runtime controllers), all behind
     controller built from the same
     :class:`~repro.core.DynamicBalancerConfig`, whose canonical doc is
     the policy's fingerprint substrate.
+``ilp-pair`` / ``ilp-spread`` / ``random-mapping``
+    The **allocation family**: these choose the rank→core mapping and
+    leave every priority at MEDIUM, so their leaderboard rows isolate
+    what smart *placement* buys against smart *priorities* (the
+    differential-evidence experiment the ROADMAP asks for). ``ilp-pair``
+    pairs the highest decode-pressure rank with the lowest per core
+    (:func:`~repro.core.paired_extremes_mapping` — the ILP-aware
+    allocation rule, and the paper's own BT-MZ re-pairing when profiles
+    are uniform); ``ilp-spread`` pairs like with like (the deliberate
+    anti-pattern); ``random-mapping`` draws a seeded canonical mapping
+    per cell (hash of the observations) — the control that separates
+    "any re-pairing helps" from "this rule helps".
 
 The registry maps names to zero-argument factories so ``repro
 tournament`` and the scoring loop construct policies by name.
@@ -51,6 +63,7 @@ import threading
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.core import (
+    AllocationPolicy,
     DynamicBalancer,
     DynamicBalancerConfig,
     DynamicPolicy,
@@ -58,20 +71,29 @@ from repro.core import (
     PriorityAssignment,
     StaticPolicy,
     StaticPriorityBalancer,
+    candidate_mappings,
+    paired_adjacent_mapping,
+    paired_extremes_mapping,
+    rank_pressures,
 )
 from repro.errors import ConfigurationError
 from repro.machine.mapping import ProcessMapping
+from repro.util.fingerprint import fingerprint_doc
 
 __all__ = [
     "PaperCasePolicy",
     "ProportionalSharePolicy",
     "LptGreedyPolicy",
     "HysteresisPolicy",
+    "IlpPairPolicy",
+    "IlpSpreadPolicy",
+    "RandomMappingPolicy",
     "register_policy",
     "get_policy",
     "policy_names",
     "all_policies",
     "DEFAULT_POLICIES",
+    "ALLOCATION_POLICIES",
 ]
 
 
@@ -328,6 +350,103 @@ class HysteresisPolicy(DynamicPolicy):
         return DynamicBalancer(self.config)
 
 
+class IlpPairPolicy(AllocationPolicy):
+    """Pair the most decode-hungry rank with the least, per core.
+
+    The ILP-aware allocation rule from the related work, driven by
+    :func:`~repro.core.rank_pressures` (observed work × the profile's
+    decode appetite). With the uniform per-scenario profiles the corpora
+    draw, it reduces to the paper's own BT-MZ move: heaviest with
+    lightest, so the future priority boost (or the hardware's leftover
+    decode slots) steals only from a rank with slack.
+    """
+
+    name = "ilp-pair"
+    description = (
+        "allocation: pair highest decode-pressure rank with lowest per "
+        "core (ILP-aware placement; priorities stay MEDIUM)"
+    )
+
+    def spec(self) -> PolicySpec:
+        return PolicySpec(name=self.name, family="allocation",
+                          params={"rule": "extremes"})
+
+    def plan_mapping(
+        self,
+        compute_seconds: Sequence[float],
+        mapping: ProcessMapping,
+        profiles=None,
+    ) -> ProcessMapping:
+        pressures = rank_pressures(compute_seconds, profiles or "hpc")
+        return paired_extremes_mapping(pressures)
+
+
+class IlpSpreadPolicy(AllocationPolicy):
+    """Pair like with like — the deliberate anti-pattern.
+
+    Adjacent ranks in pressure order share a core: two decode-hungry
+    ranks fight for one core's slots while the light pair leaves theirs
+    idle. Scored so the leaderboard shows the *spread* between the
+    allocation rule and its inverse, not just "ilp-pair beats nothing".
+    """
+
+    name = "ilp-spread"
+    description = (
+        "allocation: pair similar decode-pressure ranks per core "
+        "(the anti-pattern contrast to ilp-pair)"
+    )
+
+    def spec(self) -> PolicySpec:
+        return PolicySpec(name=self.name, family="allocation",
+                          params={"rule": "adjacent"})
+
+    def plan_mapping(
+        self,
+        compute_seconds: Sequence[float],
+        mapping: ProcessMapping,
+        profiles=None,
+    ) -> ProcessMapping:
+        pressures = rank_pressures(compute_seconds, profiles or "hpc")
+        return paired_adjacent_mapping(pressures)
+
+
+class RandomMappingPolicy(AllocationPolicy):
+    """The control: a seeded, observation-hashed canonical mapping.
+
+    Deterministic — the choice is the sha256 of (seed, observations)
+    modulo the canonical mapping classes for the rank count — but
+    blind to which rank is heavy. If ``ilp-pair`` cannot beat this on a
+    corpus, the pairing *rule* is doing nothing the re-pairing lottery
+    would not.
+    """
+
+    name = "random-mapping"
+    description = (
+        "allocation control: seeded random canonical mapping per cell "
+        "(blind re-pairing lottery)"
+    )
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def spec(self) -> PolicySpec:
+        return PolicySpec(
+            name=self.name, family="allocation", params={"seed": self.seed}
+        )
+
+    def plan_mapping(
+        self,
+        compute_seconds: Sequence[float],
+        mapping: ProcessMapping,
+        profiles=None,
+    ) -> ProcessMapping:
+        classes = candidate_mappings(mapping.n_ranks, n_cores=2)
+        digest = fingerprint_doc(
+            {"seed": self.seed, "works": [float(w) for w in compute_seconds]}
+        )
+        return classes[int(digest[:12], 16) % len(classes)]
+
+
 # -- the registry --------------------------------------------------------------
 
 _LOCK = threading.Lock()
@@ -405,11 +524,17 @@ def _register_defaults() -> None:
         "hysteresis",
         lambda: HysteresisPolicy(DynamicBalancerConfig(interval=0.25)),
     )
+    register_policy("ilp-pair", IlpPairPolicy)
+    register_policy("ilp-spread", IlpSpreadPolicy)
+    register_policy("random-mapping", RandomMappingPolicy)
 
 
 _register_defaults()
 
-#: The tournament's default line-up: every built-in, ST reference first.
+#: The tournament's default line-up: every priority built-in, ST
+#: reference first. The allocation family is a separate axis
+#: (``ALLOCATION_POLICIES``) so the incumbent default boards keep their
+#: recorded fingerprints; the differential experiment runs the union.
 DEFAULT_POLICIES = (
     "st",
     "paper-b",
@@ -419,3 +544,8 @@ DEFAULT_POLICIES = (
     "lpt",
     "hysteresis",
 )
+
+#: The thread-to-core allocation family: mapping planners that leave
+#: every priority at MEDIUM (see ``repro.experiments.allocation`` for
+#: the mapping-vs-priority differential experiment).
+ALLOCATION_POLICIES = ("ilp-pair", "ilp-spread", "random-mapping")

@@ -254,6 +254,14 @@ class Engine:
     #: numpy solves), or ``"shared-table"`` (one table load/save per
     #: batch). Shown by ``repro engines list``.
     batch_strategy: str = "loop"
+    #: The spec/search axes this engine's physics distinguishes.
+    #: ``"priority"``: static hardware priorities change the outcome;
+    #: ``"mapping"``: *which ranks share a core* changes the outcome
+    #: (every backend models intra-core decode coupling, so both are on
+    #: by default); ``"dynamic"``: runtime priority rewrites via the
+    #: ``controllers`` hook. Shown by ``repro engines list`` and what
+    #: the joint (mapping × priority) search relies on.
+    axes: Tuple[str, ...] = ("priority", "mapping")
 
     def run(
         self,
@@ -329,6 +337,7 @@ class FluidEngine(Engine):
     #: balancing policies ride the batch API.
     option_names = ("incremental_rates", "check_invariants", "controllers")
     batch_strategy = "vectorized"
+    axes = ("priority", "mapping", "dynamic")
 
     def __init__(self) -> None:
         self._local = threading.local()

@@ -12,13 +12,24 @@ single sha256 content address (:attr:`fingerprint`, via
 Wire-format stability
 ---------------------
 The document form is **append-only versioned**. ``SPEC_VERSION`` names
-the current schema; :meth:`from_doc` accepts an optional
-``spec_version`` key (and rejects any other version), while
-:meth:`to_doc` deliberately omits it — and omits ``params`` when empty —
-so the canonical JSON of every pre-existing scenario is byte-identical
-to what the oracle layer recorded before this module existed. Golden
-traces under ``tests/golden/`` and service cache keys both hash this
-form; changing it is a recorded, re-golden-ing event, not a refactor.
+the current schema; :meth:`from_doc` accepts version 1 and 2 documents
+(and rejects any other version), while :meth:`to_doc` deliberately
+omits ``spec_version`` for specs expressible in v1 — and omits
+``params`` when empty — so the canonical JSON of every pre-existing
+scenario is byte-identical to what the oracle layer recorded before
+this module existed. Golden traces under ``tests/golden/`` and service
+cache keys both hash this form; changing it is a recorded,
+re-golden-ing event, not a refactor.
+
+Version 2 adds **explicit mappings**: ``mapping`` may be a JSON object
+``{"<rank>": cpu}`` instead of a preset name. Explicit docs carry
+``spec_version: 2`` so a v1 reader rejects them loudly instead of
+choking on the object. An explicit mapping that coincides with a preset
+is *normalised to the preset name* at construction time — one physics,
+one canonical document, one fingerprint — so the service cache and the
+golden layer never see two addresses for the same run (the
+deliberate-choice test lives in ``tests/scenarios/test_spec.py``; the
+rationale in ``docs/mapping.md``).
 """
 
 from __future__ import annotations
@@ -26,8 +37,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple, Union
 
-from repro.errors import ConfigurationError, ValidationError
+from repro.errors import ConfigurationError, MappingError, ValidationError
 from repro.machine.mapping import ProcessMapping, paper_mapping
+from repro.smt.chip import ChipConfig
 from repro.smt.instructions import BASE_PROFILES
 from repro.util.fingerprint import fingerprint_doc
 from repro.util.validation import check_choice, check_positive
@@ -35,8 +47,11 @@ from repro.util.validation import check_choice, check_positive
 __all__ = ["SPEC_VERSION", "KINDS", "MAPPINGS", "ScenarioSpec"]
 
 #: Schema version of the document form. Bump only with a migration note
-#: in CHANGES.md and re-recorded goldens.
-SPEC_VERSION = 1
+#: in CHANGES.md and re-recorded goldens. v1: mapping is a preset name.
+#: v2 (current): mapping may also be an explicit ``{"rank": cpu}``
+#: object; such docs carry ``spec_version: 2``, preset-only docs keep
+#: the exact v1 bytes (and fingerprints).
+SPEC_VERSION = 2
 
 #: Workload families a spec may name (each maps to a program factory).
 KINDS = ("barrier_loop", "metbench", "btmz", "siesta")
@@ -45,6 +60,65 @@ KINDS = ("barrier_loop", "metbench", "btmz", "siesta")
 #: are 4-rank; "st" is the papers' single-thread mode (2 ranks, one per
 #: core, sibling contexts idle).
 MAPPINGS = ("identity", "btmz", "siesta", "st")
+
+#: Logical CPUs of the default (paper) chip every scenario engine
+#: builds: explicit mappings are validated against this machine shape.
+_N_CPUS = ChipConfig().n_cpus
+
+#: The rank->cpu dict of each fixed-size preset ("identity" is handled
+#: by shape, not by table — it exists at every rank count).
+_PRESET_DICTS = {
+    "btmz": {0: 0, 1: 2, 2: 3, 3: 1},
+    "siesta": {0: 2, 1: 0, 2: 1, 3: 3},
+    "st": {0: 0, 1: 2},
+}
+
+_MappingValue = Union[str, Tuple[Tuple[int, int], ...]]
+
+
+def _freeze_mapping(mapping: object, n_ranks: Optional[int] = None) -> _MappingValue:
+    """Canonical mapping form: a preset name, or a rank-sorted tuple of
+    ``(rank, cpu)`` pairs for explicit layouts.
+
+    Explicit layouts are validated by :class:`ProcessMapping` (injective,
+    contiguous ranks) plus the default chip's CPU range and the spec's
+    rank count, then **normalised to the preset name when they coincide
+    with one** — a preset and its explicit spelling are one physics and
+    must be one content address.
+    """
+    if isinstance(mapping, str):
+        return mapping
+    if isinstance(mapping, ProcessMapping):
+        pairs = mapping.rank_to_cpu
+    else:
+        if isinstance(mapping, Mapping):
+            items = mapping.items()
+        else:
+            items = tuple(mapping)
+        try:
+            pairs = tuple(sorted((int(r), int(c)) for r, c in items))
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"explicit mapping must be rank->cpu pairs, got {mapping!r}"
+            ) from exc
+    ProcessMapping(pairs)  # validates: contiguous ranks, injective cpus
+    if any(c >= _N_CPUS for _, c in pairs):
+        raise ConfigurationError(
+            f"explicit mapping names a cpu outside the chip's "
+            f"0..{_N_CPUS - 1}: {dict(pairs)}"
+        )
+    if n_ranks is not None and len(pairs) != n_ranks:
+        raise ConfigurationError(
+            f"explicit mapping covers {len(pairs)} ranks for "
+            f"{n_ranks} works"
+        )
+    if all(r == c for r, c in pairs):
+        return "identity"
+    as_dict = dict(pairs)
+    for preset, table in _PRESET_DICTS.items():
+        if as_dict == table:
+            return preset
+    return pairs
 
 #: Extra workload knobs each kind accepts in ``params``. A "works"
 #: parameter is a per-rank tuple the same length as ``works``.
@@ -97,7 +171,11 @@ class ScenarioSpec:
     works: Tuple[float, ...]
     iterations: int
     profile: str = "hpc"
-    mapping: str = "identity"
+    #: A preset name from ``MAPPINGS``, or an explicit rank->cpu layout
+    #: (dict / ``ProcessMapping`` / pair tuple accepted at construction;
+    #: canonicalised to a rank-sorted pair tuple, or to the preset name
+    #: when the layout coincides with one).
+    mapping: _MappingValue = "identity"
     #: rank -> OS-settable hardware priority; empty = defaults (MEDIUM).
     priorities: Tuple[Tuple[int, int], ...] = ()
     seed: int = 0
@@ -113,8 +191,17 @@ class ScenarioSpec:
             tuple((int(r), int(p)) for r, p in self.priorities),
         )
         object.__setattr__(self, "params", _freeze_params(self.params))
+        try:
+            object.__setattr__(
+                self,
+                "mapping",
+                _freeze_mapping(self.mapping, n_ranks=len(self.works)),
+            )
+        except MappingError as exc:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: invalid explicit mapping: {exc}"
+            ) from exc
         check_choice("scenario.kind", self.kind, KINDS)
-        check_choice("scenario.mapping", self.mapping, MAPPINGS)
         check_positive("scenario.iterations", self.iterations)
         if not self.works:
             raise ConfigurationError(f"scenario {self.name!r} has no works")
@@ -122,16 +209,18 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"scenario {self.name!r}: unknown profile {self.profile!r}"
             )
-        if self.mapping in ("btmz", "siesta") and self.n_ranks != 4:
-            raise ConfigurationError(
-                f"scenario {self.name!r}: mapping {self.mapping!r} needs "
-                f"4 ranks, got {self.n_ranks}"
-            )
-        if self.mapping == "st" and self.n_ranks != 2:
-            raise ConfigurationError(
-                f"scenario {self.name!r}: mapping 'st' needs 2 ranks, "
-                f"got {self.n_ranks}"
-            )
+        if isinstance(self.mapping, str):
+            check_choice("scenario.mapping", self.mapping, MAPPINGS)
+            if self.mapping in ("btmz", "siesta") and self.n_ranks != 4:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: mapping {self.mapping!r} needs "
+                    f"4 ranks, got {self.n_ranks}"
+                )
+            if self.mapping == "st" and self.n_ranks != 2:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: mapping 'st' needs 2 ranks, "
+                    f"got {self.n_ranks}"
+                )
         seen = set()
         for rank, prio in self.priorities:
             if not 0 <= rank < self.n_ranks:
@@ -212,6 +301,8 @@ class ScenarioSpec:
         return self.params_dict().get(key, default)
 
     def mapping_obj(self) -> ProcessMapping:
+        if not isinstance(self.mapping, str):
+            return ProcessMapping(self.mapping)
         if self.mapping == "identity":
             return ProcessMapping.identity(self.n_ranks)
         if self.mapping == "st":
@@ -275,9 +366,13 @@ class ScenarioSpec:
     def to_doc(self) -> dict:
         """The canonical document form fingerprints are computed over.
 
-        ``params`` (and ``spec_version``) are omitted when at their
-        defaults so pre-existing recorded scenarios keep their exact
-        canonical bytes (and therefore their fingerprints).
+        ``params`` is omitted when empty, and ``spec_version`` when the
+        spec is expressible in v1 (every preset-mapping spec), so
+        pre-existing recorded scenarios keep their exact canonical bytes
+        (and therefore their fingerprints). Explicit-mapping specs are
+        a v2-only shape: their mapping serialises as a ``{"rank": cpu}``
+        object and the doc carries ``spec_version: 2`` so a v1 reader
+        rejects it by version instead of choking on the object.
         """
         doc = {
             "name": self.name,
@@ -285,10 +380,16 @@ class ScenarioSpec:
             "works": list(self.works),
             "iterations": self.iterations,
             "profile": self.profile,
-            "mapping": self.mapping,
+            "mapping": (
+                self.mapping
+                if isinstance(self.mapping, str)
+                else {str(r): c for r, c in self.mapping}
+            ),
             "priorities": [list(p) for p in self.priorities],
             "seed": self.seed,
         }
+        if not isinstance(self.mapping, str):
+            doc["spec_version"] = SPEC_VERSION
         if self.params:
             doc["params"] = {
                 k: (list(v) if isinstance(v, tuple) else v)
@@ -323,10 +424,40 @@ class ScenarioSpec:
         if missing:
             raise ValidationError(f"missing scenario fields: {missing}")
         version = doc.get("spec_version", SPEC_VERSION)
-        if version != SPEC_VERSION:
+        if version not in (1, SPEC_VERSION):
             raise ValidationError(
                 f"unsupported spec_version {version!r} "
-                f"(this build reads version {SPEC_VERSION})"
+                f"(this build reads versions 1 and {SPEC_VERSION})"
+            )
+        mapping = doc.get("mapping", "identity")
+        if isinstance(mapping, str):
+            if mapping not in MAPPINGS:
+                raise ValidationError(
+                    f"unknown mapping {mapping!r} "
+                    f"(presets: {', '.join(MAPPINGS)})"
+                )
+        elif isinstance(mapping, dict):
+            if version == 1:
+                raise ValidationError(
+                    "explicit mappings need spec_version 2, but the "
+                    "document claims version 1"
+                )
+            try:
+                mapping = {int(r): int(c) for r, c in mapping.items()}
+            except (TypeError, ValueError) as exc:
+                raise ValidationError(
+                    f"explicit mapping keys/values must be integers: {exc}"
+                ) from exc
+            try:
+                _freeze_mapping(mapping)
+            except (MappingError, ConfigurationError) as exc:
+                raise ValidationError(
+                    f"invalid explicit mapping: {exc}"
+                ) from exc
+        else:
+            raise ValidationError(
+                f"mapping must be a preset name or a rank->cpu object, "
+                f"got {mapping!r}"
             )
         priorities = doc.get("priorities", ())
         if not isinstance(priorities, (list, tuple)) or any(
@@ -347,7 +478,7 @@ class ScenarioSpec:
                 works=tuple(float(w) for w in doc["works"]),
                 iterations=int(doc["iterations"]),
                 profile=str(doc.get("profile", "hpc")),
-                mapping=str(doc.get("mapping", "identity")),
+                mapping=mapping,
                 priorities=tuple((int(r), int(p)) for r, p in priorities),
                 seed=int(doc.get("seed", 0)),
                 params=_freeze_params(params),

@@ -74,3 +74,59 @@ class TestPairedMapping:
     def test_self_pair_rejected(self):
         with pytest.raises(MappingError):
             paired_mapping([(0, 0)])
+
+
+class TestCanonicalForm:
+    def test_sibling_swap_is_the_same_class(self):
+        a = ProcessMapping.from_dict({0: 0, 1: 1, 2: 2, 3: 3})
+        b = ProcessMapping.from_dict({0: 1, 1: 0, 2: 3, 3: 2})
+        assert a.canonical() == b.canonical()
+
+    def test_core_renumbering_is_the_same_class(self):
+        a = ProcessMapping.from_dict({0: 0, 1: 1, 2: 2, 3: 3})
+        b = ProcessMapping.from_dict({0: 2, 1: 3, 2: 0, 3: 1})
+        assert a.canonical() == b.canonical()
+
+    def test_different_partitions_are_different_classes(self):
+        a = ProcessMapping.from_dict({0: 0, 1: 1, 2: 2, 3: 3})  # {01}{23}
+        b = paper_mapping("btmz")  # {03}{12}
+        assert a.canonical() != b.canonical()
+
+    def test_canonical_packs_groups_by_minimum_rank(self):
+        # Partition {0,3}{1,2} spread over cores 2 and 5 of a big chip.
+        m = ProcessMapping.from_dict({0: 5, 3: 4, 1: 11, 2: 10})
+        assert m.canonical().as_dict() == {0: 0, 3: 1, 1: 2, 2: 3}
+
+    def test_canonical_is_idempotent_and_detected(self):
+        m = paper_mapping("siesta")
+        assert not m.is_canonical()
+        canon = m.canonical()
+        assert canon.is_canonical()
+        assert canon.canonical() == canon
+
+    def test_identity_is_canonical(self):
+        assert ProcessMapping.identity(4).is_canonical()
+
+
+class TestCpuLookupCache:
+    def test_lookup_matches_the_pairs(self):
+        m = paper_mapping("btmz")
+        for rank, cpu in m.rank_to_cpu:
+            assert m.cpu_of(rank) == cpu
+
+    def test_survives_pickling(self):
+        # The cached dict is rebuilt/transferred with the instance, so
+        # worker processes in the parallel search can use it directly.
+        import pickle
+
+        m = paper_mapping("btmz")
+        clone = pickle.loads(pickle.dumps(m))
+        assert clone == m
+        assert clone.cpu_of(1) == 2
+        with pytest.raises(MappingError):
+            clone.cpu_of(9)
+
+    def test_equality_and_hash_ignore_the_cache(self):
+        a = ProcessMapping.from_dict({0: 0, 1: 2})
+        b = ProcessMapping(((0, 0), (1, 2)))
+        assert a == b and hash(a) == hash(b)

@@ -121,3 +121,68 @@ class TestRepoGoldens:
     def test_batch_replay_empty_dir_raises(self, tmp_path):
         with pytest.raises(OracleError):
             golden.check_all_batch(str(tmp_path))
+
+
+class TestJointSearchGolden:
+    """The joint-search golden: the whole pruned sweep replays — winner,
+    candidate count and trace digest pinned."""
+
+    def test_fresh_record_then_check_passes(self, tmp_path):
+        path = golden.record_joint_search(str(tmp_path))
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["format"] == golden.JOINT_SEARCH_FORMAT
+        outcome = golden.check_joint_search(str(tmp_path))
+        assert outcome.ok
+        assert outcome.replayed_digest == outcome.recorded_digest
+
+    def test_tampered_winner_fails(self, tmp_path):
+        path = golden.joint_search_path(str(tmp_path))
+        golden.record_joint_search(str(tmp_path))
+        with open(path) as fh:
+            doc = json.load(fh)
+        doc["best_time"] *= 1.01
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        with pytest.raises(GoldenMismatchError, match="best time"):
+            golden.check_joint_search(str(tmp_path))
+        outcome = golden.check_joint_search(str(tmp_path), strict=False)
+        assert not outcome.ok
+
+    def test_tampered_mapping_fails(self, tmp_path):
+        path = golden.joint_search_path(str(tmp_path))
+        golden.record_joint_search(str(tmp_path))
+        with open(path) as fh:
+            doc = json.load(fh)
+        doc["best_mapping"] = {"0": 1, "1": 0, "2": 2, "3": 3}
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        with pytest.raises(GoldenMismatchError, match="best mapping"):
+            golden.check_joint_search(str(tmp_path))
+
+    def test_version_gate(self, tmp_path):
+        path = golden.joint_search_path(str(tmp_path))
+        golden.record_joint_search(str(tmp_path))
+        with open(path) as fh:
+            doc = json.load(fh)
+        doc["version"] = golden.JOINT_SEARCH_VERSION + 1
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        with pytest.raises(OracleError):
+            golden.check_joint_search(str(tmp_path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OracleError):
+            golden.check_joint_search(str(tmp_path))
+
+    def test_repo_joint_search_golden_replays(self):
+        outcome = golden.check_joint_search(REPO_GOLDEN_DIR)
+        assert outcome.ok
+        assert outcome.replayed_digest == outcome.recorded_digest
+
+    def test_joint_search_golden_is_not_a_trace_golden(self):
+        # The .search.json suffix keeps it out of the single-trace
+        # replay globs — check_all must not try to run it.
+        assert golden.joint_search_path(REPO_GOLDEN_DIR) not in (
+            golden.golden_paths(REPO_GOLDEN_DIR)
+        )

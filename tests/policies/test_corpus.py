@@ -64,3 +64,31 @@ class TestValidation:
     def test_empty_corpus(self):
         with pytest.raises(ConfigurationError):
             tournament_corpus("fuzz", 0, seed=0)
+
+
+class TestMetBtmzCorpus:
+    def test_alternates_the_two_applications(self):
+        specs = tournament_corpus("metbtmz", 8, seed=0)
+        assert [s.kind for s in specs[0::2]] == ["metbench"] * 4
+        assert [s.kind for s in specs[1::2]] == ["btmz"] * 4
+        assert all(s.profile == "hpc" for s in specs[0::2])
+        assert all(s.profile == "cfd" for s in specs[1::2])
+
+    def test_btmz_cells_carry_an_init_factor(self):
+        for spec in tournament_corpus("metbtmz", 8, seed=1):
+            if spec.kind == "btmz":
+                assert 2.0 <= spec.param("init_factor") <= 5.0
+            else:
+                assert spec.params == ()
+
+    def test_cells_start_from_the_default_axes(self):
+        # Both levers belong to the contenders: no pre-set priorities,
+        # no pre-set mapping.
+        for spec in tournament_corpus("metbtmz", 10, seed=2):
+            assert spec.priorities == ()
+            assert spec.mapping == "identity"
+
+    def test_four_ranks_like_the_paper(self):
+        for spec in tournament_corpus("metbtmz", 6, seed=3):
+            assert spec.n_ranks == 4
+            assert all(w > 0 for w in spec.works)

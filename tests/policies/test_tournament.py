@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError, PersistenceError, ValidationError
 from repro.policies import (
+    ALLOCATION_POLICIES,
     DEFAULT_POLICIES,
     Leaderboard,
     TournamentConfig,
@@ -249,3 +250,67 @@ class TestLeaderboardArtifact:
         rendered = board.render()
         for name in small_config().policies:
             assert name in rendered
+
+
+class TestAllocationFamily:
+    def test_apply_policy_rewrites_the_mapping(self):
+        spec = ScenarioSpec(
+            name="skew", kind="barrier_loop", works=(1e9, 2e9, 8e9, 6e9),
+            iterations=2,
+        )
+        planned, options = apply_policy(get_policy("ilp-pair"), spec)
+        assert options is None
+        assert planned.priorities == ()  # the family never touches these
+        # Heaviest (2) absorbs the lightest (0); 1 and 3 share the other core.
+        pairs = {frozenset(g) for g in planned.mapping_obj().core_pairs()}
+        assert pairs == {frozenset((0, 2)), frozenset((1, 3))}
+        assert planned.fingerprint != spec.fingerprint
+
+    def test_noop_plan_keeps_spec_identity(self):
+        # paired-extremes on this skew reproduces the identity layout's
+        # partition, so the spec object (and the baseline-reuse fast
+        # path keyed on it) must survive untouched.
+        spec = ScenarioSpec(
+            name="already", kind="barrier_loop",
+            works=(8e8, 2.4e9, 1.2e9, 2.0e9), iterations=2,
+        )
+        planned, options = apply_policy(get_policy("ilp-pair"), spec)
+        assert planned is spec
+        assert options is None
+
+    def test_tournament_fields_all_three_families(self):
+        board = run_tournament(
+            TournamentConfig(
+                policies=("st", "propshare", "hysteresis") + tuple(
+                    ALLOCATION_POLICIES
+                ),
+                corpus="metbtmz",
+                n_scenarios=4,
+                seed=5,
+            )
+        )
+        families = {s.family for s in board.scores}
+        assert families == {"static", "dynamic", "allocation"}
+        evidence = board.differential_evidence()
+        assert evidence is not None
+        assert "mapping vs priority" in evidence
+        assert "axis wins this corpus" in evidence
+        assert evidence in board.render()
+
+    def test_differential_evidence_needs_both_axes(self):
+        board = run_tournament(small_config(n_scenarios=4))
+        assert board.differential_evidence() is None
+        assert "mapping vs priority" not in board.render()
+
+    def test_evidence_is_not_part_of_the_canonical_doc(self):
+        config = TournamentConfig(
+            policies=("st", "propshare", "ilp-pair"),
+            corpus="metbtmz",
+            n_scenarios=4,
+            seed=5,
+        )
+        board = run_tournament(config)
+        assert board.differential_evidence() is not None
+        doc = json.dumps(board.to_doc())
+        assert "mapping vs priority" not in doc
+        assert Leaderboard.from_doc(board.to_doc()) == board

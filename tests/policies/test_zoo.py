@@ -6,6 +6,7 @@ from repro.core import DynamicBalancer, DynamicBalancerConfig
 from repro.errors import ConfigurationError
 from repro.machine.mapping import ProcessMapping
 from repro.policies import (
+    ALLOCATION_POLICIES,
     DEFAULT_POLICIES,
     HysteresisPolicy,
     LptGreedyPolicy,
@@ -36,9 +37,16 @@ class TestRegistry:
             register_policy("lpt", LptGreedyPolicy)
         register_policy("lpt", LptGreedyPolicy, replace=True)  # sanctioned
 
-    def test_all_policies_cover_both_families(self):
+    def test_all_policies_cover_all_three_families(self):
         families = {p.family for p in all_policies()}
-        assert families == {"static", "dynamic"}
+        assert families == {"static", "dynamic", "allocation"}
+
+    def test_default_lineup_stays_priority_only(self):
+        # The incumbent boards' fingerprints depend on this line-up:
+        # allocation contenders ride the separate ALLOCATION_POLICIES axis.
+        assert set(DEFAULT_POLICIES).isdisjoint(set(ALLOCATION_POLICIES))
+        for name in DEFAULT_POLICIES:
+            assert get_policy(name).family in ("static", "dynamic")
 
     def test_fingerprints_distinct(self):
         prints = [p.fingerprint for p in all_policies()]
@@ -135,3 +143,60 @@ class TestHysteresisRetrofit:
         )
         assert by_policy.digest == by_hand.digest
         assert by_policy.total_time == by_hand.total_time
+
+
+class TestAllocationPolicies:
+    SKEWED = [1e9, 8e9, 2e9, 6e9]  # pressure order: 0 < 2 < 3 < 1
+
+    def test_registered_with_allocation_family(self):
+        assert set(ALLOCATION_POLICIES) <= set(policy_names())
+        for name in ALLOCATION_POLICIES:
+            policy = get_policy(name)
+            assert policy.family == "allocation"
+            assert policy.spec().family == "allocation"
+
+    def test_fingerprints_distinct_across_the_family(self):
+        prints = {get_policy(n).fingerprint for n in ALLOCATION_POLICIES}
+        assert len(prints) == len(ALLOCATION_POLICIES)
+
+    def test_ilp_pair_pairs_extremes(self):
+        planned = get_policy("ilp-pair").plan_mapping(self.SKEWED, IDENTITY)
+        pairs = {frozenset(g) for g in planned.core_pairs()}
+        # Heaviest (1) absorbs the lightest (0); the middle two share.
+        assert pairs == {frozenset((0, 1)), frozenset((2, 3))}
+
+    def test_ilp_spread_pairs_adjacent(self):
+        planned = get_policy("ilp-spread").plan_mapping(self.SKEWED, IDENTITY)
+        pairs = {frozenset(g) for g in planned.core_pairs()}
+        # Like with like: the two light ranks together, the two heavy.
+        assert pairs == {frozenset((0, 2)), frozenset((1, 3))}
+
+    def test_profiles_steer_the_pairing(self):
+        # Equal work, different decode appetites: the profile mix alone
+        # must be able to reorder the pressure ranking.
+        uniform = get_policy("ilp-pair").plan_mapping(
+            [1e9] * 4, IDENTITY, profiles="hpc"
+        )
+        mixed = get_policy("ilp-pair").plan_mapping(
+            [1e9] * 4, IDENTITY, profiles=["fpu", "mem", "mem", "fpu"]
+        )
+        assert uniform.core_pairs() != mixed.core_pairs()
+
+    def test_random_mapping_is_seed_deterministic(self):
+        from repro.policies import RandomMappingPolicy
+
+        a = RandomMappingPolicy(seed=7).plan_mapping(self.SKEWED, IDENTITY)
+        b = RandomMappingPolicy(seed=7).plan_mapping(self.SKEWED, IDENTITY)
+        assert a == b
+        draws = {
+            RandomMappingPolicy(seed=s)
+            .plan_mapping(self.SKEWED, IDENTITY)
+            .rank_to_cpu
+            for s in range(12)
+        }
+        assert len(draws) > 1  # the lottery actually varies with the seed
+
+    def test_planned_mappings_are_canonical(self):
+        for name in ALLOCATION_POLICIES:
+            planned = get_policy(name).plan_mapping(self.SKEWED, IDENTITY)
+            assert planned.is_canonical()

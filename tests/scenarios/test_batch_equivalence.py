@@ -146,6 +146,46 @@ class TestGeneratorCorpora:
         assert_batch_equivalent("analytic", [spec, spec, spec])
 
 
+class TestMappingDistinctBatches:
+    """Spec v2 explicit mappings through the batch path: the coalescing
+    keys are per-core chip states derived from each spec's own mapping,
+    so mapping-distinct specs must never share a solve."""
+
+    def _mapping_sweep(self):
+        import dataclasses
+
+        base = ScenarioSpec(
+            name="eq-map",
+            kind="metbench",
+            works=(8.0e8, 2.4e9, 1.2e9, 2.0e9),
+            iterations=2,
+        )
+        return [
+            dataclasses.replace(base, mapping=m)
+            for m in (
+                "identity",
+                {0: 0, 1: 2, 2: 1, 3: 3},
+                {0: 0, 1: 2, 2: 3, 3: 1},  # normalises to "btmz"
+                {0: 3, 1: 1, 2: 2, 3: 0},
+            )
+        ]
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_TYPES))
+    def test_same_works_different_mappings_batch_matches_scalar(self, name):
+        assert_batch_equivalent(name, self._mapping_sweep())
+
+    def test_distinct_partitions_produce_distinct_physics(self):
+        # The guard the dedupe keys must respect: these cells are not
+        # interchangeable, so a wrong coalescing would be visible here.
+        specs = self._mapping_sweep()
+        results = _fresh("fluid").run_batch(specs)
+        partitions = {
+            tuple(s.mapping_obj().canonical().rank_to_cpu) for s in specs
+        }
+        digests = {r.digest for r in results}
+        assert len(digests) == len(partitions) == 3
+
+
 class TestBatchProtocol:
     def test_default_fallback_loops_over_run(self):
         calls = []

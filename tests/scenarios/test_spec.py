@@ -168,3 +168,113 @@ class TestValidation:
         params["init_works"] = (1e8, 2e8)
         with pytest.raises(ConfigurationError):
             spec_for("siesta", params=params)
+
+
+#: A swap of ranks 1 and 2 — explicit, and not any preset's table.
+EXPLICIT = {0: 0, 1: 2, 2: 1, 3: 3}
+
+
+class TestExplicitMappingsV2:
+    """Spec version 2: the mapping axis opened to explicit layouts,
+    with version-1 documents untouched byte-for-byte."""
+
+    def test_v1_documents_parse_and_keep_their_bytes(self):
+        # A pre-v2 document: no spec_version key, preset mapping.
+        doc = {
+            "name": "legacy", "kind": "metbench",
+            "works": [1e9, 2e9, 1.5e9, 3e9], "iterations": 2,
+            "profile": "hpc", "mapping": "btmz",
+            "priorities": [[0, 4], [1, 6], [2, 4], [3, 6]], "seed": 3,
+        }
+        wire = json.dumps(doc, sort_keys=True)
+        spec = ScenarioSpec.from_doc(json.loads(wire))
+        # Re-serialising under v2 reproduces the v1 bytes exactly.
+        assert json.dumps(spec.to_doc(), sort_keys=True) == wire
+        assert "spec_version" not in spec.to_doc()
+
+    def test_explicit_mapping_round_trips_as_v2(self):
+        spec = spec_for("metbench", mapping=EXPLICIT)
+        doc = spec.to_doc()
+        assert doc["spec_version"] == 2
+        assert doc["mapping"] == {"0": 0, "1": 2, "2": 1, "3": 3}
+        again = ScenarioSpec.from_doc(json.loads(json.dumps(doc)))
+        assert again == spec
+        assert again.fingerprint == spec.fingerprint
+
+    def test_construction_accepts_dict_pairs_and_process_mapping(self):
+        from repro.machine.mapping import ProcessMapping
+
+        by_dict = spec_for("metbench", mapping=EXPLICIT)
+        by_pairs = spec_for("metbench", mapping=tuple(EXPLICIT.items()))
+        by_obj = spec_for(
+            "metbench", mapping=ProcessMapping.from_dict(EXPLICIT)
+        )
+        assert by_dict == by_pairs == by_obj
+        assert by_dict.mapping_obj().as_dict() == EXPLICIT
+
+    def test_explicit_spelling_of_a_preset_normalises_to_it(self):
+        """One physics, one content address: the preset and its explicit
+        spelling collapse to the same canonical doc and fingerprint."""
+        for preset, table in (
+            ("identity", {0: 0, 1: 1, 2: 2, 3: 3}),
+            ("btmz", {0: 0, 1: 2, 2: 3, 3: 1}),
+            ("siesta", {0: 2, 1: 0, 2: 1, 3: 3}),
+        ):
+            named = spec_for("metbench", mapping=preset)
+            spelled = spec_for("metbench", mapping=table)
+            assert spelled.mapping == preset
+            assert spelled == named
+            assert spelled.fingerprint == named.fingerprint
+            assert "spec_version" not in spelled.to_doc()
+
+    def test_unknown_mapping_name_rejected(self):
+        doc = spec_for("metbench").to_doc()
+        doc["mapping"] = "round-robin"
+        with pytest.raises(ValidationError, match="round-robin"):
+            ScenarioSpec.from_doc(doc)
+
+    def test_duplicate_cpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_for("metbench", mapping={0: 0, 1: 0, 2: 1, 3: 2})
+        doc = spec_for("metbench", mapping=EXPLICIT).to_doc()
+        doc["mapping"] = {"0": 0, "1": 0, "2": 1, "3": 2}
+        with pytest.raises(ValidationError, match="mapping"):
+            ScenarioSpec.from_doc(doc)
+
+    def test_non_contiguous_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_for("metbench", mapping={0: 0, 1: 2, 2: 1, 5: 3})
+        doc = spec_for("metbench", mapping=EXPLICIT).to_doc()
+        doc["mapping"] = {"0": 0, "1": 2, "2": 1, "5": 3}
+        with pytest.raises(ValidationError, match="mapping"):
+            ScenarioSpec.from_doc(doc)
+
+    def test_cpu_outside_the_chip_rejected(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            spec_for("metbench", mapping={0: 0, 1: 1, 2: 2, 3: 9})
+
+    def test_rank_count_must_match_works(self):
+        with pytest.raises(ConfigurationError, match="ranks"):
+            spec_for("metbench", mapping={0: 0, 1: 1})
+
+    def test_explicit_mapping_under_version_1_rejected(self):
+        doc = spec_for("metbench", mapping=EXPLICIT).to_doc()
+        doc["spec_version"] = 1
+        with pytest.raises(ValidationError, match="spec_version 2"):
+            ScenarioSpec.from_doc(doc)
+
+    def test_non_preset_mapping_changes_the_fingerprint(self):
+        assert (
+            spec_for("metbench", mapping=EXPLICIT).fingerprint
+            != spec_for("metbench").fingerprint
+        )
+
+    def test_malformed_mapping_values_rejected(self):
+        doc = spec_for("metbench").to_doc()
+        doc["mapping"] = {"0": "zero"}
+        doc["spec_version"] = 2
+        with pytest.raises(ValidationError, match="integer"):
+            ScenarioSpec.from_doc(doc)
+        doc["mapping"] = [[0, 0]]
+        with pytest.raises(ValidationError, match="preset name"):
+            ScenarioSpec.from_doc(doc)

@@ -197,3 +197,79 @@ class TestTournamentCommand:
 
     def test_show_missing_artifact(self, tmp_path, capsys):
         assert main(["tournament", "show", str(tmp_path / "no.json")]) == 2
+
+
+class TestEnginesCommand:
+    def test_list_shows_axes_column(self, capsys):
+        assert main(["engines", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "axes" in out
+        # The fluid engine searches all three axes; the others at least
+        # the static two.
+        assert "priority,mapping,dynamic" in out
+        assert "priority,mapping" in out
+
+
+class TestTournamentAxisColumn:
+    def test_policies_catalogue_has_axis_and_allocation_rows(self, capsys):
+        assert main(["tournament", "policies"]) == 0
+        out = capsys.readouterr().out
+        assert "axis" in out
+        for name in ("ilp-pair", "ilp-spread", "random-mapping"):
+            assert name in out
+        assert "mapping" in out
+
+    def test_metbtmz_corpus_accepted(self, capsys):
+        assert (
+            main(
+                ["tournament", "run", "--corpus", "metbtmz", "-n", "2",
+                 "--policies", "st,propshare,ilp-pair"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mapping vs priority" in out
+
+
+class TestSearchCommand:
+    ARGS = [
+        "search", "joint", "--works", "8e8,2.4e9,1.2e9,2e9",
+        "--levels", "4,5", "--max-gap", "1", "--iterations", "2",
+    ]
+
+    def test_joint_reports_ranking_and_stats(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "mapping" in out and "priorities" in out
+        assert "vs default" in out
+        assert "evaluated" in out
+        assert "symmetry cut" in out  # the pruning note
+
+    def test_staged_heuristic_flag(self, capsys):
+        assert main(self.ARGS + ["--staged"]) == 0
+        out = capsys.readouterr().out
+        assert "staged" in out
+
+    def test_no_prune_expands_the_space(self, capsys):
+        small = ["search", "joint", "--works", "1e9,2e9", "--levels", "4",
+                 "--max-gap", "0", "--iterations", "2"]
+        assert main(small) == 0
+        pruned_out = capsys.readouterr().out
+        assert main(small + ["--no-prune"]) == 0
+        unpruned_out = capsys.readouterr().out
+        assert pruned_out != unpruned_out
+
+    def test_top_truncates_the_table(self, capsys):
+        assert main(self.ARGS + ["--top", "1"]) == 0
+        out = capsys.readouterr().out
+        # Exactly one ranked row: "  1 " appears, "  2 " does not.
+        lines = [l for l in out.splitlines() if l.strip().startswith(("1 ", "2 "))]
+        assert len(lines) == 1
+
+    def test_bad_works_rejected(self, capsys):
+        assert main(["search", "joint", "--works", "fast,slow"]) == 2
+
+    def test_too_many_ranks_rejected(self, capsys):
+        assert (
+            main(["search", "joint", "--works", "1e9,1e9,1e9,1e9,1e9"]) == 2
+        )
