@@ -61,6 +61,10 @@ from repro.cluster import (
     ClusterSystem,
     ClusterSystemConfig,
     ClusterConfig,
+    ClusterMachine,
+    NetworkModel,
+    NETWORK_KINDS,
+    TopologySpec,
     UniformNetwork,
     TwoLevelTree,
 )
@@ -100,6 +104,10 @@ __all__ = [
     "ClusterSystem",
     "ClusterSystemConfig",
     "ClusterConfig",
+    "ClusterMachine",
+    "NetworkModel",
+    "NETWORK_KINDS",
+    "TopologySpec",
     "UniformNetwork",
     "TwoLevelTree",
 ]

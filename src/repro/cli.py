@@ -371,12 +371,20 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
         for m in joint.mismatches:
             bad += 1
             print(f"         - {m}")
+        cluster_eq = differential.check_cluster_equivalence(strict=False)
+        status = "ok" if cluster_eq.ok else "MISMATCH"
+        print(f"{status:8s} 1-node cluster law "
+              f"(cluster {cluster_eq.cluster_digest[:16]}..., "
+              f"single chip {cluster_eq.single_chip_digest[:16]}...)")
+        for m in cluster_eq.mismatches:
+            bad += 1
+            print(f"         - {m}")
         if bad:
             print(f"{bad} golden mismatch(es)", file=sys.stderr)
             return 1
         print(f"{len(checks)} golden trace(s) match scalar and batch "
               "replay; leaderboard and joint search reproduce; "
-              "decode law holds")
+              "decode law and the 1-node cluster law hold")
         return 0
     # fuzz
     report = differential.fuzz(args.budget, seed=args.seed)
@@ -490,7 +498,7 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
 
     if args.action == "policies":
         axis_of = {"static": "priority", "dynamic": "priority",
-                   "allocation": "mapping"}
+                   "allocation": "mapping", "placement": "node"}
         table = TextTable(
             ["policy", "family", "axis", "fingerprint", "description"],
             title="The policy zoo (docs/policies.md)",
@@ -547,6 +555,96 @@ def _cmd_tournament(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search_cluster(args: argparse.Namespace, works, levels) -> int:
+    """The ``repro search cluster`` action: placement, then priorities."""
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterSystem,
+        ClusterSystemConfig,
+        UniformNetwork,
+    )
+    from repro.core import candidate_placements, two_level_search
+    from repro.errors import ConfigurationError, MappingError
+    from repro.machine.mapping import ProcessMapping
+    from repro.workloads.generators import distant_pairs_programs
+
+    n_ranks = len(works)
+
+    def factory():
+        return distant_pairs_programs(
+            list(works),
+            iterations=args.iterations,
+            profile=args.profile,
+            exchange_bytes=args.exchange_bytes,
+        )
+
+    try:
+        system = ClusterSystem(
+            ClusterSystemConfig(
+                cluster=ClusterConfig(n_nodes=args.nodes),
+                network=UniformNetwork(),
+            )
+        )
+        baseline = system.run(
+            list(factory()),
+            mapping=ProcessMapping.identity(n_ranks),
+            label="search.cluster.baseline",
+        )
+        prune = not args.no_prune
+        pruned = len(candidate_placements(n_ranks, args.nodes))
+        total = len(
+            candidate_placements(n_ranks, args.nodes, prune_symmetry=False)
+        )
+        result = two_level_search(
+            system,
+            factory,
+            n_ranks=n_ranks,
+            n_nodes=args.nodes,
+            levels=levels,
+            max_gap=args.max_gap,
+            keep_top=args.top,
+            workers=args.workers,
+            prune_symmetry=prune,
+        )
+    except (ConfigurationError, MappingError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    table = TextTable(
+        ["#", "mapping", "priorities", "time [s]", "imb %", "vs default %"],
+        title=(
+            f"two-level (placement -> priority) search: {n_ranks} ranks "
+            f"on {args.nodes} nodes"
+        ),
+    )
+    for place, (assignment, total_time, imbalance) in enumerate(
+        result.entries, start=1
+    ):
+        mapping = ",".join(
+            f"{r}>{c}" for r, c in assignment.mapping.rank_to_cpu
+        )
+        prios = ",".join(str(p) for _, p in assignment.priorities)
+        gain = (baseline.total_time - total_time) / baseline.total_time * 100.0
+        table.add_row([
+            place, mapping, prios,
+            f"{total_time:.4f}", f"{imbalance:.2f}", f"{gain:+.2f}",
+        ])
+    print(table.render())
+    print(
+        f"placements: {pruned} canonical of {total} "
+        f"({'pruned' if prune else 'NOT pruned'}; "
+        f"{total / pruned:.1f}x node-symmetry cut)"
+    )
+    stats = result.stats
+    print(
+        f"evaluated {stats.evaluations} candidates "
+        f"(workers {stats.workers}, model cache hit rate "
+        f"{stats.hit_rate * 100.0:.1f}%); default config: "
+        f"{baseline.total_time:.4f}s"
+    )
+    return 0
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     # Imported here like the oracle/tournament commands: the search and
     # workload layers are never needed by the architectural commands.
@@ -563,8 +661,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
         works = tuple(float(w) for w in args.works.split(",") if w.strip())
         levels = tuple(int(l) for l in args.levels.split(",") if l.strip())
     except ValueError as exc:
-        print(f"search joint: {exc}", file=sys.stderr)
+        print(f"search {args.action}: {exc}", file=sys.stderr)
         return 2
+    if args.action == "cluster":
+        return _cmd_search_cluster(args, works, levels)
     try:
         spec = ScenarioSpec(
             name="search-joint",
@@ -739,9 +839,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_search = sub.add_parser(
         "search",
-        help="joint (mapping × priority) configuration search",
+        help="joint (mapping × priority) and cluster placement search",
     )
-    p_search.add_argument("action", choices=("joint",))
+    p_search.add_argument("action", choices=("joint", "cluster"))
     p_search.add_argument("--works", default="8e8,2.4e9,1.2e9,2e9",
                           metavar="W,W,...",
                           help="per-rank work in instructions "
@@ -762,10 +862,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--top", type=int, default=10,
                           help="ranking rows to keep/print (default: 10)")
     p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--nodes", type=int, default=2,
+                          help="cluster node count for the cluster action "
+                               "(default: 2)")
+    p_search.add_argument("--exchange-bytes", type=int, default=16_000_000,
+                          help="per-iteration sendrecv payload for the "
+                               "cluster action's distant-pairs workload "
+                               "(default: 16 MB)")
     p_search.add_argument("--no-prune", action="store_true",
                           help="disable symmetry pruning of the mapping "
-                               "axis (same best physics, strictly more "
-                               "simulation)")
+                               "or placement axis (same best physics, "
+                               "strictly more simulation)")
     p_search.add_argument("--staged", action="store_true",
                           help="mapping_then_priority heuristic: pick the "
                                "mapping from decode pressure, search "
@@ -790,9 +897,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated policy names "
                         "(default: every built-in)")
     p_tour.add_argument("--corpus", default="mixed",
-                        choices=("fuzz", "siesta", "mixed", "metbtmz"),
+                        choices=("fuzz", "siesta", "mixed", "metbtmz",
+                                 "cluster"),
                         help="scenario corpus (default mixed; metbtmz is "
-                        "the MetBench/BT-MZ allocation-differential mix)")
+                        "the MetBench/BT-MZ allocation-differential mix, "
+                        "cluster the 2-node distant-neighbour set the "
+                        "placement family is scored on)")
     p_tour.add_argument("-n", "--scenarios", type=int, default=50,
                         help="corpus size (default 50)")
     p_tour.add_argument("--seed", type=int, default=0,

@@ -14,18 +14,31 @@ scales the simulation to many nodes:
 * :mod:`repro.cluster.system` — :class:`ClusterSystem`, the multi-node
   counterpart of :class:`repro.machine.system.System`: intra-node
   messages use shared-memory costs, inter-node messages the topology's.
+* :mod:`repro.cluster.spec` — :class:`TopologySpec`, the frozen,
+  strictly-serialisable cluster shape a v3
+  :class:`~repro.scenarios.ScenarioSpec` may carry.
 """
 
-from repro.cluster.topology import NetworkModel, UniformNetwork, TwoLevelTree
+from repro.cluster.topology import (
+    NETWORK_KINDS,
+    NetworkModel,
+    TwoLevelTree,
+    UniformNetwork,
+    network_from_doc,
+)
 from repro.cluster.machine import ClusterMachine, ClusterConfig
 from repro.cluster.system import ClusterSystem, ClusterSystemConfig
+from repro.cluster.spec import TopologySpec
 
 __all__ = [
+    "NETWORK_KINDS",
     "NetworkModel",
     "UniformNetwork",
     "TwoLevelTree",
+    "network_from_doc",
     "ClusterMachine",
     "ClusterConfig",
     "ClusterSystem",
     "ClusterSystemConfig",
+    "TopologySpec",
 ]

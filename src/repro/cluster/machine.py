@@ -13,16 +13,20 @@ coupling within each chip.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ValidationError
 from repro.smt.chip import ChipConfig, Power5Chip
 from repro.smt.core import SmtCore
 from repro.smt.instructions import LoadProfile
 from repro.smt.priorities import HardwarePriority
+from repro.util.fingerprint import fingerprint_doc
 from repro.util.validation import check_positive
 
 __all__ = ["ClusterConfig", "ClusterMachine"]
+
+_CHIP_FIELDS = ("n_cores", "threads_per_core", "freq_hz")
+_CLUSTER_FIELDS = ("n_nodes", "chip")
 
 
 @dataclass(frozen=True)
@@ -47,6 +51,68 @@ class ClusterConfig:
     @property
     def freq_hz(self) -> float:
         return self.chip.freq_hz
+
+    # -- wire format -----------------------------------------------------------
+
+    def to_doc(self) -> Dict[str, Any]:
+        """JSON-safe document (round-trips through :meth:`from_doc`)."""
+        return {
+            "n_nodes": self.n_nodes,
+            "chip": {
+                "n_cores": self.chip.n_cores,
+                "threads_per_core": self.chip.threads_per_core,
+                "freq_hz": self.chip.freq_hz,
+            },
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, Any]) -> "ClusterConfig":
+        """Strict inverse of :meth:`to_doc` — unknown fields are rejected."""
+        if not isinstance(doc, Mapping):
+            raise ValidationError(
+                f"cluster document must be a mapping, got {type(doc).__name__}"
+            )
+        unknown = sorted(set(doc) - set(_CLUSTER_FIELDS))
+        if unknown:
+            raise ValidationError(f"unknown cluster fields: {unknown}")
+        n_nodes = doc.get("n_nodes", 2)
+        if isinstance(n_nodes, bool) or not isinstance(n_nodes, int):
+            raise ValidationError(
+                f"cluster field 'n_nodes' must be an int, got {type(n_nodes).__name__}"
+            )
+        chip_doc = doc.get("chip", {})
+        if not isinstance(chip_doc, Mapping):
+            raise ValidationError(
+                f"cluster field 'chip' must be a mapping, got {type(chip_doc).__name__}"
+            )
+        unknown = sorted(set(chip_doc) - set(_CHIP_FIELDS))
+        if unknown:
+            raise ValidationError(f"unknown chip fields: {unknown}")
+        for name in ("n_cores", "threads_per_core"):
+            value = chip_doc.get(name, 2)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValidationError(
+                    f"chip field {name!r} must be an int, got {type(value).__name__}"
+                )
+        freq = chip_doc.get("freq_hz", ChipConfig.freq_hz)
+        if isinstance(freq, bool) or not isinstance(freq, (int, float)):
+            raise ValidationError(
+                f"chip field 'freq_hz' must be a number, got {type(freq).__name__}"
+            )
+        try:
+            chip = ChipConfig(
+                n_cores=chip_doc.get("n_cores", 2),
+                threads_per_core=chip_doc.get("threads_per_core", 2),
+                freq_hz=float(freq),
+            )
+            return cls(n_nodes=n_nodes, chip=chip)
+        except ConfigurationError as exc:
+            raise ValidationError(f"invalid cluster document: {exc}") from exc
+
+    @property
+    def fingerprint(self) -> str:
+        """Canonical content hash of :meth:`to_doc`."""
+        return fingerprint_doc(self.to_doc())
 
 
 class ClusterMachine:

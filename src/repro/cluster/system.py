@@ -11,11 +11,11 @@ bandwidth (and a network-appropriate rendezvous threshold).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 from repro.cluster.machine import ClusterConfig, ClusterMachine
-from repro.cluster.topology import NetworkModel, UniformNetwork
-from repro.errors import ConfigurationError
+from repro.cluster.topology import NetworkModel, UniformNetwork, network_from_doc
+from repro.errors import ConfigurationError, ValidationError
 from repro.kernel.hmt import HmtController
 from repro.kernel.kernel import make_kernel
 from repro.kernel.scheduler import PinnedScheduler
@@ -25,8 +25,11 @@ from repro.mpi.process import RankProgram
 from repro.mpi.runtime import MpiRuntime, RunResult, RuntimeConfig
 from repro.smt.analytic import AnalyticModelConfig, AnalyticThroughputModel
 from repro.smt.instructions import LoadProfile
+from repro.util.fingerprint import fingerprint_doc
 
 __all__ = ["ClusterSystemConfig", "ClusterSystem"]
+
+_SYSTEM_FIELDS = ("cluster", "network", "kernel", "network_eager_threshold")
 
 
 @dataclass(frozen=True)
@@ -49,6 +52,70 @@ class ClusterSystemConfig:
             )
         if self.network_eager_threshold < 0:
             raise ConfigurationError("network_eager_threshold must be >= 0")
+
+    # -- wire format -----------------------------------------------------------
+    #
+    # The runtime/analytic model parameters are process-level tuning, not
+    # identity (single-chip ``SystemConfig`` has no wire format either);
+    # the document captures the machine-shape fields that distinguish one
+    # cluster from another, so a cluster run can be fingerprinted/cached.
+
+    def to_doc(self) -> Dict[str, Any]:
+        """JSON-safe document (round-trips through :meth:`from_doc`)."""
+        return {
+            "cluster": self.cluster.to_doc(),
+            "network": self.network.to_doc(),
+            "kernel": self.kernel,
+            "network_eager_threshold": self.network_eager_threshold,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, Any]) -> "ClusterSystemConfig":
+        """Strict inverse of :meth:`to_doc` — unknown fields are rejected."""
+        if not isinstance(doc, Mapping):
+            raise ValidationError(
+                f"cluster system document must be a mapping, "
+                f"got {type(doc).__name__}"
+            )
+        unknown = sorted(set(doc) - set(_SYSTEM_FIELDS))
+        if unknown:
+            raise ValidationError(f"unknown cluster system fields: {unknown}")
+        kernel = doc.get("kernel", "patched")
+        if not isinstance(kernel, str):
+            raise ValidationError(
+                f"cluster system field 'kernel' must be a string, "
+                f"got {type(kernel).__name__}"
+            )
+        eager = doc.get("network_eager_threshold", 16384)
+        if isinstance(eager, bool) or not isinstance(eager, int):
+            raise ValidationError(
+                "cluster system field 'network_eager_threshold' must be an "
+                f"int, got {type(eager).__name__}"
+            )
+        cluster = (
+            ClusterConfig.from_doc(doc["cluster"])
+            if "cluster" in doc
+            else ClusterConfig()
+        )
+        network = (
+            network_from_doc(doc["network"])
+            if "network" in doc
+            else UniformNetwork()
+        )
+        try:
+            return cls(
+                cluster=cluster,
+                network=network,
+                kernel=kernel,
+                network_eager_threshold=eager,
+            )
+        except ConfigurationError as exc:
+            raise ValidationError(f"invalid cluster system document: {exc}") from exc
+
+    @property
+    def fingerprint(self) -> str:
+        """Canonical content hash of :meth:`to_doc`."""
+        return fingerprint_doc(self.to_doc())
 
 
 class ClusterSystem:

@@ -27,6 +27,7 @@ from repro.core.policy import (
     StaticPolicy,
     DynamicPolicy,
     AllocationPolicy,
+    PlacementPolicy,
 )
 from repro.core.search import (
     SearchResult,
@@ -37,9 +38,13 @@ from repro.core.search import (
     mapping_then_priority_search,
     candidate_assignments,
     candidate_mappings,
+    candidate_placements,
+    canonical_placement,
+    placement_mapping,
     rank_pressures,
     paired_extremes_mapping,
     paired_adjacent_mapping,
+    two_level_search,
 )
 from repro.core.advisor import Advisor, AdvisorReport, PolicyRecommendation
 
@@ -57,6 +62,7 @@ __all__ = [
     "StaticPolicy",
     "DynamicPolicy",
     "AllocationPolicy",
+    "PlacementPolicy",
     "SearchResult",
     "SearchStats",
     "exhaustive_priority_search",
@@ -65,9 +71,13 @@ __all__ = [
     "mapping_then_priority_search",
     "candidate_assignments",
     "candidate_mappings",
+    "candidate_placements",
+    "canonical_placement",
+    "placement_mapping",
     "rank_pressures",
     "paired_extremes_mapping",
     "paired_adjacent_mapping",
+    "two_level_search",
     "Advisor",
     "AdvisorReport",
     "PolicyRecommendation",

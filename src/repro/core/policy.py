@@ -24,7 +24,13 @@ head (see :mod:`repro.policies` for the zoo and the tournament runner):
   at MEDIUM — the thread-to-core allocation family from the related
   work (ILP-aware scheduling), and the other half of the paper's
   manual tuning story the zoo can now score head-to-head against
-  priority-only contenders.
+  priority-only contenders;
+* a **placement** policy (:class:`PlacementPolicy`) chooses the
+  rank→*node* layout on a multi-node cluster (v3 scenarios carrying a
+  :class:`~repro.cluster.TopologySpec`): observations plus the cluster
+  shape in, one global-CPU mapping out, priorities left at MEDIUM —
+  the paper's MareNostrum motivation made a scored axis, since on a
+  cluster *which node* decides which messages cross the network.
 
 This module lives in ``core`` (below ``scenarios``) on purpose: the
 protocol speaks (works, mapping) like the rest of the core layer, and
@@ -51,12 +57,14 @@ __all__ = [
     "StaticPolicy",
     "DynamicPolicy",
     "AllocationPolicy",
+    "PlacementPolicy",
 ]
 
-#: The three algorithm families the protocol distinguishes: ``static``
-#: plans priorities up front, ``dynamic`` adjusts them at runtime,
-#: ``allocation`` plans the rank→core mapping (priorities untouched).
-POLICY_FAMILIES = ("static", "dynamic", "allocation")
+#: The algorithm families the protocol distinguishes: ``static`` plans
+#: priorities up front, ``dynamic`` adjusts them at runtime,
+#: ``allocation`` plans the rank→core mapping (priorities untouched),
+#: ``placement`` plans the rank→*node* layout on a cluster.
+POLICY_FAMILIES = ("static", "dynamic", "allocation", "placement")
 
 _ParamValue = Union[int, float, str, bool]
 
@@ -239,4 +247,39 @@ class AllocationPolicy(Policy):
         profiles (:class:`~repro.smt.instructions.LoadProfile` or base
         profile names) so ILP-aware policies can weigh decode appetite,
         not just work.
+        """
+
+
+class PlacementPolicy(Policy):
+    """The node-placement family: cluster shape in, global mapping out.
+
+    Where an allocation policy decides *which ranks share a core* on one
+    chip, a placement policy decides *which node each rank lives on* —
+    the extrinsic-imbalance lever the paper's MareNostrum framing points
+    at: co-located partners exchange over shared memory, separated ones
+    over the network. The planned mapping is in global CPU ids (node
+    ``k`` owns ``k*cpus_per_node ..``); priorities stay at MEDIUM so a
+    tournament row isolates exactly what placement buys.
+
+    Cluster placements must be compared by *exact* CPU assignment, not
+    :meth:`~repro.machine.mapping.ProcessMapping.canonical` — canonical
+    packs onto the lowest cores and would move ranks across nodes.
+    """
+
+    family = "placement"
+
+    @abstractmethod
+    def plan_placement(
+        self,
+        compute_seconds: Sequence[float],
+        mapping: ProcessMapping,
+        n_nodes: int,
+        cpus_per_node: int = 4,
+    ) -> ProcessMapping:
+        """The global-CPU mapping to install on an ``n_nodes`` cluster.
+
+        ``mapping`` is the scenario's incumbent layout (and the
+        fallback when the policy's pattern does not apply — odd rank
+        counts, insufficient capacity); the returned mapping must cover
+        the same ranks within ``n_nodes * cpus_per_node`` global CPUs.
         """

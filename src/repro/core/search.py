@@ -45,13 +45,17 @@ __all__ = [
     "SearchResult",
     "candidate_assignments",
     "candidate_mappings",
+    "candidate_placements",
+    "canonical_placement",
     "exhaustive_priority_search",
     "greedy_priority_search",
     "joint_search",
     "mapping_then_priority_search",
+    "placement_mapping",
     "rank_pressures",
     "paired_extremes_mapping",
     "paired_adjacent_mapping",
+    "two_level_search",
 ]
 
 
@@ -442,6 +446,231 @@ def joint_search(
     return _ranked_search(
         system, program_factory, candidates, keep_top, workers, "joint"
     )
+
+
+# -- the placement axis (clusters) ----------------------------------------------
+#
+# On a cluster the assignment problem grows a third dimension above
+# mapping and priority: *which node* each rank lives on. A placement is
+# the per-node rank grouping — ``placement[k]`` is the sorted tuple of
+# ranks on node ``k`` — and, like the mapping axis, most of the raw
+# space is symmetry: identical nodes (and, on a two-level tree,
+# identical switches) can be permuted without changing any latency any
+# message ever sees.
+
+Placement = Tuple[Tuple[int, ...], ...]
+
+
+def canonical_placement(
+    placement: Sequence[Sequence[int]],
+    nodes_per_switch: Optional[int] = None,
+) -> Placement:
+    """The node-symmetry-canonical representative of a placement.
+
+    Uniform network: every node is interchangeable, so the class is the
+    *multiset* of rank groups — the canonical form sorts the non-empty
+    groups (lexicographically, which for disjoint sorted groups is
+    min-rank order) onto the lowest node ids and parks empty nodes last.
+    Two-level tree (``nodes_per_switch`` given): nodes are only
+    interchangeable *within* a switch and full switches with each other,
+    so groups are sorted within each switch block and the full blocks
+    sorted among themselves (a trailing partial block stays last).
+
+    The canonical form is also the lexicographic minimum of the class
+    under the per-rank node-id tuple, so pruned enumeration keeps
+    exactly the candidate the unpruned sweep would rank first on a tie.
+    """
+    groups = [tuple(sorted(int(r) for r in g)) for g in placement]
+
+    def group_key(g: Tuple[int, ...]):
+        return (not g, g)  # non-empty groups first, in min-rank order
+
+    if nodes_per_switch is None:
+        return tuple(sorted(groups, key=group_key))
+    if nodes_per_switch < 1:
+        raise ConfigurationError(
+            f"nodes_per_switch must be >= 1, got {nodes_per_switch}"
+        )
+    blocks = [
+        tuple(sorted(groups[i:i + nodes_per_switch], key=group_key))
+        for i in range(0, len(groups), nodes_per_switch)
+    ]
+    # Only same-size blocks are physics-interchangeable; at most the
+    # last block is partial, and the key keeps it last.
+    blocks.sort(key=lambda b: (len(b) != nodes_per_switch, b))
+    return tuple(g for block in blocks for g in block)
+
+
+def candidate_placements(
+    n_ranks: int,
+    n_nodes: int,
+    cpus_per_node: int = 4,
+    nodes_per_switch: Optional[int] = None,
+    prune_symmetry: bool = True,
+) -> List[Placement]:
+    """Every way to spread ``n_ranks`` over ``n_nodes`` capacity-bounded
+    nodes, optionally keeping only canonical representatives.
+
+    Unpruned this is the capacity-filtered ``n_nodes ** n_ranks``
+    per-rank node choice; with ``prune_symmetry`` (the default) one
+    placement per :func:`canonical_placement` class survives — on 4
+    ranks × 4 nodes that is 256 → 15, a 17x cut before a single
+    candidate is simulated. Enumeration order is deterministic:
+    lexicographic in the per-rank node tuple.
+    """
+    if n_ranks <= 0:
+        raise ConfigurationError(f"n_ranks must be > 0, got {n_ranks}")
+    if n_nodes <= 0:
+        raise ConfigurationError(f"n_nodes must be > 0, got {n_nodes}")
+    if cpus_per_node <= 0:
+        raise ConfigurationError(
+            f"cpus_per_node must be > 0, got {cpus_per_node}"
+        )
+    if n_ranks > n_nodes * cpus_per_node:
+        raise ConfigurationError(
+            f"{n_ranks} ranks cannot fit {n_nodes} nodes x "
+            f"{cpus_per_node} CPUs"
+        )
+    out: List[Placement] = []
+    for assign in itertools.product(range(n_nodes), repeat=n_ranks):
+        groups: List[List[int]] = [[] for _ in range(n_nodes)]
+        for rank, node in enumerate(assign):
+            groups[node].append(rank)
+        if any(len(g) > cpus_per_node for g in groups):
+            continue
+        placement = tuple(tuple(g) for g in groups)
+        if prune_symmetry and placement != canonical_placement(
+            placement, nodes_per_switch
+        ):
+            continue
+        out.append(placement)
+    return out
+
+
+def placement_mapping(
+    placement: Sequence[Sequence[int]], cpus_per_node: int = 4
+) -> ProcessMapping:
+    """The packed mapping a placement induces: node ``k``'s ranks on
+    ascending global CPUs ``k*cpus_per_node ...``.
+
+    Packing fixes the within-node core pairing (adjacent ranks share a
+    core); the placement axis deliberately searches only *which node*,
+    leaving within-node refinement to the priority stage. Do **not**
+    compare placements through :meth:`ProcessMapping.canonical` — that
+    repacks onto the lowest cores and would move ranks across nodes.
+    """
+    mapping: Dict[int, int] = {}
+    for node, group in enumerate(placement):
+        if len(group) > cpus_per_node:
+            raise ConfigurationError(
+                f"node {node} holds {len(group)} ranks > {cpus_per_node} CPUs"
+            )
+        for i, rank in enumerate(sorted(group)):
+            mapping[int(rank)] = node * cpus_per_node + i
+    return ProcessMapping.from_dict(mapping)
+
+
+def two_level_search(
+    system,
+    program_factory: Callable[[], Sequence[RankProgram]],
+    n_ranks: int,
+    n_nodes: int,
+    cpus_per_node: int = 4,
+    nodes_per_switch: Optional[int] = None,
+    levels: Sequence[int] = (3, 4, 5, 6),
+    max_gap: int = 2,
+    keep_top: int = 0,
+    workers: int = 1,
+    prune_symmetry: bool = True,
+    placements: Optional[Sequence[Placement]] = None,
+) -> SearchResult:
+    """Placement sweep, then per-node priority refinement.
+
+    Stage one evaluates every candidate placement (symmetry-pruned by
+    default; pass ``placements`` for an explicit shortlist) under flat
+    MEDIUM priorities — on a cluster the placement decides which
+    messages cross the network, which dwarfs any priority effect, so it
+    is fixed first. Stage two walks the winning placement node by node,
+    exhausting that node's per-core priority combinations (``levels``,
+    ``max_gap`` — the same grammar as :func:`candidate_assignments`)
+    while the other nodes hold their current best; a node's winner is
+    adopted only on strict improvement. ``system`` is typically a
+    :class:`~repro.cluster.system.ClusterSystem`; anything with the
+    ``System.run`` signature works. The result ranks everything both
+    stages evaluated, best first.
+    """
+    if placements is None:
+        placements = candidate_placements(
+            n_ranks, n_nodes, cpus_per_node, nodes_per_switch, prune_symmetry
+        )
+    flat = {r: 4 for r in range(n_ranks)}
+    stage1 = _ranked_search(
+        system,
+        program_factory,
+        [
+            PriorityAssignment.build(
+                placement_mapping(p, cpus_per_node), flat, label="placement"
+            )
+            for p in placements
+        ],
+        0,
+        workers,
+        "placement",
+    )
+    best_entry = stage1.entries[0]
+    mapping = best_entry[0].mapping
+
+    entries: List[Tuple[PriorityAssignment, float, float]] = list(stage1.entries)
+    evaluations = stage1.stats.evaluations
+    hits, misses = stage1.stats.cache_hits, stage1.stats.cache_misses
+    current = dict(flat)
+    for node in range(n_nodes):
+        by_core: Dict[int, List[int]] = {}
+        for rank in range(n_ranks):
+            cpu = mapping.cpu_of(rank)
+            if cpu // cpus_per_node == node:
+                by_core.setdefault(cpu // 2, []).append(rank)
+        if not by_core:
+            continue
+        per_core_choices: List[List[Dict[int, int]]] = []
+        for core in sorted(by_core):
+            group = sorted(by_core[core])
+            if len(group) == 1:
+                per_core_choices.append([{group[0]: lv} for lv in levels])
+            else:
+                a, b = group
+                per_core_choices.append([
+                    {a: la, b: lb}
+                    for la, lb in itertools.product(levels, repeat=2)
+                    if abs(la - lb) <= max_gap
+                ])
+        candidates = []
+        for combo in itertools.product(*per_core_choices):
+            prios = dict(current)
+            for d in combo:
+                prios.update(d)
+            candidates.append(
+                PriorityAssignment.build(mapping, prios, label="two-level")
+            )
+        ranked = _ranked_search(
+            system, program_factory, candidates, 0, workers, "two-level"
+        )
+        entries.extend(ranked.entries)
+        evaluations += ranked.stats.evaluations
+        hits += ranked.stats.cache_hits
+        misses += ranked.stats.cache_misses
+        if ranked.best_time < best_entry[1]:
+            best_entry = ranked.entries[0]
+            current = best_entry[0].priority_dict
+
+    entries.sort(key=lambda e: e[1])
+    if keep_top > 0:
+        entries = entries[:keep_top]
+    stats = SearchStats(
+        evaluations=evaluations, cache_hits=hits, cache_misses=misses,
+        workers=max(stage1.stats.workers, 1),
+    )
+    return SearchResult(tuple(entries), stats=stats)
 
 
 # -- the staged heuristic -------------------------------------------------------

@@ -25,10 +25,12 @@ from repro.oracle.checker import (
     verify_trace,
 )
 from repro.oracle.differential import (
+    ClusterEquivalenceCheck,
     ConformanceResult,
     Scenario,
     ScenarioGenerator,
     Tolerances,
+    check_cluster_equivalence,
     check_conformance,
     fuzz,
     trace_digest,
@@ -59,10 +61,12 @@ __all__ = [
     "verify_model",
     "verify_run",
     "verify_trace",
+    "ClusterEquivalenceCheck",
     "ConformanceResult",
     "Scenario",
     "ScenarioGenerator",
     "Tolerances",
+    "check_cluster_equivalence",
     "check_conformance",
     "fuzz",
     "trace_digest",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import OracleError, ValidationError
 from repro.mpi.runtime import RunResult
 from repro.oracle.checker import verify_model, verify_run
 from repro.scenarios.engines import fast_cycle_table, trace_digest
@@ -38,12 +39,14 @@ __all__ = [
     "ScenarioGenerator",
     "Tolerances",
     "ConformanceResult",
+    "ClusterEquivalenceCheck",
     "FuzzReport",
     "trace_digest",
     "run_fluid",
     "run_cycle",
     "analytic_estimate",
     "check_conformance",
+    "check_cluster_equivalence",
     "fuzz",
     "fast_cycle_table",
 ]
@@ -244,6 +247,106 @@ def check_conformance(
         disagreements=tuple(disagreements),
         engine_times=tuple(sorted(times.items())),
     )
+
+
+# -- the 1-node cluster law -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterEquivalenceCheck:
+    """Outcome of the 1-node cluster differential law for one scenario.
+
+    The law: running a scenario on a 1-node cluster (the same chip
+    behind a network nothing ever crosses) must be *bit-identical* to
+    running it on the plain single-chip :class:`~repro.machine.system.System`
+    — same trace digest, same total time. This is the anchor that lets
+    every cluster result be trusted relative to the golden single-chip
+    physics: the cluster path is the single-chip path plus topology,
+    never a parallel reimplementation that can drift.
+    """
+
+    scenario: ScenarioSpec
+    single_chip_digest: str
+    cluster_digest: str
+    single_chip_time: float
+    cluster_time: float
+    mismatches: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def check_cluster_equivalence(
+    scenario: Optional[ScenarioSpec] = None,
+    strict: bool = False,
+) -> ClusterEquivalenceCheck:
+    """Verify the 1-node cluster law on ``scenario`` (or a default).
+
+    ``scenario`` must be a single-chip spec (no topology); the check
+    derives its 1-node twin through the v3 wire format (``to_doc`` +
+    a ``{"n_nodes": 1}`` topology + ``from_doc``), runs both through
+    the fluid engine and demands digest identity, then cross-checks the
+    analytic engine's closed-form times for exact equality as well.
+    With ``strict=True`` a violation raises :class:`~repro.errors.OracleError`.
+    """
+    if scenario is None:
+        scenario = ScenarioSpec(
+            name="cluster-equivalence",
+            kind="barrier_loop",
+            works=(1.0e9, 3.0e9, 2.0e9, 4.0e9),
+            iterations=2,
+            priorities=((0, 4), (1, 6), (2, 4), (3, 5)),
+        )
+    if scenario.topology is not None:
+        raise ValidationError(
+            "check_cluster_equivalence needs a single-chip scenario; "
+            f"{scenario.name!r} already carries a topology"
+        )
+    doc = scenario.to_doc()
+    doc["topology"] = {"n_nodes": 1}
+    doc["spec_version"] = 3
+    one_node = ScenarioSpec.from_doc(doc)
+
+    fluid = get_engine("fluid")
+    label = f"oracle.cluster-eq.{scenario.name}"
+    base = fluid.run(scenario, label=label)
+    clustered = fluid.run(one_node, label=f"{label}.1node")
+
+    mismatches: List[str] = []
+    if base.digest != clustered.digest:
+        mismatches.append(
+            f"1-node cluster trace digest {str(clustered.digest)[:16]}... != "
+            f"single-chip {str(base.digest)[:16]}..."
+        )
+    if base.total_time != clustered.total_time:
+        mismatches.append(
+            f"1-node cluster total time {clustered.total_time!r} != "
+            f"single-chip {base.total_time!r}"
+        )
+    analytic = get_engine("analytic")
+    est_base = analytic.run(scenario, label=label).total_time
+    est_cluster = analytic.run(one_node, label=f"{label}.1node").total_time
+    if est_base != est_cluster:
+        mismatches.append(
+            f"1-node analytic estimate {est_cluster!r} != "
+            f"single-chip {est_base!r}"
+        )
+
+    outcome = ClusterEquivalenceCheck(
+        scenario=scenario,
+        single_chip_digest=str(base.digest),
+        cluster_digest=str(clustered.digest),
+        single_chip_time=base.total_time,
+        cluster_time=clustered.total_time,
+        mismatches=tuple(mismatches),
+    )
+    if strict and not outcome.ok:
+        raise OracleError(
+            f"1-node cluster law violated for {scenario.name!r}: "
+            + "; ".join(outcome.mismatches)
+        )
+    return outcome
 
 
 # -- randomized fuzzing ----------------------------------------------------------

@@ -102,6 +102,21 @@ def default_scenarios() -> List[ScenarioSpec]:
             mapping="btmz",
             priorities=((0, 4), (1, 4), (2, 5), (3, 6)),
         ),
+        # The one topology-bearing (spec v3) recording: 8 ranks on two
+        # nodes joined by a two-level tree forced onto separate switches
+        # (nodes_per_switch=1), so every distant-pair exchange crosses
+        # the far link. Pins the whole cluster path — TopologySpec wire
+        # format, ClusterSystem cross-node costs, per-node priority
+        # arbitration — to exact physics.
+        ScenarioSpec(
+            name="cluster-distant-pairs",
+            kind="distant_pairs",
+            works=(1.0e9, 2.6e9, 1.4e9, 3.0e9, 1.8e9, 2.2e9, 1.2e9, 2.8e9),
+            iterations=2,
+            priorities=((1, 6), (3, 6), (7, 5)),
+            topology={"n_nodes": 2, "network": "two-level-tree",
+                      "params": {"nodes_per_switch": 1}},
+        ),
     ]
 
 

@@ -33,14 +33,18 @@ from repro.policies.tournament import (
 )
 from repro.policies.zoo import (
     ALLOCATION_POLICIES,
+    BandwidthSpreadPolicy,
     DEFAULT_POLICIES,
     HysteresisPolicy,
     IlpPairPolicy,
     IlpSpreadPolicy,
+    LocalityPackPolicy,
     LptGreedyPolicy,
+    PLACEMENT_POLICIES,
     PaperCasePolicy,
     ProportionalSharePolicy,
     RandomMappingPolicy,
+    RandomPlacementPolicy,
     all_policies,
     get_policy,
     policy_names,
@@ -59,14 +63,18 @@ __all__ = [
     "planning_works",
     "run_tournament",
     "ALLOCATION_POLICIES",
+    "BandwidthSpreadPolicy",
     "DEFAULT_POLICIES",
     "HysteresisPolicy",
     "IlpPairPolicy",
     "IlpSpreadPolicy",
+    "LocalityPackPolicy",
     "LptGreedyPolicy",
+    "PLACEMENT_POLICIES",
     "PaperCasePolicy",
     "ProportionalSharePolicy",
     "RandomMappingPolicy",
+    "RandomPlacementPolicy",
     "all_policies",
     "get_policy",
     "policy_names",

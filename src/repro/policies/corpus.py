@@ -30,6 +30,14 @@ contract exactly like the fuzz generator's draw sequence:
     policies side by side yields the mapping-vs-priority differential
     evidence (:meth:`repro.policies.tournament.Leaderboard.
     differential_evidence`).
+``cluster``
+    The distant-neighbour corpus: 8-rank ``distant_pairs`` cells on a
+    2-node topology (spec v3), identity mapping — which puts every
+    rank's exchange partner on the *other* node, so the drawn layout
+    maximises network traffic. Lognormal compute imbalance plus
+    multi-megabyte exchanges make both the placement axis (co-locate
+    the pairs?) and the priority axis (feed the heavy ranks?) matter;
+    the placement-policy family is scored here.
 """
 
 from __future__ import annotations
@@ -44,7 +52,7 @@ from repro.util.rng import RngStreams
 __all__ = ["CORPORA", "tournament_corpus"]
 
 #: Valid ``TournamentConfig.corpus`` values.
-CORPORA = ("fuzz", "siesta", "mixed", "metbtmz")
+CORPORA = ("fuzz", "siesta", "mixed", "metbtmz", "cluster")
 
 #: Named stream the trap corpus draws from (isolated from every other
 #: randomness consumer, like the fuzz generator's "oracle.fuzz").
@@ -52,6 +60,9 @@ _TRAP_STREAM = "policies.corpus.siesta"
 
 #: Named stream for the MetBench/BT-MZ allocation-differential corpus.
 _METBTMZ_STREAM = "policies.corpus.metbtmz"
+
+#: Named stream for the distant-neighbour cluster corpus.
+_CLUSTER_STREAM = "policies.corpus.cluster"
 
 
 def _fuzz_corpus(n: int, seed: int) -> List[ScenarioSpec]:
@@ -138,6 +149,37 @@ def _metbtmz_corpus(n: int, seed: int) -> List[ScenarioSpec]:
     return specs
 
 
+def _cluster_corpus(n: int, seed: int) -> List[ScenarioSpec]:
+    rng = RngStreams(seed).get(_CLUSTER_STREAM)
+    specs: List[ScenarioSpec] = []
+    for i in range(n):
+        # 8 ranks on 2 nodes; the identity mapping puts partner r+4 on
+        # the other node, so the drawn layout pays the network for every
+        # exchange — the extrinsic-imbalance trap a locality placement
+        # escapes. Exchanges of several MB over the uniform network's
+        # 250 MB/s make the crossing cost a visible fraction of the
+        # ~1-3 s compute iterations without drowning the priority axis.
+        works = tuple(
+            float(w) for w in rng.lognormal(mean=0.0, sigma=0.5, size=8) * 2.5e9
+        )
+        iterations = int(rng.integers(4, 9))
+        exchange_bytes = int(rng.integers(8_000_000, 32_000_000))
+        specs.append(
+            ScenarioSpec(
+                name=f"cluster-{seed}-{i + 1}",
+                kind="distant_pairs",
+                works=works,
+                iterations=iterations,
+                profile="hpc",
+                mapping="identity",
+                seed=seed,
+                params={"exchange_bytes": exchange_bytes},
+                topology={"n_nodes": 2},
+            )
+        )
+    return specs
+
+
 def tournament_corpus(corpus: str, n: int, seed: int) -> List[ScenarioSpec]:
     """The ``n`` specs of the named corpus for ``seed``, in cell order."""
     if n <= 0:
@@ -155,6 +197,8 @@ def tournament_corpus(corpus: str, n: int, seed: int) -> List[ScenarioSpec]:
         return specs
     if corpus == "metbtmz":
         return _metbtmz_corpus(n, seed)
+    if corpus == "cluster":
+        return _cluster_corpus(n, seed)
     raise ConfigurationError(
         f"unknown corpus {corpus!r} (choose from {', '.join(CORPORA)})"
     )

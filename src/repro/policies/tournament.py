@@ -34,7 +34,13 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core import AllocationPolicy, DynamicPolicy, Policy, StaticPolicy
+from repro.core import (
+    AllocationPolicy,
+    DynamicPolicy,
+    PlacementPolicy,
+    Policy,
+    StaticPolicy,
+)
 from repro.errors import ConfigurationError, PersistenceError, ValidationError
 from repro.policies.corpus import CORPORA, tournament_corpus
 from repro.policies.zoo import DEFAULT_POLICIES, get_policy
@@ -480,9 +486,27 @@ def apply_policy(
             # the canonical bytes survive.
             return spec, None
         return replace(spec, mapping=planned.rank_to_cpu), None
+    if isinstance(policy, PlacementPolicy):
+        if spec.topology is None:
+            # Placement has no meaning on one chip: exact no-op, so a
+            # placement policy in a single-chip tournament scores as the
+            # baseline instead of perturbing recorded fingerprints.
+            return spec, None
+        incumbent = spec.mapping_obj()
+        planned = policy.plan_placement(
+            planning_works(spec),
+            incumbent,
+            n_nodes=spec.topology.n_nodes,
+            cpus_per_node=spec.topology.cpus_per_node,
+        )
+        # Exact-CPU comparison on purpose: canonical() would repack
+        # across node boundaries (see docs/cluster.md).
+        if planned.rank_to_cpu == incumbent.rank_to_cpu:
+            return spec, None
+        return replace(spec, mapping=planned.rank_to_cpu), None
     raise ConfigurationError(
         f"policy {policy.name!r} belongs to no known family "
-        "(static, dynamic or allocation)"
+        "(static, dynamic, allocation or placement)"
     )
 
 

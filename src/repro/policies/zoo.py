@@ -51,6 +51,14 @@ procedure) and dynamic ones (runtime controllers), all behind
     anti-pattern); ``random-mapping`` draws a seeded canonical mapping
     per cell (hash of the observations) — the control that separates
     "any re-pairing helps" from "this rule helps".
+``locality-pack`` / ``bandwidth-spread`` / ``random-placement``
+    The **placement family** for topology-bearing (v3) scenarios: they
+    choose *which node* each rank lives on and leave priorities at
+    MEDIUM. ``locality-pack`` co-locates each distant pair on one node
+    (all exchanges become shared-memory); ``bandwidth-spread`` splits
+    every pair across nodes (the contrast case); ``random-placement``
+    draws a seeded canonical placement per cell — the lottery control.
+    On single-chip cells all three are exact no-ops.
 
 The registry maps names to zero-argument factories so ``repro
 tournament`` and the scoring loop construct policies by name.
@@ -67,13 +75,16 @@ from repro.core import (
     DynamicBalancer,
     DynamicBalancerConfig,
     DynamicPolicy,
+    PlacementPolicy,
     PolicySpec,
     PriorityAssignment,
     StaticPolicy,
     StaticPriorityBalancer,
     candidate_mappings,
+    candidate_placements,
     paired_adjacent_mapping,
     paired_extremes_mapping,
+    placement_mapping,
     rank_pressures,
 )
 from repro.errors import ConfigurationError
@@ -88,12 +99,16 @@ __all__ = [
     "IlpPairPolicy",
     "IlpSpreadPolicy",
     "RandomMappingPolicy",
+    "LocalityPackPolicy",
+    "BandwidthSpreadPolicy",
+    "RandomPlacementPolicy",
     "register_policy",
     "get_policy",
     "policy_names",
     "all_policies",
     "DEFAULT_POLICIES",
     "ALLOCATION_POLICIES",
+    "PLACEMENT_POLICIES",
 ]
 
 
@@ -447,6 +462,154 @@ class RandomMappingPolicy(AllocationPolicy):
         return classes[int(digest[:12], 16) % len(classes)]
 
 
+def _distant_pairs(n_ranks: int) -> List[Tuple[int, int]]:
+    """The cluster corpus's involutive pairing: rank ``r`` with
+    ``r + n/2`` — the distant-neighbour pattern
+    :func:`~repro.workloads.generators.distant_pairs_programs` runs."""
+    half = n_ranks // 2
+    return [(r, r + half) for r in range(half)]
+
+
+class LocalityPackPolicy(PlacementPolicy):
+    """Co-locate each distant pair on one node — the locality move.
+
+    The cluster corpus's workload exchanges with the rank half the ring
+    away, so the identity layout puts every partner on a *different*
+    node and every exchange on the wire. This policy packs partner
+    pairs together (``cpus_per_node // 2`` pairs per node, in pair
+    order), turning all of that traffic into shared-memory transfers —
+    the placement analogue of the paper's BT-MZ re-pairing.
+    """
+
+    name = "locality-pack"
+    description = (
+        "placement: co-locate each distant pair on one node "
+        "(all exchanges become shared-memory)"
+    )
+
+    def spec(self) -> PolicySpec:
+        return PolicySpec(name=self.name, family="placement",
+                          params={"rule": "pack-pairs"})
+
+    def plan_placement(
+        self,
+        compute_seconds: Sequence[float],
+        mapping: ProcessMapping,
+        n_nodes: int,
+        cpus_per_node: int = 4,
+    ) -> ProcessMapping:
+        n = mapping.n_ranks
+        pairs_per_node = cpus_per_node // 2
+        if n % 2 or pairs_per_node < 1 or n > n_nodes * cpus_per_node:
+            return mapping
+        planned: Dict[int, int] = {}
+        for i, (a, b) in enumerate(_distant_pairs(n)):
+            node = i // pairs_per_node
+            base = node * cpus_per_node + (i % pairs_per_node) * 2
+            planned[a] = base
+            planned[b] = base + 1
+        return ProcessMapping.from_dict(planned)
+
+
+class BandwidthSpreadPolicy(PlacementPolicy):
+    """Split every distant pair across nodes — the contrast case.
+
+    Each pair's endpoints land on different nodes in a round-robin, so
+    every exchange crosses the network but the traffic is spread evenly
+    over the links. Scored so the leaderboard shows the *gap* between
+    locality and its inverse, not just "locality beats the draw".
+    """
+
+    name = "bandwidth-spread"
+    description = (
+        "placement: split each distant pair across nodes, round-robin "
+        "(every exchange crosses the network, load spread)"
+    )
+
+    def spec(self) -> PolicySpec:
+        return PolicySpec(name=self.name, family="placement",
+                          params={"rule": "split-pairs"})
+
+    def plan_placement(
+        self,
+        compute_seconds: Sequence[float],
+        mapping: ProcessMapping,
+        n_nodes: int,
+        cpus_per_node: int = 4,
+    ) -> ProcessMapping:
+        n = mapping.n_ranks
+        if n % 2 or n_nodes < 2 or n > n_nodes * cpus_per_node:
+            return mapping
+        next_cpu = [node * cpus_per_node for node in range(n_nodes)]
+
+        def place(rank: int, node: int) -> bool:
+            if next_cpu[node] >= (node + 1) * cpus_per_node:
+                return False
+            planned[rank] = next_cpu[node]
+            next_cpu[node] += 1
+            return True
+
+        planned: Dict[int, int] = {}
+        for i, (a, b) in enumerate(_distant_pairs(n)):
+            node_a = i % n_nodes
+            node_b = (node_a + 1) % n_nodes
+            # Capacity fallback: first node with room, partner anywhere else.
+            if not place(a, node_a):
+                for node in range(n_nodes):
+                    if place(a, node):
+                        node_a = node
+                        break
+            if next_cpu[node_b] >= (node_b + 1) * cpus_per_node or node_b == node_a:
+                for node in range(n_nodes):
+                    if node != node_a and place(b, node):
+                        break
+                else:
+                    return mapping  # nowhere to split: keep the incumbent
+            else:
+                place(b, node_b)
+        return ProcessMapping.from_dict(planned)
+
+
+class RandomPlacementPolicy(PlacementPolicy):
+    """The control: a seeded, observation-hashed canonical placement.
+
+    Deterministic — the sha256 of (seed, observations) modulo the
+    canonical placement classes — but blind to who talks to whom. If
+    ``locality-pack`` cannot beat this, co-location is doing nothing a
+    node-assignment lottery would not.
+    """
+
+    name = "random-placement"
+    description = (
+        "placement control: seeded random canonical placement per cell "
+        "(blind node-assignment lottery)"
+    )
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def spec(self) -> PolicySpec:
+        return PolicySpec(
+            name=self.name, family="placement", params={"seed": self.seed}
+        )
+
+    def plan_placement(
+        self,
+        compute_seconds: Sequence[float],
+        mapping: ProcessMapping,
+        n_nodes: int,
+        cpus_per_node: int = 4,
+    ) -> ProcessMapping:
+        classes = candidate_placements(
+            mapping.n_ranks, n_nodes, cpus_per_node
+        )
+        digest = fingerprint_doc(
+            {"seed": self.seed, "works": [float(w) for w in compute_seconds]}
+        )
+        choice = classes[int(digest[:12], 16) % len(classes)]
+        return placement_mapping(choice, cpus_per_node)
+
+
 # -- the registry --------------------------------------------------------------
 
 _LOCK = threading.Lock()
@@ -527,6 +690,9 @@ def _register_defaults() -> None:
     register_policy("ilp-pair", IlpPairPolicy)
     register_policy("ilp-spread", IlpSpreadPolicy)
     register_policy("random-mapping", RandomMappingPolicy)
+    register_policy("locality-pack", LocalityPackPolicy)
+    register_policy("bandwidth-spread", BandwidthSpreadPolicy)
+    register_policy("random-placement", RandomPlacementPolicy)
 
 
 _register_defaults()
@@ -549,3 +715,9 @@ DEFAULT_POLICIES = (
 #: every priority at MEDIUM (see ``repro.experiments.allocation`` for
 #: the mapping-vs-priority differential experiment).
 ALLOCATION_POLICIES = ("ilp-pair", "ilp-spread", "random-mapping")
+
+#: The node-placement family: rank→node planners for topology-bearing
+#: (v3) scenarios — locality vs spread vs the lottery control, scored
+#: over the ``cluster`` corpus. Single-chip cells pass through them
+#: unchanged, so adding these to a tournament never perturbs one.
+PLACEMENT_POLICIES = ("locality-pack", "bandwidth-spread", "random-placement")

@@ -58,6 +58,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.cluster.spec import TopologySpec
+from repro.cluster.system import ClusterSystem, ClusterSystemConfig
 from repro.errors import ConfigurationError, SimulationError
 from repro.machine.system import System, SystemConfig
 from repro.mpi.runtime import RunResult, RuntimeConfig
@@ -78,21 +80,32 @@ __all__ = [
 ]
 
 
-def _observe_run(engine: str, elapsed_s: float) -> None:
+def _observe_run(engine: str, elapsed_s: float, nodes: int = 1) -> None:
     """Publish one engine run into the default registry.
 
     One event per whole run (the simulation inside is the expensive
     part), so this is always on; the event loop itself is untouched.
+    ``nodes`` is the scenario's cluster size (1 for the default single
+    chip), so ``/metrics`` distinguishes cluster from single-chip
+    traffic.
     """
     reg = default_registry()
+    labels = (engine, str(nodes))
     reg.counter(
-        "repro_engine_runs_total", "Executed scenario runs, by engine.",
-        labelnames=("engine",),
-    ).labels(engine).inc()
+        "repro_engine_runs_total",
+        "Executed scenario runs, by engine and node count.",
+        labelnames=("engine", "nodes"),
+    ).labels(*labels).inc()
     reg.histogram(
-        "repro_engine_run_seconds", "Wall seconds per engine run.",
-        labelnames=("engine",),
-    ).labels(engine).observe(elapsed_s)
+        "repro_engine_run_seconds",
+        "Wall seconds per engine run, by engine and node count.",
+        labelnames=("engine", "nodes"),
+    ).labels(*labels).observe(elapsed_s)
+
+
+def _spec_nodes(spec: ScenarioSpec) -> int:
+    """Node count a spec targets (1 = the default single chip)."""
+    return spec.topology.n_nodes if spec.topology is not None else 1
 
 
 def _observe_batch(engine: str, size: int, elapsed_s: float) -> None:
@@ -337,7 +350,7 @@ class FluidEngine(Engine):
     #: balancing policies ride the batch API.
     option_names = ("incremental_rates", "check_invariants", "controllers")
     batch_strategy = "vectorized"
-    axes = ("priority", "mapping", "dynamic")
+    axes = ("priority", "mapping", "dynamic", "topology")
 
     def __init__(self) -> None:
         self._local = threading.local()
@@ -359,26 +372,41 @@ class FluidEngine(Engine):
                 total = total + getter()
         return total
 
-    def _system(self, seed: int, incremental: bool, invariants: bool) -> System:
+    def _system(
+        self,
+        seed: int,
+        incremental: bool,
+        invariants: bool,
+        topology: Optional[TopologySpec] = None,
+    ):
         """Per-thread warm Systems: the shared analytic model's memo
-        cache warms across runs on the same worker."""
+        cache warms across runs on the same worker. Topology-bearing
+        specs get a :class:`~repro.cluster.ClusterSystem` keyed by their
+        (hashable) :class:`~repro.cluster.TopologySpec` — one warm
+        cluster per distinct shape per thread."""
         cache: Optional[Dict[tuple, System]] = getattr(
             self._local, "systems", None
         )
         if cache is None:
             cache = self._local.systems = {}
-        key = (seed, incremental, invariants)
+        key = (seed, incremental, invariants, topology)
         system = cache.get(key)
         if system is None:
-            system = cache[key] = System(
-                SystemConfig(
-                    seed=seed,
-                    runtime=RuntimeConfig(
-                        incremental_rates=incremental,
-                        check_invariants=invariants,
-                    ),
-                )
+            runtime = RuntimeConfig(
+                incremental_rates=incremental,
+                check_invariants=invariants,
             )
+            if topology is None:
+                system = System(SystemConfig(seed=seed, runtime=runtime))
+            else:
+                system = ClusterSystem(
+                    ClusterSystemConfig(
+                        cluster=topology.cluster_config(),
+                        network=topology.network_model(),
+                        runtime=runtime,
+                    )
+                )
+            cache[key] = system
             with self._systems_lock:
                 self._systems.append(system)
         return system
@@ -397,6 +425,7 @@ class FluidEngine(Engine):
                 spec.seed,
                 bool(opts.get("incremental_rates", True)),
                 bool(opts.get("check_invariants", False)),
+                spec.topology,
             )
         controllers = None
         factory = opts.get("controllers")
@@ -415,7 +444,7 @@ class FluidEngine(Engine):
             controllers=controllers,
         )
         elapsed = time.perf_counter() - t0
-        _observe_run(self.name, elapsed)
+        _observe_run(self.name, elapsed, nodes=_spec_nodes(spec))
         return ExecutionResult.from_run(self.name, spec, run, elapsed)
 
     def run_batch(
@@ -443,11 +472,11 @@ class FluidEngine(Engine):
         incremental = bool(opts.get("incremental_rates", True))
         invariants = bool(opts.get("check_invariants", False))
 
-        by_seed: Dict[int, List[ScenarioSpec]] = {}
+        by_system: Dict[tuple, List[ScenarioSpec]] = {}
         for spec in specs:
-            by_seed.setdefault(spec.seed, []).append(spec)
-        for seed, group in by_seed.items():
-            system = self._system(seed, incremental, invariants)
+            by_system.setdefault((spec.seed, spec.topology), []).append(spec)
+        for (seed, topology), group in by_system.items():
+            system = self._system(seed, incremental, invariants, topology)
             self._presolve(system, group)
 
         results = [
@@ -483,7 +512,7 @@ class FluidEngine(Engine):
         if states:
             stack(states)
 
-    def _candidate_chip_states(self, system: System, spec: ScenarioSpec):
+    def _candidate_chip_states(self, system, spec: ScenarioSpec):
         """Chip states ``spec``'s event loop is expected to query.
 
         Mirrors the runtime's state construction: a plain chip is one
@@ -495,6 +524,12 @@ class FluidEngine(Engine):
         Enumerates the cartesian product of the two postures per mapped
         context — at most ``2**n_ranks`` states, of which a run
         typically visits a handful.
+
+        On a cluster the throughput-coupling domain is one *node* chip
+        (the runtime's ``core_groups``), so the posture product runs
+        per node and yields that node's chip states — never a
+        cross-node product, which would be exponentially larger and
+        query states no chip ever sees.
         """
         runtime_cfg = system.config.runtime
         if runtime_cfg.wait_mode == "spin":
@@ -505,28 +540,40 @@ class FluidEngine(Engine):
         mapping = spec.mapping_obj()
         prios = spec.priority_dict() or {}
 
-        n_cores = system.config.chip.n_cores
-        cpu_prio = [4] * (2 * n_cores)
-        mapped_cpus = []
+        if spec.topology is not None:
+            cpus_per_chip = spec.topology.cpus_per_node
+            chip_cores = cpus_per_chip // 2
+        else:
+            chip_cores = system.config.chip.n_cores
+            cpus_per_chip = 2 * chip_cores
+
+        by_chip: Dict[int, List[int]] = {}
+        cpu_prio: Dict[int, int] = {}
         for rank in range(spec.n_ranks):
             cpu = mapping.cpu_of(rank)
             cpu_prio[cpu] = int(prios.get(rank, 4))
-            mapped_cpus.append(cpu)
+            chip = cpu // cpus_per_chip if spec.topology is not None else 0
+            by_chip.setdefault(chip, []).append(cpu)
 
-        for postures in itertools.product((profile, wait_load),
-                                          repeat=len(mapped_cpus)):
-            cpu_load = [None] * (2 * n_cores)
-            for cpu, load in zip(mapped_cpus, postures):
-                cpu_load[cpu] = load
-            yield tuple(
-                (
-                    cpu_load[2 * core],
-                    cpu_load[2 * core + 1],
-                    cpu_prio[2 * core],
-                    cpu_prio[2 * core + 1],
+        for chip, mapped_cpus in by_chip.items():
+            base = chip * cpus_per_chip
+            prio_row = [
+                cpu_prio.get(base + local, 4) for local in range(cpus_per_chip)
+            ]
+            for postures in itertools.product((profile, wait_load),
+                                              repeat=len(mapped_cpus)):
+                load_row = [None] * cpus_per_chip
+                for cpu, load in zip(mapped_cpus, postures):
+                    load_row[cpu - base] = load
+                yield tuple(
+                    (
+                        load_row[2 * core],
+                        load_row[2 * core + 1],
+                        prio_row[2 * core],
+                        prio_row[2 * core + 1],
+                    )
+                    for core in range(chip_cores)
                 )
-                for core in range(n_cores)
-            )
 
 
 class CycleEngine(Engine):
@@ -573,6 +620,12 @@ class CycleEngine(Engine):
         options: Optional[Mapping[str, object]] = None,
     ) -> ExecutionResult:
         opts = self._opts(options)
+        if spec.topology is not None:
+            raise ConfigurationError(
+                "the cycle engine models one chip's pipelines; "
+                f"scenario {spec.name!r} names a {spec.topology.n_nodes}-node "
+                "topology (use the fluid engine)"
+            )
         table: Optional[ThroughputTable] = opts.get("table")
         table_path: Optional[str] = opts.get("table_path")
         if table is not None and table_path is not None:
@@ -673,6 +726,10 @@ class AnalyticEngine(Engine):
                    "work over its chip-coupled IPC; no event loop)")
     option_names = ("model",)
     batch_strategy = "vectorized"
+    #: Topology-aware: per-node chip solves keep the IPC coupling within
+    #: each node's chip (communication is ignored either way, so the
+    #: estimate stays the same compute-bound lower bound on a cluster).
+    axes = ("priority", "mapping", "topology")
 
     def __init__(self) -> None:
         self._model = AnalyticThroughputModel()
@@ -701,6 +758,50 @@ class AnalyticEngine(Engine):
             for c in range(n_cores)
         )
 
+    @staticmethod
+    def _cluster_ipcs(
+        spec: ScenarioSpec, mapping, model: AnalyticThroughputModel
+    ) -> List[Tuple[float, float]]:
+        """Per-global-core IPC pairs for a topology spec.
+
+        The coupling domain is one node's chip, so each occupied node is
+        solved as its own chip query (idle contexts at MEDIUM, exactly
+        like the runtime's per-node core groups); the results are laid
+        out flat so ``global core = global cpu // 2`` indexes them.
+        """
+        prios = spec.priority_dict() or {}
+        profile = BASE_PROFILES[spec.profile]
+        cpus_per_node = spec.topology.cpus_per_node
+        cores_per_node = cpus_per_node // 2
+
+        by_node: Dict[int, List[int]] = {}
+        cpu_prio: Dict[int, int] = {}
+        cpu_load: Dict[int, object] = {}
+        for rank in range(spec.n_ranks):
+            cpu = mapping.cpu_of(rank)
+            cpu_prio[cpu] = prios.get(rank, 4)
+            cpu_load[cpu] = profile
+            by_node.setdefault(cpu // cpus_per_node, []).append(cpu)
+
+        ipcs: List[Tuple[float, float]] = [
+            (0.0, 0.0)
+        ] * (spec.topology.n_nodes * cores_per_node)
+        for node in sorted(by_node):
+            base = node * cpus_per_node
+            states = tuple(
+                (
+                    cpu_load.get(base + 2 * c),
+                    cpu_load.get(base + 2 * c + 1),
+                    cpu_prio.get(base + 2 * c, 4),
+                    cpu_prio.get(base + 2 * c + 1, 4),
+                )
+                for c in range(cores_per_node)
+            )
+            solved = model.chip_ipc(states)
+            for c, pair in enumerate(solved):
+                ipcs[node * cores_per_node + c] = tuple(pair)
+        return ipcs
+
     def run(
         self,
         spec: ScenarioSpec,
@@ -716,8 +817,11 @@ class AnalyticEngine(Engine):
         model: AnalyticThroughputModel = opts.get("model") or self._model
         t0 = time.perf_counter()
         mapping = spec.mapping_obj()
-        core_states = self._core_states(spec, mapping)
-        ipcs = model.chip_ipc(core_states)
+        if spec.topology is not None:
+            ipcs = self._cluster_ipcs(spec, mapping, model)
+        else:
+            core_states = self._core_states(spec, mapping)
+            ipcs = model.chip_ipc(core_states)
         return self._finish(spec, label, mapping, ipcs, t0)
 
     def _finish(
@@ -743,7 +847,7 @@ class AnalyticEngine(Engine):
             total_time=worst,
             compute_seconds=time.perf_counter() - t0,
         )
-        _observe_run(self.name, result.compute_seconds)
+        _observe_run(self.name, result.compute_seconds, nodes=_spec_nodes(spec))
         return result
 
     def run_batch(
@@ -766,13 +870,25 @@ class AnalyticEngine(Engine):
         opts = self._opts(options)
         model: AnalyticThroughputModel = opts.get("model") or self._model
         batch_t0 = time.perf_counter()
-        mappings = [spec.mapping_obj() for spec in specs]
+        results: List[Optional[ExecutionResult]] = [None] * len(specs)
+        # Topology specs take the scalar per-node path (their per-node
+        # chips would not stack homogeneously with single-chip queries);
+        # results stay index-aligned with the input.
+        flat_idx = [
+            i for i, spec in enumerate(specs) if spec.topology is None
+        ]
+        for i, spec in enumerate(specs):
+            if spec.topology is not None:
+                results[i] = self.run(spec, label=labels[i], options=options)
+        flat_specs = [specs[i] for i in flat_idx]
+        flat_labels = [labels[i] for i in flat_idx]
+        mappings = [spec.mapping_obj() for spec in flat_specs]
         states = [
             self._core_states(spec, mapping)
-            for spec, mapping in zip(specs, mappings)
+            for spec, mapping in zip(flat_specs, mappings)
         ]
         stack = getattr(model, "chip_ipc_stack", None)
-        if stack is not None and specs:
+        if stack is not None and flat_specs:
             keys = [
                 tuple(
                     (
@@ -790,18 +906,13 @@ class AnalyticEngine(Engine):
                 unique.setdefault(key, core_states)
             solved = stack(list(unique.values()))
             by_key = dict(zip(unique, solved))
-            results = []
-            for spec, label, mapping, key in zip(
-                specs, labels, mappings, keys
+            for i, spec, label, mapping, key in zip(
+                flat_idx, flat_specs, flat_labels, mappings, keys
             ):
                 t0 = time.perf_counter()
-                results.append(
-                    self._finish(spec, label, mapping, by_key[key], t0)
-                )
-        else:  # pragma: no cover - non-stacking model override
-            results = [
-                self.run(spec, label=label, options=options)
-                for spec, label in zip(specs, labels)
-            ]
+                results[i] = self._finish(spec, label, mapping, by_key[key], t0)
+        else:
+            for i, spec, label in zip(flat_idx, flat_specs, flat_labels):
+                results[i] = self.run(spec, label=label, options=options)
         _observe_batch(self.name, len(specs), time.perf_counter() - batch_t0)
         return results

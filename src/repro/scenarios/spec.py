@@ -30,6 +30,17 @@ one canonical document, one fingerprint — so the service cache and the
 golden layer never see two addresses for the same run (the
 deliberate-choice test lives in ``tests/scenarios/test_spec.py``; the
 rationale in ``docs/mapping.md``).
+
+Version 3 adds an optional **topology**: a serialised
+:class:`~repro.cluster.TopologySpec` (``{n_nodes, network, params}``)
+that retargets the scenario from the default single POWER5 chip to an
+N-node cluster behind a network model. Only topology-bearing docs carry
+``spec_version: 3``; topology-less specs keep their exact v1/v2 bytes
+(explicit-mapping docs still say ``spec_version: 2``), so every
+pre-existing golden, cache key and leaderboard fingerprint is
+unchanged. Under a topology, explicit mappings address *global* CPUs
+``0 .. 4*n_nodes - 1`` (node ``k`` owns ``4k..4k+3``); see
+``docs/cluster.md``.
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple, Union
 
+from repro.cluster.spec import TopologySpec
 from repro.errors import ConfigurationError, MappingError, ValidationError
 from repro.machine.mapping import ProcessMapping, paper_mapping
 from repro.smt.chip import ChipConfig
@@ -48,13 +60,20 @@ __all__ = ["SPEC_VERSION", "KINDS", "MAPPINGS", "ScenarioSpec"]
 
 #: Schema version of the document form. Bump only with a migration note
 #: in CHANGES.md and re-recorded goldens. v1: mapping is a preset name.
-#: v2 (current): mapping may also be an explicit ``{"rank": cpu}``
-#: object; such docs carry ``spec_version: 2``, preset-only docs keep
-#: the exact v1 bytes (and fingerprints).
-SPEC_VERSION = 2
+#: v2: mapping may also be an explicit ``{"rank": cpu}`` object; such
+#: docs carry ``spec_version: 2``. v3 (current): an optional
+#: ``topology`` object retargets the run to a multi-node cluster; only
+#: topology-bearing docs carry ``spec_version: 3``. Preset-mapping
+#: single-chip docs keep the exact v1 bytes (and fingerprints),
+#: explicit-mapping single-chip docs the exact v2 bytes.
+SPEC_VERSION = 3
 
 #: Workload families a spec may name (each maps to a program factory).
-KINDS = ("barrier_loop", "metbench", "btmz", "siesta")
+#: ``distant_pairs`` is the cluster-corpus family: compute + a pairwise
+#: exchange with the rank half the ring away, so placement (not
+#: priorities) decides whether partners talk over shared memory or the
+#: network.
+KINDS = ("barrier_loop", "metbench", "btmz", "siesta", "distant_pairs")
 
 #: Named rank-to-CPU layouts. "identity" and the two paper re-pairings
 #: are 4-rank; "st" is the papers' single-thread mode (2 ranks, one per
@@ -76,15 +95,20 @@ _PRESET_DICTS = {
 _MappingValue = Union[str, Tuple[Tuple[int, int], ...]]
 
 
-def _freeze_mapping(mapping: object, n_ranks: Optional[int] = None) -> _MappingValue:
+def _freeze_mapping(
+    mapping: object,
+    n_ranks: Optional[int] = None,
+    n_cpus: int = _N_CPUS,
+) -> _MappingValue:
     """Canonical mapping form: a preset name, or a rank-sorted tuple of
     ``(rank, cpu)`` pairs for explicit layouts.
 
     Explicit layouts are validated by :class:`ProcessMapping` (injective,
-    contiguous ranks) plus the default chip's CPU range and the spec's
-    rank count, then **normalised to the preset name when they coincide
-    with one** — a preset and its explicit spelling are one physics and
-    must be one content address.
+    contiguous ranks) plus the machine's CPU range (``n_cpus`` — the
+    default chip's, or the topology's global count) and the spec's rank
+    count, then **normalised to the preset name when they coincide with
+    one** — a preset and its explicit spelling are one physics and must
+    be one content address.
     """
     if isinstance(mapping, str):
         return mapping
@@ -102,10 +126,10 @@ def _freeze_mapping(mapping: object, n_ranks: Optional[int] = None) -> _MappingV
                 f"explicit mapping must be rank->cpu pairs, got {mapping!r}"
             ) from exc
     ProcessMapping(pairs)  # validates: contiguous ranks, injective cpus
-    if any(c >= _N_CPUS for _, c in pairs):
+    if any(c >= n_cpus for _, c in pairs):
         raise ConfigurationError(
-            f"explicit mapping names a cpu outside the chip's "
-            f"0..{_N_CPUS - 1}: {dict(pairs)}"
+            f"explicit mapping names a cpu outside the machine's "
+            f"0..{n_cpus - 1}: {dict(pairs)}"
         )
     if n_ranks is not None and len(pairs) != n_ranks:
         raise ConfigurationError(
@@ -134,6 +158,7 @@ _PARAM_SCHEMA: Dict[str, Dict[str, str]] = {
         "workload_seed": "int",
         "allreduce_bytes": "int",
     },
+    "distant_pairs": {"exchange_bytes": "int"},
 }
 
 #: ``params`` keys the siesta program factory cannot default.
@@ -182,6 +207,11 @@ class ScenarioSpec:
     #: Kind-specific workload knobs (see ``_PARAM_SCHEMA``), canonically
     #: key-sorted. Empty for every scenario the generator draws.
     params: Tuple[Tuple[str, _ParamValue], ...] = ()
+    #: ``None`` = the default single chip (every pre-v3 scenario).
+    #: A :class:`~repro.cluster.TopologySpec` (or its document form)
+    #: retargets the run to that cluster; engines route such specs
+    #: through :class:`~repro.cluster.ClusterSystem`.
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "works", tuple(float(w) for w in self.works))
@@ -191,11 +221,30 @@ class ScenarioSpec:
             tuple((int(r), int(p)) for r, p in self.priorities),
         )
         object.__setattr__(self, "params", _freeze_params(self.params))
+        if self.topology is not None and not isinstance(self.topology, TopologySpec):
+            if not isinstance(self.topology, Mapping):
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: topology must be a TopologySpec "
+                    f"or its document form, got {self.topology!r}"
+                )
+            try:
+                object.__setattr__(
+                    self, "topology", TopologySpec.from_doc(self.topology)
+                )
+            except ValidationError as exc:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: invalid topology: {exc}"
+                ) from exc
+        machine_cpus = (
+            self.topology.n_cpus if self.topology is not None else _N_CPUS
+        )
         try:
             object.__setattr__(
                 self,
                 "mapping",
-                _freeze_mapping(self.mapping, n_ranks=len(self.works)),
+                _freeze_mapping(
+                    self.mapping, n_ranks=len(self.works), n_cpus=machine_cpus
+                ),
             )
         except MappingError as exc:
             raise ConfigurationError(
@@ -205,6 +254,16 @@ class ScenarioSpec:
         check_positive("scenario.iterations", self.iterations)
         if not self.works:
             raise ConfigurationError(f"scenario {self.name!r} has no works")
+        if self.topology is not None and len(self.works) > machine_cpus:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: {len(self.works)} ranks exceed the "
+                f"topology's {machine_cpus} CPUs"
+            )
+        if self.kind == "distant_pairs" and len(self.works) % 2:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: distant_pairs needs an even rank "
+                f"count, got {len(self.works)}"
+            )
         if self.profile not in BASE_PROFILES:
             raise ConfigurationError(
                 f"scenario {self.name!r}: unknown profile {self.profile!r}"
@@ -345,6 +404,15 @@ class ScenarioSpec:
                     init_factor=float(init_factor),
                 )
             )
+        if self.kind == "distant_pairs":
+            from repro.workloads.generators import distant_pairs_programs
+
+            return distant_pairs_programs(
+                list(self.works),
+                iterations=self.iterations,
+                profile=self.profile,
+                exchange_bytes=int(self.param("exchange_bytes", 65536)),
+            )
         from repro.workloads.siesta import SiestaConfig, siesta_programs
 
         p = self.params_dict()
@@ -367,12 +435,14 @@ class ScenarioSpec:
         """The canonical document form fingerprints are computed over.
 
         ``params`` is omitted when empty, and ``spec_version`` when the
-        spec is expressible in v1 (every preset-mapping spec), so
-        pre-existing recorded scenarios keep their exact canonical bytes
-        (and therefore their fingerprints). Explicit-mapping specs are
-        a v2-only shape: their mapping serialises as a ``{"rank": cpu}``
-        object and the doc carries ``spec_version: 2`` so a v1 reader
-        rejects it by version instead of choking on the object.
+        spec is expressible in v1 (every preset-mapping single-chip
+        spec), so pre-existing recorded scenarios keep their exact
+        canonical bytes (and therefore their fingerprints).
+        Explicit-mapping single-chip specs are a v2-only shape and carry
+        the literal ``spec_version: 2`` — *not* the current
+        ``SPEC_VERSION`` — so their bytes are frozen too. Only
+        topology-bearing specs carry ``spec_version: 3``; a v1/v2 reader
+        rejects them by version instead of choking on the object.
         """
         doc = {
             "name": self.name,
@@ -388,8 +458,11 @@ class ScenarioSpec:
             "priorities": [list(p) for p in self.priorities],
             "seed": self.seed,
         }
-        if not isinstance(self.mapping, str):
-            doc["spec_version"] = SPEC_VERSION
+        if self.topology is not None:
+            doc["topology"] = self.topology.to_doc()
+            doc["spec_version"] = 3
+        elif not isinstance(self.mapping, str):
+            doc["spec_version"] = 2
         if self.params:
             doc["params"] = {
                 k: (list(v) if isinstance(v, tuple) else v)
@@ -399,7 +472,7 @@ class ScenarioSpec:
 
     _REQUIRED = ("name", "kind", "works", "iterations")
     _OPTIONAL = ("profile", "mapping", "priorities", "seed", "params",
-                 "spec_version")
+                 "spec_version", "topology")
 
     @classmethod
     def from_doc(cls, doc: object) -> "ScenarioSpec":
@@ -424,11 +497,20 @@ class ScenarioSpec:
         if missing:
             raise ValidationError(f"missing scenario fields: {missing}")
         version = doc.get("spec_version", SPEC_VERSION)
-        if version not in (1, SPEC_VERSION):
+        if version not in (1, 2, SPEC_VERSION):
             raise ValidationError(
                 f"unsupported spec_version {version!r} "
-                f"(this build reads versions 1 and {SPEC_VERSION})"
+                f"(this build reads versions 1, 2 and {SPEC_VERSION})"
             )
+        topology = doc.get("topology")
+        if topology is not None:
+            if version < 3:
+                raise ValidationError(
+                    "a topology needs spec_version 3, but the document "
+                    f"claims version {version}"
+                )
+            topology = TopologySpec.from_doc(topology)
+        machine_cpus = topology.n_cpus if topology is not None else _N_CPUS
         mapping = doc.get("mapping", "identity")
         if isinstance(mapping, str):
             if mapping not in MAPPINGS:
@@ -449,7 +531,7 @@ class ScenarioSpec:
                     f"explicit mapping keys/values must be integers: {exc}"
                 ) from exc
             try:
-                _freeze_mapping(mapping)
+                _freeze_mapping(mapping, n_cpus=machine_cpus)
             except (MappingError, ConfigurationError) as exc:
                 raise ValidationError(
                     f"invalid explicit mapping: {exc}"
@@ -482,6 +564,7 @@ class ScenarioSpec:
                 priorities=tuple((int(r), int(p)) for r, p in priorities),
                 seed=int(doc.get("seed", 0)),
                 params=_freeze_params(params),
+                topology=topology,
             )
         except (TypeError, ValueError) as exc:
             if isinstance(exc, ValidationError):

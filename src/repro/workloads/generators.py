@@ -15,6 +15,7 @@ __all__ = [
     "linear_ramp_works",
     "random_works",
     "barrier_loop_programs",
+    "distant_pairs_programs",
 ]
 
 
@@ -82,3 +83,47 @@ def barrier_loop_programs(
         return program
 
     return [make(w) for w in works]
+
+
+def distant_pairs_programs(
+    works: Sequence[float],
+    iterations: int = 5,
+    profile: str = "hpc",
+    exchange_bytes: int = 65536,
+) -> List[RankProgram]:
+    """Compute + a pairwise exchange with the rank half the ring away.
+
+    Rank ``r`` exchanges ``exchange_bytes`` with partner
+    ``(r + n/2) % n`` every iteration (the pairing is involutive, so
+    each sendrecv has a matching peer), then synchronises on a barrier.
+    On one chip every partner is a core or sibling away; on a cluster
+    the *placement* decides whether partners talk over shared memory or
+    the network — which is exactly the extrinsic-imbalance axis the
+    cluster corpus probes. Needs an even rank count.
+    """
+    works = validate_works(works)
+    n = len(works)
+    if n % 2:
+        raise WorkloadError(f"distant_pairs needs an even rank count, got {n}")
+    if iterations <= 0:
+        raise WorkloadError(f"iterations must be > 0, got {iterations}")
+    if exchange_bytes < 0:
+        raise WorkloadError(
+            f"exchange_bytes must be >= 0, got {exchange_bytes}"
+        )
+
+    def make(rank: int, rank_work: float) -> RankProgram:
+        partner = (rank + n // 2) % n
+
+        def program(mpi: RankApi):
+            for _ in range(iterations):
+                if rank_work > 0:
+                    yield mpi.compute(rank_work, profile=profile)
+                yield mpi.sendrecv(
+                    partner, rank, exchange_bytes, partner, partner
+                )
+                yield mpi.barrier()
+
+        return program
+
+    return [make(r, w) for r, w in enumerate(works)]

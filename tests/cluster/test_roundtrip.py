@@ -1,0 +1,120 @@
+"""Cluster config serialisation: to_doc/from_doc round-trips.
+
+The cluster layer's docs travel inside spec-v3 scenario documents and
+the oracle's golden snapshots, so every config type must round-trip
+through its canonical JSON byte-identically — same contract the
+ScenarioSpec tests pin for the scenarios layer.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    NETWORK_KINDS,
+    ClusterConfig,
+    ClusterSystemConfig,
+    TopologySpec,
+    TwoLevelTree,
+    UniformNetwork,
+    network_from_doc,
+)
+from repro.errors import ValidationError
+from repro.util.fingerprint import fingerprint_doc
+
+
+def canonical(doc) -> str:
+    return json.dumps(doc, sort_keys=True)
+
+
+class TestNetworkRoundTrip:
+    def test_uniform_round_trip(self):
+        net = UniformNetwork(inter_latency=9e-6, inter_bandwidth=1e8)
+        again = UniformNetwork.from_doc(net.to_doc())
+        assert again == net
+        assert canonical(again.to_doc()) == canonical(net.to_doc())
+
+    def test_two_level_tree_round_trip(self):
+        net = TwoLevelTree(
+            nodes_per_switch=3,
+            near_latency=5e-6,
+            far_latency=2e-5,
+            near_bandwidth=3e8,
+            far_bandwidth=1e8,
+        )
+        again = TwoLevelTree.from_doc(net.to_doc())
+        assert again == net
+        assert canonical(again.to_doc()) == canonical(net.to_doc())
+
+    @pytest.mark.parametrize("net", [UniformNetwork(), TwoLevelTree()])
+    def test_dispatch_by_kind(self, net):
+        assert net.to_doc()["kind"] in NETWORK_KINDS
+        again = network_from_doc(net.to_doc())
+        assert again == net
+        assert type(again) is type(net)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="hypercube"):
+            network_from_doc({"kind": "hypercube"})
+
+    def test_json_wire_round_trip(self):
+        net = TwoLevelTree(nodes_per_switch=2)
+        wire = json.dumps(net.to_doc())
+        assert network_from_doc(json.loads(wire)) == net
+
+
+class TestClusterConfigRoundTrip:
+    def test_round_trip(self):
+        config = ClusterConfig(n_nodes=4)
+        again = ClusterConfig.from_doc(config.to_doc())
+        assert again == config
+        assert canonical(again.to_doc()) == canonical(config.to_doc())
+
+    def test_fingerprint_is_content_addressed(self):
+        a = fingerprint_doc(ClusterConfig(n_nodes=2).to_doc())
+        b = fingerprint_doc(ClusterConfig(n_nodes=3).to_doc())
+        assert a != b
+
+
+class TestClusterSystemConfigRoundTrip:
+    @pytest.mark.parametrize(
+        "network", [UniformNetwork(), TwoLevelTree(nodes_per_switch=2)]
+    )
+    def test_round_trip_both_networks(self, network):
+        config = ClusterSystemConfig(
+            cluster=ClusterConfig(n_nodes=4), network=network
+        )
+        again = ClusterSystemConfig.from_doc(config.to_doc())
+        assert again == config
+        assert canonical(again.to_doc()) == canonical(config.to_doc())
+
+    def test_defaults_round_trip(self):
+        config = ClusterSystemConfig()
+        assert ClusterSystemConfig.from_doc(config.to_doc()) == config
+
+
+class TestTopologySpecRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            TopologySpec(n_nodes=2),
+            TopologySpec(
+                n_nodes=4,
+                network="two-level-tree",
+                params=(("nodes_per_switch", 2),),
+            ),
+        ],
+    )
+    def test_round_trip(self, spec):
+        again = TopologySpec.from_doc(spec.to_doc())
+        assert again == spec
+        assert canonical(again.to_doc()) == canonical(spec.to_doc())
+
+    def test_materialises_configured_models(self):
+        spec = TopologySpec(
+            n_nodes=4,
+            network="two-level-tree",
+            params=(("nodes_per_switch", 2),),
+        )
+        assert spec.cluster_config() == ClusterConfig(n_nodes=4)
+        assert spec.network_model() == TwoLevelTree(nodes_per_switch=2)

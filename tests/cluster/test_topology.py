@@ -51,3 +51,28 @@ class TestTwoLevelTree:
             TwoLevelTree(far_latency=1e-6, near_latency=2e-6)
         with pytest.raises(ConfigurationError):
             TwoLevelTree(nodes_per_switch=0)
+
+    @pytest.mark.parametrize("pair", [(0, 1), (0, 2), (1, 5), (3, 4)])
+    def test_symmetric(self, pair):
+        net = TwoLevelTree(nodes_per_switch=2)
+        a, b = pair
+        assert net.latency(a, b) == net.latency(b, a)
+        assert net.bandwidth(a, b) == net.bandwidth(b, a)
+
+    def test_switch_boundary(self):
+        """Nodes k*nodes_per_switch-1 and k*nodes_per_switch straddle a
+        switch boundary: adjacent ids, far link."""
+        net = TwoLevelTree(nodes_per_switch=3)
+        assert net.switch_of(2) == 0
+        assert net.switch_of(3) == 1
+        assert net.latency(2, 3) == net.far_latency
+        assert net.latency(1, 2) == net.near_latency
+
+    def test_negative_node_rejected(self):
+        net = TwoLevelTree()
+        with pytest.raises(ConfigurationError):
+            net.latency(-1, -1)
+        with pytest.raises(ConfigurationError):
+            net.bandwidth(0, -3)
+        with pytest.raises(ConfigurationError):
+            net.switch_of(-1)

@@ -55,26 +55,30 @@ class TestPolicySpec:
             PolicySpec("x", "static", params={"works": [1, 2]})
 
     def test_families_constant(self):
-        assert POLICY_FAMILIES == ("static", "dynamic", "allocation")
+        assert POLICY_FAMILIES == (
+            "static", "dynamic", "allocation", "placement"
+        )
 
 
 class TestProtocol:
     def test_family_markers(self):
-        from repro.core import AllocationPolicy
+        from repro.core import AllocationPolicy, PlacementPolicy
 
         assert issubclass(StaticPolicy, Policy)
         assert issubclass(DynamicPolicy, Policy)
         assert issubclass(AllocationPolicy, Policy)
+        assert issubclass(PlacementPolicy, Policy)
         assert StaticPolicy.family == "static"
         assert DynamicPolicy.family == "dynamic"
         assert AllocationPolicy.family == "allocation"
+        assert PlacementPolicy.family == "placement"
 
     def test_core_exports_protocol(self):
         import repro.core as core
 
         for name in ("Policy", "StaticPolicy", "DynamicPolicy",
-                     "AllocationPolicy", "PolicySpec", "POLICY_FAMILIES",
-                     "Balancer", "PriorityAssignment"):
+                     "AllocationPolicy", "PlacementPolicy", "PolicySpec",
+                     "POLICY_FAMILIES", "Balancer", "PriorityAssignment"):
             assert name in core.__all__
             assert hasattr(core, name)
 

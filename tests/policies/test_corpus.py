@@ -92,3 +92,25 @@ class TestMetBtmzCorpus:
         for spec in tournament_corpus("metbtmz", 6, seed=3):
             assert spec.n_ranks == 4
             assert all(w > 0 for w in spec.works)
+
+
+class TestClusterCorpus:
+    def test_cells_are_two_node_distant_pairs(self):
+        for spec in tournament_corpus("cluster", 6, seed=0):
+            assert spec.kind == "distant_pairs"
+            assert spec.topology is not None
+            assert spec.topology.n_nodes == 2
+            assert spec.n_ranks == 8
+            assert spec.to_doc()["spec_version"] == 3
+
+    def test_cells_start_from_the_default_axes(self):
+        # Identity on 8 ranks / 2 nodes puts every rank's partner
+        # ((r + 4) % 8) on the other node: the maximally network-crossing
+        # layout a placement policy exists to escape.
+        for spec in tournament_corpus("cluster", 6, seed=1):
+            assert spec.priorities == ()
+            assert spec.mapping == "identity"
+
+    def test_exchanges_are_network_visible(self):
+        for spec in tournament_corpus("cluster", 8, seed=2):
+            assert 8_000_000 <= spec.param("exchange_bytes") < 32_000_000

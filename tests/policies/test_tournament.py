@@ -9,6 +9,7 @@ from repro.policies import (
     ALLOCATION_POLICIES,
     DEFAULT_POLICIES,
     Leaderboard,
+    PLACEMENT_POLICIES,
     TournamentConfig,
     apply_policy,
     get_policy,
@@ -301,6 +302,71 @@ class TestAllocationFamily:
         board = run_tournament(small_config(n_scenarios=4))
         assert board.differential_evidence() is None
         assert "mapping vs priority" not in board.render()
+
+    def test_placement_policy_is_a_noop_on_single_chip_specs(self):
+        # No topology, nothing to place: the spec object itself must
+        # survive so the baseline-reuse fast path still fires.
+        spec = ScenarioSpec(
+            name="flat", kind="barrier_loop",
+            works=(1e9, 2e9, 1.5e9, 3e9), iterations=2,
+        )
+        planned, options = apply_policy(get_policy("locality-pack"), spec)
+        assert planned is spec
+        assert options is None
+
+    def test_placement_policy_rewrites_the_cluster_mapping(self):
+        spec = ScenarioSpec(
+            name="ring", kind="distant_pairs",
+            works=(1e9, 2e9, 1.5e9, 3e9, 1.2e9, 2.5e9, 1.8e9, 2.2e9),
+            iterations=2, params={"exchange_bytes": 1 << 22},
+            topology={"n_nodes": 2},
+        )
+        planned, options = apply_policy(get_policy("locality-pack"), spec)
+        assert options is None
+        assert planned.fingerprint != spec.fingerprint
+        table = planned.mapping_obj().as_dict()
+        for r in range(4):
+            assert table[r] // 4 == table[r + 4] // 4
+
+    def test_exact_mapping_noop_keeps_spec_identity(self):
+        # A cluster spec already wearing the policy's target layout:
+        # comparison is on exact CPUs (canonical() would repack ranks
+        # across nodes), and the spec object must survive untouched.
+        spec = ScenarioSpec(
+            name="packed", kind="distant_pairs",
+            works=(1e9, 2e9, 1.5e9, 3e9, 1.2e9, 2.5e9, 1.8e9, 2.2e9),
+            iterations=2, params={"exchange_bytes": 1 << 22},
+            topology={"n_nodes": 2},
+            mapping={0: 0, 4: 1, 1: 2, 5: 3, 2: 4, 6: 5, 3: 6, 7: 7},
+        )
+        planned, options = apply_policy(get_policy("locality-pack"), spec)
+        assert planned is spec
+        assert options is None
+
+    def test_tournament_scores_the_placement_family(self):
+        board = run_tournament(
+            TournamentConfig(
+                policies=("st", "propshare", "hysteresis")
+                + tuple(PLACEMENT_POLICIES),
+                corpus="cluster",
+                n_scenarios=4,
+                seed=11,
+            )
+        )
+        families = {s.family for s in board.scores}
+        assert families == {"static", "dynamic", "placement"}
+        by_name = {s.policy: s for s in board.scores}
+        # Co-locating the pairs must beat both the network-maximal
+        # contrast case and the blind lottery on this corpus.
+        assert (
+            by_name["locality-pack"].mean_improvement_percent
+            > by_name["bandwidth-spread"].mean_improvement_percent
+        )
+        assert (
+            by_name["locality-pack"].mean_improvement_percent
+            > by_name["random-placement"].mean_improvement_percent
+        )
+        assert Leaderboard.from_doc(board.to_doc()) == board
 
     def test_evidence_is_not_part_of_the_canonical_doc(self):
         config = TournamentConfig(

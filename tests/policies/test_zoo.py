@@ -10,6 +10,7 @@ from repro.policies import (
     DEFAULT_POLICIES,
     HysteresisPolicy,
     LptGreedyPolicy,
+    PLACEMENT_POLICIES,
     PaperCasePolicy,
     all_policies,
     get_policy,
@@ -37,14 +38,16 @@ class TestRegistry:
             register_policy("lpt", LptGreedyPolicy)
         register_policy("lpt", LptGreedyPolicy, replace=True)  # sanctioned
 
-    def test_all_policies_cover_all_three_families(self):
+    def test_all_policies_cover_all_four_families(self):
         families = {p.family for p in all_policies()}
-        assert families == {"static", "dynamic", "allocation"}
+        assert families == {"static", "dynamic", "allocation", "placement"}
 
     def test_default_lineup_stays_priority_only(self):
         # The incumbent boards' fingerprints depend on this line-up:
-        # allocation contenders ride the separate ALLOCATION_POLICIES axis.
+        # allocation and placement contenders ride the separate
+        # ALLOCATION_POLICIES / PLACEMENT_POLICIES axes.
         assert set(DEFAULT_POLICIES).isdisjoint(set(ALLOCATION_POLICIES))
+        assert set(DEFAULT_POLICIES).isdisjoint(set(PLACEMENT_POLICIES))
         for name in DEFAULT_POLICIES:
             assert get_policy(name).family in ("static", "dynamic")
 
@@ -200,3 +203,71 @@ class TestAllocationPolicies:
         for name in ALLOCATION_POLICIES:
             planned = get_policy(name).plan_mapping(self.SKEWED, IDENTITY)
             assert planned.is_canonical()
+
+
+class TestPlacementPolicies:
+    WORKS = [1e9, 2e9, 1.5e9, 3e9, 1.2e9, 2.5e9, 1.8e9, 2.2e9]
+    EIGHT = ProcessMapping.identity(8)
+
+    def test_registered_with_placement_family(self):
+        for name in PLACEMENT_POLICIES:
+            policy = get_policy(name)
+            assert policy.family == "placement"
+            assert policy.spec().family == "placement"
+
+    def test_fingerprints_distinct_across_the_family(self):
+        prints = {get_policy(n).fingerprint for n in PLACEMENT_POLICIES}
+        assert len(prints) == len(PLACEMENT_POLICIES)
+
+    def test_locality_pack_co_locates_every_pair(self):
+        planned = get_policy("locality-pack").plan_placement(
+            self.WORKS, self.EIGHT, n_nodes=2
+        )
+        table = planned.as_dict()
+        for r in range(4):
+            partner = r + 4
+            assert table[r] // 4 == table[partner] // 4  # same node
+            assert table[r] // 2 == table[partner] // 2  # same core
+
+    def test_bandwidth_spread_splits_every_pair(self):
+        planned = get_policy("bandwidth-spread").plan_placement(
+            self.WORKS, self.EIGHT, n_nodes=2
+        )
+        table = planned.as_dict()
+        for r in range(4):
+            assert table[r] // 4 != table[r + 4] // 4  # different nodes
+
+    def test_odd_rank_count_keeps_the_incumbent(self):
+        three = ProcessMapping.identity(3)
+        planned = get_policy("locality-pack").plan_placement(
+            [1e9, 2e9, 3e9], three, n_nodes=2
+        )
+        assert planned is three
+
+    def test_random_placement_is_seed_deterministic(self):
+        from repro.policies import RandomPlacementPolicy
+
+        a = RandomPlacementPolicy(seed=7).plan_placement(
+            self.WORKS, self.EIGHT, n_nodes=2
+        )
+        b = RandomPlacementPolicy(seed=7).plan_placement(
+            self.WORKS, self.EIGHT, n_nodes=2
+        )
+        assert a == b
+        draws = {
+            RandomPlacementPolicy(seed=s)
+            .plan_placement(self.WORKS, self.EIGHT, n_nodes=2)
+            .rank_to_cpu
+            for s in range(12)
+        }
+        assert len(draws) > 1  # the lottery actually varies with the seed
+
+    def test_random_placement_respects_node_capacity(self):
+        planned = get_policy("random-placement").plan_placement(
+            self.WORKS, self.EIGHT, n_nodes=3
+        )
+        per_node = {}
+        for _, cpu in planned.rank_to_cpu:
+            assert 0 <= cpu < 12
+            per_node[cpu // 4] = per_node.get(cpu // 4, 0) + 1
+        assert all(count <= 4 for count in per_node.values())

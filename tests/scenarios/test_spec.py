@@ -278,3 +278,84 @@ class TestExplicitMappingsV2:
         doc["mapping"] = [[0, 0]]
         with pytest.raises(ValidationError, match="preset name"):
             ScenarioSpec.from_doc(doc)
+
+
+class TestClusterTopologyV3:
+    """Spec version 3: the optional topology axis, with v1/v2 documents
+    untouched byte-for-byte."""
+
+    TOPOLOGY = {
+        "n_nodes": 2,
+        "network": "two-level-tree",
+        "params": {"nodes_per_switch": 1},
+    }
+
+    def test_topology_round_trips_as_v3(self):
+        spec = spec_for("barrier_loop", topology=self.TOPOLOGY)
+        doc = spec.to_doc()
+        assert doc["spec_version"] == 3
+        assert doc["topology"] == self.TOPOLOGY
+        again = ScenarioSpec.from_doc(json.loads(json.dumps(doc)))
+        assert again == spec
+        assert again.fingerprint == spec.fingerprint
+        assert json.dumps(again.to_doc(), sort_keys=True) == json.dumps(
+            doc, sort_keys=True
+        )
+
+    def test_topology_less_specs_keep_their_exact_bytes(self):
+        """Adding the axis must not move a single pre-v3 byte: preset
+        docs still omit spec_version, explicit-mapping docs still say 2."""
+        preset = spec_for("metbench").to_doc()
+        assert "spec_version" not in preset
+        assert "topology" not in preset
+        explicit = spec_for("metbench", mapping=EXPLICIT).to_doc()
+        assert explicit["spec_version"] == 2
+        assert "topology" not in explicit
+
+    def test_topology_under_version_2_rejected(self):
+        doc = spec_for("barrier_loop", topology=self.TOPOLOGY).to_doc()
+        doc["spec_version"] = 2
+        with pytest.raises(ValidationError, match="spec_version 3"):
+            ScenarioSpec.from_doc(doc)
+
+    def test_one_node_topology_changes_the_fingerprint(self):
+        """Even the digest-equivalent 1-node cluster is a distinct
+        content address — equivalence is the oracle's law, not an
+        identity of documents."""
+        flat = spec_for("barrier_loop")
+        one_node = spec_for("barrier_loop", topology={"n_nodes": 1})
+        assert one_node.to_doc()["spec_version"] == 3
+        assert one_node.fingerprint != flat.fingerprint
+
+    def test_mapping_addresses_global_cpus(self):
+        spec = spec_for(
+            "barrier_loop",
+            topology={"n_nodes": 2},
+            mapping={0: 0, 1: 4, 2: 1, 3: 5},
+        )
+        assert spec.to_doc()["spec_version"] == 3
+        assert spec.mapping_obj().as_dict() == {0: 0, 1: 4, 2: 1, 3: 5}
+
+    def test_mapping_beyond_topology_cpus_rejected(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            spec_for(
+                "barrier_loop",
+                topology={"n_nodes": 2},
+                mapping={0: 0, 1: 4, 2: 1, 3: 8},
+            )
+
+    def test_works_beyond_topology_cpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_for(
+                "barrier_loop",
+                works=tuple(float(w) for w in range(1, 6)),
+                topology={"n_nodes": 1},
+            )
+
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(ConfigurationError, match="topology"):
+            spec_for("barrier_loop", topology={"n_nodes": 0})
+        doc = spec_for("barrier_loop", topology=self.TOPOLOGY).to_doc()
+        doc["topology"] = {"n_nodes": 2, "network": "hypercube"}
+        with pytest.raises(ValidationError):
+            ScenarioSpec.from_doc(doc)
